@@ -1,0 +1,354 @@
+//! Hybrid Encryption (HE) file sharing — the cryptographic access
+//! control baseline (§III-D).
+//!
+//! "A simple access control mechanism is Hybrid Encryption: a file is
+//! encrypted with a unique, symmetric file key, and the file key is
+//! encrypted with the public key of each user that should have access."
+//! Revocation then requires the §III-D process SeGShare eliminates:
+//! "a new file key is generated, the file is re-encrypted with the new
+//! key, the new key is encrypted for each user or group still having
+//! access."
+//!
+//! Key wrapping is ECIES-style: ephemeral X25519 + HKDF + AES-128-GCM.
+//! The `revocation` ablation benchmark measures exactly the
+//! re-encryption bill this design pays and SeGShare does not.
+
+use std::collections::HashMap;
+
+use seg_crypto::gcm::Gcm;
+use seg_crypto::hkdf;
+use seg_crypto::rng::{SecureRandom, SystemRng};
+use seg_crypto::x25519;
+use seg_crypto::CryptoError;
+
+/// A user in the HE scheme: an X25519 key pair.
+pub struct HeUser {
+    name: String,
+    keypair: x25519::EphemeralKeyPair,
+}
+
+impl std::fmt::Debug for HeUser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HeUser({})", self.name)
+    }
+}
+
+impl HeUser {
+    /// Creates a user with a fresh key pair.
+    #[must_use]
+    pub fn new(name: &str) -> HeUser {
+        HeUser {
+            name: name.to_string(),
+            keypair: x25519::EphemeralKeyPair::generate(&mut SystemRng::new()),
+        }
+    }
+
+    /// The user's name (the key-wrap index).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The user's public key.
+    #[must_use]
+    pub fn public(&self) -> [u8; 32] {
+        *self.keypair.public()
+    }
+}
+
+/// An ECIES-wrapped file key: ephemeral public half plus sealed key.
+#[derive(Debug, Clone)]
+struct WrappedKey {
+    ephemeral_public: [u8; 32],
+    sealed: Vec<u8>,
+}
+
+fn wrap_key(file_key: &[u8; 16], recipient_public: &[u8; 32]) -> Result<WrappedKey, CryptoError> {
+    let ephemeral = x25519::EphemeralKeyPair::generate(&mut SystemRng::new());
+    let shared = ephemeral.diffie_hellman(recipient_public)?;
+    let kek = hkdf::derive_key_128(&shared, "he-wrap", recipient_public);
+    let gcm = Gcm::new(&kek)?;
+    let iv = SystemRng::new().array();
+    Ok(WrappedKey {
+        ephemeral_public: *ephemeral.public(),
+        sealed: gcm.seal(&iv, b"he-wrap", file_key).into_iter().chain(iv).collect(),
+    })
+}
+
+fn unwrap_key(wrapped: &WrappedKey, user: &HeUser) -> Result<[u8; 16], CryptoError> {
+    let shared = user.keypair.diffie_hellman(&wrapped.ephemeral_public)?;
+    let kek = hkdf::derive_key_128(&shared, "he-wrap", &user.public());
+    let gcm = Gcm::new(&kek)?;
+    if wrapped.sealed.len() < 12 {
+        return Err(CryptoError::InvalidLength);
+    }
+    let (ct, iv) = wrapped.sealed.split_at(wrapped.sealed.len() - 12);
+    let iv: [u8; 12] = iv.try_into().expect("12 bytes");
+    let key = gcm.open(&iv, b"he-wrap", ct)?;
+    key.try_into().map_err(|_| CryptoError::InvalidLength)
+}
+
+struct HeFile {
+    ciphertext: Vec<u8>,
+    iv: [u8; 12],
+    wrapped: HashMap<String, WrappedKey>,
+}
+
+/// The HE file-sharing service state (as the cloud provider stores it).
+#[derive(Default)]
+pub struct HeFileShare {
+    files: HashMap<String, HeFile>,
+}
+
+impl std::fmt::Debug for HeFileShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeFileShare")
+            .field("files", &self.files.len())
+            .finish()
+    }
+}
+
+/// Accounting for one revocation — the quantity Fig.-4-style SeGShare
+/// revocations avoid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RevocationCost {
+    /// Bytes of file content re-encrypted.
+    pub bytes_reencrypted: u64,
+    /// Number of key-wrap operations performed.
+    pub rewraps: u64,
+}
+
+impl HeFileShare {
+    /// An empty share.
+    #[must_use]
+    pub fn new() -> HeFileShare {
+        HeFileShare::default()
+    }
+
+    /// Uploads `content` readable by `readers`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates crypto failures.
+    pub fn put(
+        &mut self,
+        path: &str,
+        content: &[u8],
+        readers: &[&HeUser],
+    ) -> Result<(), CryptoError> {
+        let file_key: [u8; 16] = SystemRng::new().array();
+        let gcm = Gcm::new(&file_key)?;
+        let iv: [u8; 12] = SystemRng::new().array();
+        let ciphertext = gcm.seal(&iv, path.as_bytes(), content);
+        let mut wrapped = HashMap::new();
+        for reader in readers {
+            wrapped.insert(reader.name.clone(), wrap_key(&file_key, &reader.public())?);
+        }
+        self.files.insert(
+            path.to_string(),
+            HeFile {
+                ciphertext,
+                iv,
+                wrapped,
+            },
+        );
+        Ok(())
+    }
+
+    /// Downloads and decrypts as `user`. This is the HE weakness
+    /// SeGShare's Table III row calls out: the *user* obtains the raw
+    /// file key.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the user has no wrapped key or decryption fails.
+    pub fn get(&self, path: &str, user: &HeUser) -> Result<Vec<u8>, CryptoError> {
+        let file = self.files.get(path).ok_or(CryptoError::InvalidEncoding)?;
+        let wrapped = file
+            .wrapped
+            .get(&user.name)
+            .ok_or(CryptoError::AeadAuthenticationFailed)?;
+        let file_key = unwrap_key(wrapped, user)?;
+        let gcm = Gcm::new(&file_key)?;
+        gcm.open(&file.iv, path.as_bytes(), &file.ciphertext)
+    }
+
+    /// Grants `user` access by wrapping the current file key — cheap,
+    /// like SeGShare's grant.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path is unknown or the granter has no access.
+    pub fn grant(
+        &mut self,
+        path: &str,
+        granter: &HeUser,
+        user: &HeUser,
+    ) -> Result<(), CryptoError> {
+        let content_key = {
+            let file = self.files.get(path).ok_or(CryptoError::InvalidEncoding)?;
+            let wrapped = file
+                .wrapped
+                .get(&granter.name)
+                .ok_or(CryptoError::AeadAuthenticationFailed)?;
+            unwrap_key(wrapped, granter)?
+        };
+        let wrapped = wrap_key(&content_key, &user.public())?;
+        self.files
+            .get_mut(path)
+            .expect("checked above")
+            .wrapped
+            .insert(user.name.clone(), wrapped);
+        Ok(())
+    }
+
+    /// Revokes `revoked`'s access to one file: generates a new file key,
+    /// re-encrypts the content, re-wraps for every remaining reader —
+    /// the §III-D immediate-revocation bill.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path is unknown or the revoker has no access.
+    pub fn revoke(
+        &mut self,
+        path: &str,
+        revoker: &HeUser,
+        revoked: &str,
+        directory: &HashMap<String, [u8; 32]>,
+    ) -> Result<RevocationCost, CryptoError> {
+        // Decrypt with the old key.
+        let plaintext = self.get(path, revoker)?;
+        let file = self.files.get_mut(path).ok_or(CryptoError::InvalidEncoding)?;
+        file.wrapped.remove(revoked);
+
+        // New key, full re-encryption.
+        let new_key: [u8; 16] = SystemRng::new().array();
+        let gcm = Gcm::new(&new_key)?;
+        let iv: [u8; 12] = SystemRng::new().array();
+        file.iv = iv;
+        file.ciphertext = gcm.seal(&iv, path.as_bytes(), &plaintext);
+
+        // Re-wrap for everyone still on the list.
+        let remaining: Vec<String> = file.wrapped.keys().cloned().collect();
+        let mut rewraps = 0;
+        for name in remaining {
+            let public = directory
+                .get(&name)
+                .ok_or(CryptoError::InvalidEncoding)?;
+            file.wrapped.insert(name, wrap_key(&new_key, public)?);
+            rewraps += 1;
+        }
+        Ok(RevocationCost {
+            bytes_reencrypted: plaintext.len() as u64,
+            rewraps,
+        })
+    }
+
+    /// Revokes a user from *every* file they can read (the group-
+    /// membership-revocation analogue): the full §III-D cascade.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-file failures.
+    pub fn revoke_everywhere(
+        &mut self,
+        revoker: &HeUser,
+        revoked: &str,
+        directory: &HashMap<String, [u8; 32]>,
+    ) -> Result<RevocationCost, CryptoError> {
+        let affected: Vec<String> = self
+            .files
+            .iter()
+            .filter(|(_, f)| f.wrapped.contains_key(revoked))
+            .map(|(p, _)| p.clone())
+            .collect();
+        let mut total = RevocationCost::default();
+        for path in affected {
+            let cost = self.revoke(&path, revoker, revoked, directory)?;
+            total.bytes_reencrypted += cost.bytes_reencrypted;
+            total.rewraps += cost.rewraps;
+        }
+        Ok(total)
+    }
+
+    /// Number of ciphertext objects for `path` (1 content + N wrapped
+    /// keys) — the P4 contrast: SeGShare stores a constant number.
+    #[must_use]
+    pub fn ciphertext_count(&self, path: &str) -> usize {
+        self.files
+            .get(path)
+            .map(|f| 1 + f.wrapped.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn directory(users: &[&HeUser]) -> HashMap<String, [u8; 32]> {
+        users
+            .iter()
+            .map(|u| (u.name.to_string(), u.public()))
+            .collect()
+    }
+
+    #[test]
+    fn share_and_read() {
+        let alice = HeUser::new("alice");
+        let bob = HeUser::new("bob");
+        let carol = HeUser::new("carol");
+        let mut share = HeFileShare::new();
+        share.put("/f", b"secret", &[&alice, &bob]).unwrap();
+        assert_eq!(share.get("/f", &alice).unwrap(), b"secret");
+        assert_eq!(share.get("/f", &bob).unwrap(), b"secret");
+        assert!(share.get("/f", &carol).is_err());
+        // Grant later.
+        share.grant("/f", &alice, &carol).unwrap();
+        assert_eq!(share.get("/f", &carol).unwrap(), b"secret");
+    }
+
+    #[test]
+    fn revocation_reencrypts_everything() {
+        let alice = HeUser::new("alice");
+        let bob = HeUser::new("bob");
+        let mut share = HeFileShare::new();
+        let content = vec![1u8; 50_000];
+        share.put("/big", &content, &[&alice, &bob]).unwrap();
+        let dir = directory(&[&alice, &bob]);
+        let cost = share.revoke("/big", &alice, "bob", &dir).unwrap();
+        assert_eq!(cost.bytes_reencrypted, 50_000);
+        assert_eq!(cost.rewraps, 1); // alice only
+        assert!(share.get("/big", &bob).is_err());
+        assert_eq!(share.get("/big", &alice).unwrap(), content);
+    }
+
+    #[test]
+    fn group_revocation_cascades_over_all_files() {
+        let alice = HeUser::new("alice");
+        let bob = HeUser::new("bob");
+        let mut share = HeFileShare::new();
+        for i in 0..10 {
+            share
+                .put(&format!("/f{i}"), &vec![0u8; 10_000], &[&alice, &bob])
+                .unwrap();
+        }
+        let dir = directory(&[&alice, &bob]);
+        let cost = share.revoke_everywhere(&alice, "bob", &dir).unwrap();
+        assert_eq!(cost.bytes_reencrypted, 100_000, "every shared file re-encrypted");
+        for i in 0..10 {
+            assert!(share.get(&format!("/f{i}"), &bob).is_err());
+            assert!(share.get(&format!("/f{i}"), &alice).is_ok());
+        }
+    }
+
+    #[test]
+    fn ciphertext_count_grows_with_users() {
+        // The P4 contrast: HE needs one wrapped key per reader.
+        let users: Vec<HeUser> = (0..8).map(|i| HeUser::new(&format!("u{i}"))).collect();
+        let refs: Vec<&HeUser> = users.iter().collect();
+        let mut share = HeFileShare::new();
+        share.put("/f", b"x", &refs).unwrap();
+        assert_eq!(share.ciphertext_count("/f"), 9);
+    }
+}

@@ -1,0 +1,101 @@
+//! Baselines for the SeGShare evaluation.
+//!
+//! Fig. 3 of the paper compares SeGShare against two "TLS-enabled — but
+//! plaintext storing — WebDAV servers": Apache httpd 2.4 and nginx
+//! 1.17.8. We cannot run those servers here, so [`plain`] provides a
+//! plaintext file server with the same request surface, and
+//! [`ServerProfile`] carries each real server's *measured* cost profile,
+//! calibrated from the paper's own numbers (see the constants). The
+//! bench harness composes measured processing with a profile and the
+//! WAN model, so the reported ordering (nginx < SeGShare < Apache) is
+//! an outcome of the calibration plus SeGShare's real crypto costs —
+//! not a hard-coded verdict.
+//!
+//! [`he`] implements the classic cryptographically-protected-sharing
+//! baseline (Hybrid Encryption, the basis of most systems in Table III):
+//! per-file keys wrapped per user, where *revocation requires
+//! re-encrypting the file and re-wrapping keys* — the cost SeGShare's
+//! design eliminates (P3). The ablation benchmark quantifies exactly
+//! that gap.
+
+pub mod he;
+pub mod plain;
+
+pub use plain::PlainFileServer;
+
+/// The per-request / per-byte cost profile of a real web server, used
+/// analytically by the bench harness.
+///
+/// Calibration (documented substitution, see `DESIGN.md`): from the
+/// paper's 200 MB transfers — nginx 1.84 s up / 0.93 s down is
+/// essentially the wire (0.9 / 1.8 Gb/s), so its marginal costs are
+/// ~zero; Apache's excesses over nginx (2.90 s up, 1.69 s down on
+/// 200 MB) give 14.5 ns/B and 8.45 ns/B.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Fixed extra cost per request in seconds (process/worker dispatch,
+    /// logging, DAV property handling).
+    pub per_request_s: f64,
+    /// Marginal server cost per uploaded byte (seconds).
+    pub per_byte_up_s: f64,
+    /// Marginal server cost per downloaded byte (seconds).
+    pub per_byte_down_s: f64,
+}
+
+impl ServerProfile {
+    /// Apache httpd 2.4 with mod_dav (paper baseline 1).
+    #[must_use]
+    pub fn apache_like() -> ServerProfile {
+        ServerProfile {
+            name: "apache-like",
+            per_request_s: 0.040,
+            per_byte_up_s: 14.5e-9,
+            per_byte_down_s: 8.45e-9,
+        }
+    }
+
+    /// nginx 1.17.8 with its DAV module (paper baseline 2).
+    #[must_use]
+    pub fn nginx_like() -> ServerProfile {
+        ServerProfile {
+            name: "nginx-like",
+            per_request_s: 0.0,
+            per_byte_up_s: 0.0,
+            per_byte_down_s: 0.0,
+        }
+    }
+
+    /// Total server-side cost of a request moving `up` bytes in and
+    /// `down` bytes out, on top of measured storage processing.
+    #[must_use]
+    pub fn request_cost_s(&self, up: u64, down: u64) -> f64 {
+        self.per_request_s + up as f64 * self.per_byte_up_s + down as f64 * self.per_byte_down_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apache_is_strictly_slower_than_nginx() {
+        let apache = ServerProfile::apache_like();
+        let nginx = ServerProfile::nginx_like();
+        for (up, down) in [(0u64, 0u64), (200_000_000, 0), (0, 200_000_000)] {
+            assert!(apache.request_cost_s(up, down) >= nginx.request_cost_s(up, down));
+        }
+    }
+
+    #[test]
+    fn calibration_reproduces_paper_deltas() {
+        // Apache's 200 MB upload excess over nginx was 2.90 s.
+        let apache = ServerProfile::apache_like();
+        let up_excess = apache.request_cost_s(200_000_000, 0);
+        assert!((2.7..3.2).contains(&up_excess), "{up_excess}");
+        // Download excess was 1.69 s.
+        let down_excess = apache.request_cost_s(0, 200_000_000);
+        assert!((1.5..1.9).contains(&down_excess), "{down_excess}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Criterion companion to the `ablations` harness: isolated costs of
+//! design choices — Protected-FS encryption vs. plain AEAD, the TLS
+//! handshake, sealing, and the HE baseline's revocation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+use seg_baseline::he::{HeFileShare, HeUser};
+use seg_bench::harness::Rig;
+use seg_crypto::pae::{pae_enc, PaeKey};
+use seg_crypto::rng::DeterministicRng;
+use seg_sgx::pfs;
+use segshare::EnclaveConfig;
+
+fn bench_pfs_vs_pae(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pfs_vs_pae");
+    let size = 1_048_576usize;
+    let data = vec![0u8; size];
+    group.throughput(Throughput::Bytes(size as u64));
+    group.bench_function("pfs_encrypt/1MiB", |b| {
+        let mut rng = DeterministicRng::seeded(1);
+        b.iter(|| black_box(pfs::pfs_encrypt(&[7u8; 16], black_box(&data), &mut rng).expect("pfs")));
+    });
+    group.bench_function("pae_encrypt/1MiB", |b| {
+        let key = PaeKey::from_bytes(&[7u8; 16]);
+        let mut rng = DeterministicRng::seeded(2);
+        b.iter(|| black_box(pae_enc(&key, black_box(&data), b"", &mut rng)));
+    });
+    let mut rng = DeterministicRng::seeded(3);
+    let blob = pfs::pfs_encrypt(&[7u8; 16], &data, &mut rng).expect("pfs");
+    group.bench_function("pfs_decrypt/1MiB", |b| {
+        b.iter(|| black_box(pfs::pfs_decrypt(&[7u8; 16], black_box(&blob)).expect("pfs")));
+    });
+    group.finish();
+}
+
+fn bench_connection_setup(c: &mut Criterion) {
+    // Full mutually-authenticated handshake through the enclave.
+    let rig = Rig::new(EnclaveConfig::paper_prototype());
+    c.bench_function("tls/full_handshake", |b| {
+        b.iter(|| black_box(rig.client()));
+    });
+}
+
+fn bench_sealing(c: &mut Criterion) {
+    let platform = seg_sgx::Platform::new_with_seed(5);
+    let enclave = platform.launch(&seg_sgx::EnclaveImage::from_code(b"bench"));
+    let sealed = enclave.seal(&[0u8; 32]).expect("seal");
+    c.bench_function("sgx/seal_32B", |b| {
+        b.iter(|| black_box(enclave.seal(black_box(&[0u8; 32])).expect("seal")));
+    });
+    c.bench_function("sgx/unseal_32B", |b| {
+        b.iter(|| black_box(enclave.unseal(black_box(&sealed)).expect("unseal")));
+    });
+}
+
+fn bench_he_revocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("revocation");
+    group.sample_size(10);
+    for files in [5usize, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("he_revoke_everywhere", files),
+            &files,
+            |b, &files| {
+                b.iter_with_setup(
+                    || {
+                        let alice = HeUser::new("alice");
+                        let bob = HeUser::new("bob");
+                        let mut he = HeFileShare::new();
+                        for i in 0..files {
+                            he.put(&format!("/f{i}"), &vec![0u8; 100_000], &[&alice, &bob])
+                                .expect("put");
+                        }
+                        let dir: HashMap<String, [u8; 32]> = [
+                            ("alice".to_string(), alice.public()),
+                            ("bob".to_string(), bob.public()),
+                        ]
+                        .into();
+                        (he, alice, dir)
+                    },
+                    |(mut he, alice, dir)| {
+                        black_box(he.revoke_everywhere(&alice, "bob", &dir).expect("revoke"));
+                    },
+                );
+            },
+        );
+    }
+    // SeGShare's equivalent: one member-list update.
+    let rig = Rig::new(EnclaveConfig::paper_prototype());
+    let mut client = rig.client();
+    client.add_user("bob", "team").expect("add");
+    for i in 0..20 {
+        client.put(&format!("/f{i}"), &vec![0u8; 100_000]).expect("put");
+        client
+            .set_perm(&format!("/f{i}"), "team", seg_fs::Perm::Read)
+            .expect("perm");
+    }
+    group.bench_function("segshare_revoke_membership", |b| {
+        b.iter(|| {
+            client.remove_user("bob", "team").expect("rm");
+            client.add_user("bob", "team").expect("re-add");
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pfs_vs_pae, bench_connection_setup, bench_sealing, bench_he_revocation
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion companion to **Fig. 4**: membership and permission
+//! operations with varying pre-existing counts — the logarithmic
+//! dependence the paper shows is invisible at WAN scale, measured here
+//! without the WAN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use seg_bench::harness::Rig;
+use seg_fs::Perm;
+use segshare::EnclaveConfig;
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership");
+    for n in [1usize, 100, 1000] {
+        let rig = Rig::new(EnclaveConfig::paper_prototype());
+        let mut admin = rig.client();
+        for g in 0..n {
+            admin.add_user("bob", &format!("pre-{g:05}")).expect("add");
+        }
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::new("add", n), &n, |b, _| {
+            b.iter(|| {
+                i += 1;
+                admin.add_user("bob", &format!("x-{i:07}")).expect("add");
+            });
+        });
+        let mut j = 0u64;
+        group.bench_with_input(BenchmarkId::new("revoke", n), &n, |b, _| {
+            b.iter(|| {
+                j += 1;
+                if j <= i {
+                    admin.remove_user("bob", &format!("x-{j:07}")).expect("rm");
+                } else {
+                    // Removing an absent membership still exercises the
+                    // decrypt-search-encrypt path.
+                    admin.remove_user("bob", "x-absent").expect("rm");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_permissions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("permissions");
+    for n in [1usize, 100, 1000] {
+        let rig = Rig::new(EnclaveConfig::paper_prototype());
+        let mut admin = rig.client();
+        admin.put("/f", b"target").expect("put");
+        for g in 0..n {
+            admin
+                .set_perm("/f", &format!("pre-{g:05}"), Perm::Read)
+                .expect("perm");
+        }
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::new("set", n), &n, |b, _| {
+            b.iter(|| {
+                i += 1;
+                admin
+                    .set_perm("/f", &format!("x-{i:07}"), Perm::Read)
+                    .expect("perm");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_membership, bench_permissions
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks for the cryptographic substrate: the
+//! primitives whose throughput bounds SeGShare's large-transfer
+//! processing (Fig. 3's `raw-proc` column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use seg_crypto::ed25519::SecretKey;
+use seg_crypto::gcm::Gcm;
+use seg_crypto::hmac::hmac_sha256;
+use seg_crypto::mset::{MsetHash, MsetKey};
+use seg_crypto::rng::DeterministicRng;
+use seg_crypto::sha256::Sha256;
+use seg_crypto::x25519::EphemeralKeyPair;
+
+fn bench_gcm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gcm");
+    for size in [4096usize, 65_536, 1_048_576] {
+        let gcm = Gcm::new(&[7u8; 16]).expect("key");
+        let data = vec![0u8; size];
+        let iv = [1u8; 12];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("seal", size), &size, |b, _| {
+            b.iter(|| black_box(gcm.seal(&iv, b"", black_box(&data))));
+        });
+        let sealed = gcm.seal(&iv, b"", &data);
+        group.bench_with_input(BenchmarkId::new("open", size), &size, |b, _| {
+            b.iter(|| black_box(gcm.open(&iv, b"", black_box(&sealed)).expect("authentic")));
+        });
+    }
+    group.finish();
+
+    c.bench_function("gcm/key_setup", |b| {
+        b.iter(|| black_box(Gcm::new(black_box(&[9u8; 16])).expect("key")));
+    });
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    let data = vec![0u8; 1_048_576];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256/1MiB", |b| {
+        b.iter(|| black_box(Sha256::digest(black_box(&data))));
+    });
+    group.bench_function("hmac_sha256/1MiB", |b| {
+        b.iter(|| black_box(hmac_sha256(b"key", black_box(&data))));
+    });
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut rng = DeterministicRng::seeded(1);
+    let sk = SecretKey::generate(&mut rng);
+    let msg = vec![0u8; 256];
+    let sig = sk.sign(&msg);
+    c.bench_function("ed25519/sign", |b| {
+        b.iter(|| black_box(sk.sign(black_box(&msg))));
+    });
+    c.bench_function("ed25519/verify", |b| {
+        b.iter(|| sk.public_key().verify(black_box(&msg), &sig).expect("valid"));
+    });
+    c.bench_function("x25519/diffie_hellman", |b| {
+        let alice = EphemeralKeyPair::generate(&mut rng);
+        let bob = EphemeralKeyPair::generate(&mut rng);
+        b.iter(|| black_box(alice.diffie_hellman(bob.public()).expect("strong")));
+    });
+}
+
+fn bench_mset(c: &mut Criterion) {
+    let key = MsetKey::from_bytes([3u8; 32]);
+    c.bench_function("mset/add", |b| {
+        let mut h = MsetHash::empty();
+        b.iter(|| h.add(&key, black_box(b"a 40-byte-ish child hash element....")));
+    });
+    c.bench_function("mset/replace", |b| {
+        let mut h = MsetHash::of(&key, b"old");
+        b.iter(|| h.replace(&key, black_box(b"old"), black_box(b"old")));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gcm, bench_hash, bench_signatures, bench_mset
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion companion to **Fig. 5**: 10 kB upload/download with the
+//! individual-file rollback protection on vs. off, at two pre-loaded
+//! file counts (flat layout — the worse case for validation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use seg_bench::harness::Rig;
+use segshare::EnclaveConfig;
+
+fn bench_rollback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollback");
+    let payload = vec![0xabu8; 10_000];
+    for rollback in [false, true] {
+        for files in [0usize, 255] {
+            let config = EnclaveConfig {
+                rollback_individual: rollback,
+                ..EnclaveConfig::paper_prototype()
+            };
+            let rig = Rig::new(config);
+            let mut client = rig.client();
+            for i in 0..files {
+                client
+                    .put(&format!("/flat-{i:05}"), &payload)
+                    .expect("preload");
+            }
+            client.put("/probe", &payload).expect("put");
+            let label = format!("rb={rollback}/files={files}");
+            group.bench_with_input(BenchmarkId::new("download", &label), &files, |b, _| {
+                b.iter(|| black_box(client.get("/probe").expect("get")));
+            });
+            let mut i = 0u64;
+            group.bench_with_input(BenchmarkId::new("upload", &label), &files, |b, _| {
+                b.iter(|| {
+                    i += 1;
+                    client.put(&format!("/p-{i}"), &payload).expect("put");
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rollback
+);
+criterion_main!(benches);

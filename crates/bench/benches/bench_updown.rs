@@ -1,0 +1,53 @@
+//! Criterion companion to **Fig. 3**: end-to-end upload/download
+//! processing through the full stack (client TLS → enclave → Protected
+//! FS), at sizes that keep criterion's statistics affordable. The
+//! `fig3_updown` harness binary covers the full 1–200 MB sweep and the
+//! WAN composition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use seg_baseline::PlainFileServer;
+use seg_bench::harness::Rig;
+use segshare::EnclaveConfig;
+
+fn bench_updown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("updown");
+    for size in [65_536usize, 1_048_576, 8 * 1_048_576] {
+        let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+
+        // SeGShare full stack.
+        let rig = Rig::new(EnclaveConfig::paper_prototype());
+        let mut client = rig.client();
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::new("segshare_put", size), &size, |b, _| {
+            b.iter(|| {
+                i += 1;
+                client.put(&format!("/up-{i}"), black_box(&payload)).expect("put");
+            });
+        });
+        client.put("/down", &payload).expect("put");
+        group.bench_with_input(BenchmarkId::new("segshare_get", size), &size, |b, _| {
+            b.iter(|| black_box(client.get("/down").expect("get")));
+        });
+
+        // Plaintext baseline (the nginx-like data path).
+        let plain = PlainFileServer::new();
+        group.bench_with_input(BenchmarkId::new("plaintext_put", size), &size, |b, _| {
+            b.iter(|| plain.put("/up", black_box(&payload)).expect("put"));
+        });
+        plain.put("/down", &payload).expect("put");
+        group.bench_with_input(BenchmarkId::new("plaintext_get", size), &size, |b, _| {
+            b.iter(|| black_box(plain.get("/down").expect("get")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_updown
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Regenerates **Fig. 5**: overhead of the individual-file rollback
+//! protection extension (§V-D), for two directory layouts.
+//!
+//! Preparation mirrors the paper: upload `2^x − 1` files of 10 kB
+//! arranged (1) in a binary tree of directories with one file per leaf
+//! and (2) flat under the root; then measure upload and download of one
+//! additional 10 kB file, with the extension enabled and disabled.
+//!
+//! Paper: minimal average download 111.65 ms; at 16,384 files the
+//! average rises to only 115.93 ms (tree) / 121.95 ms (flat); upload
+//! overhead "negligible in the total latency".
+//!
+//! Usage: `fig5_rollback [--max-x 14] [--quick] [--no-buckets]`
+
+use seg_bench::harness::{arg_flag, arg_value, fmt_s, measure, wan, Rig};
+use segshare::{Client, EnclaveConfig};
+
+/// Builds the binary-tree directory layout with `count` files in the
+/// leaves; returns the directory path for the probe file.
+fn build_tree(client: &mut Client<seg_net::ChannelTransport>, count: usize, payload: &[u8]) {
+    // Depth such that leaves can hold `count` files: files live at
+    // depth x-1 directories (binary fanout).
+    let mut made = 0usize;
+    let mut level_dirs = vec![String::from("/")];
+    while made < count {
+        let mut next = Vec::new();
+        for dir in &level_dirs {
+            for side in ["l", "r"] {
+                if made >= count {
+                    break;
+                }
+                let sub = format!("{dir}{side}/");
+                client.mkdir(&sub).unwrap();
+                client
+                    .put(&format!("{sub}file.bin"), payload)
+                    .unwrap();
+                made += 1;
+                next.push(sub);
+            }
+        }
+        level_dirs = next;
+    }
+}
+
+fn build_flat(client: &mut Client<seg_net::ChannelTransport>, count: usize, payload: &[u8]) {
+    for i in 0..count {
+        client.put(&format!("/file-{i:05}.bin"), payload).unwrap();
+    }
+}
+
+fn main() {
+    let max_x: u32 = arg_value("--max-x")
+        .map(|v| v.parse().expect("integer"))
+        .unwrap_or(if arg_flag("--quick") { 8 } else { 12 });
+    let runs = if arg_flag("--quick") { 10 } else { 20 };
+    let buckets = if arg_flag("--no-buckets") { 1 } else { 64 };
+    let wan = wan();
+    let payload = vec![0xabu8; 10_000];
+
+    println!("== Fig. 5: individual-file rollback protection overhead ==");
+    println!("paper: download 111.65 ms floor; at 16384 files 115.93 ms (tree) / 121.95 ms (flat)");
+    println!("layouts: (1) binary-tree directories, (2) flat under the root; buckets = {buckets}");
+    println!();
+    println!(
+        "{:>7} {:>6} | {:>11} {:>11} | {:>11} {:>11} | {:>11} {:>11}",
+        "files", "layout", "up (proc)", "up (WAN)", "down (proc)", "down (WAN)", "up-noRB", "down-noRB"
+    );
+
+    for x in (0..=max_x).step_by(2) {
+        let count = (1usize << x) - 1;
+        for layout in ["tree", "flat"] {
+            let mut row = Vec::new();
+            for rollback in [true, false] {
+                let config = EnclaveConfig {
+                    rollback_individual: rollback,
+                    rollback_buckets: buckets,
+                    ..EnclaveConfig::paper_prototype()
+                };
+                let rig = Rig::new(config);
+                let mut client = rig.client();
+                match layout {
+                    "tree" => build_tree(&mut client, count, &payload),
+                    _ => build_flat(&mut client, count, &payload),
+                }
+                // Probe: one additional 10 kB file at the root.
+                let mut i = 0;
+                let up = measure(runs, || {
+                    i += 1;
+                    client.put(&format!("/probe-{i}"), &payload).unwrap();
+                });
+                client.put("/probe", &payload).unwrap();
+                let down = measure(runs, || {
+                    let got = client.get("/probe").unwrap();
+                    assert_eq!(got.len(), payload.len());
+                });
+                row.push((up.mean_s, down.mean_s));
+            }
+            let (up_rb, down_rb) = row[0];
+            let (up_no, down_no) = row[1];
+            println!(
+                "{:>7} {:>6} | {:>11} {:>11} | {:>11} {:>11} | {:>11} {:>11}",
+                count,
+                layout,
+                fmt_s(up_rb),
+                fmt_s(wan.request_s(10_064, 16, up_rb)),
+                fmt_s(down_rb),
+                fmt_s(wan.request_s(64, 10_016, down_rb)),
+                fmt_s(up_no),
+                fmt_s(down_no),
+            );
+        }
+    }
+    println!();
+    println!("(WAN floor for a 10 kB request is ~{}; the paper's 111.65 ms)", fmt_s(wan.request_s(64, 10_016, 0.0)));
+}

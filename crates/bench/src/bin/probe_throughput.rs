@@ -1,0 +1,20 @@
+use seg_crypto::gcm::Gcm;
+use std::time::Instant;
+fn main() {
+    let gcm = Gcm::new(&[7u8; 16]).unwrap();
+    let data = vec![0u8; 64 * 1024 * 1024];
+    let iv = [1u8; 12];
+    let start = Instant::now();
+    let sealed = gcm.seal(&iv, b"", &data);
+    let elapsed = start.elapsed();
+    println!("GCM seal 64MB: {:?} -> {:.1} MB/s", elapsed, 64.0 / elapsed.as_secs_f64());
+    let start = Instant::now();
+    let _ = gcm.open(&iv, b"", &sealed).unwrap();
+    let elapsed = start.elapsed();
+    println!("GCM open 64MB: {:?} -> {:.1} MB/s", elapsed, 64.0 / elapsed.as_secs_f64());
+    // SHA-256
+    let start = Instant::now();
+    let _ = seg_crypto::sha256::Sha256::digest(&data);
+    let elapsed = start.elapsed();
+    println!("SHA256 64MB: {:?} -> {:.1} MB/s", elapsed, 64.0 / elapsed.as_secs_f64());
+}

@@ -1,0 +1,105 @@
+//! Regenerates the **§VII-B storage-overhead table**: encrypted storage
+//! for 10 MB and 200 MB plaintext files whose ACLs carry 95 and 1119
+//! entries.
+//!
+//! Paper: 10 MB → 10.11 MB / 10.15 MB (1.12 % / 1.48 %);
+//!        200 MB → 202.09 MB / 202.13 MB (1.05 % / 1.06 %).
+//!
+//! Two views are printed: the *analytic* Protected-FS node model
+//! (instant, any size) and the *measured* bytes in the content store
+//! after a real upload through the full stack.
+//!
+//! Usage: `table_storage [--quick]`
+
+use std::sync::Arc;
+
+use seg_bench::harness::arg_flag;
+use seg_fs::Perm;
+use seg_sgx::pfs;
+use seg_store::{MemStore, ObjectStore};
+use segshare::{EnclaveConfig, FsoSetup};
+
+fn main() {
+    println!("== §VII-B storage overhead ==");
+    println!("paper: 10 MB file -> 10.11 / 10.15 MB (95 / 1119 ACL entries);");
+    println!("       200 MB file -> 202.09 / 202.13 MB (1.05% / 1.06%)");
+    println!();
+
+    // ---- analytic node model (exact, instant) ------------------------
+    println!("analytic Protected-FS model (4 KiB nodes, tag tree):");
+    println!(
+        "{:>10} | {:>14} | {:>9}",
+        "plaintext", "encrypted", "overhead"
+    );
+    for plain in [10_000_000u64, 200_000_000] {
+        let enc = pfs::encrypted_size(plain);
+        println!(
+            "{:>7} MB | {:>11.2} MB | {:>8.2}%",
+            plain / 1_000_000,
+            enc as f64 / 1e6,
+            (enc - plain) as f64 / plain as f64 * 100.0
+        );
+    }
+    println!();
+
+    // ---- measured through the full stack ------------------------------
+    let sizes: &[(u64, &[usize])] = if arg_flag("--quick") {
+        &[(10_000_000, &[95, 1119])]
+    } else {
+        &[(10_000_000, &[95, 1119]), (200_000_000, &[95, 1119])]
+    };
+
+    println!("measured through the full stack (content store bytes):");
+    println!(
+        "{:>10} {:>12} | {:>14} {:>14} | {:>9} | paper",
+        "plaintext", "ACL entries", "content-store", "per-file", "overhead"
+    );
+    for &(plain, acl_sizes) in sizes {
+        for &entries in acl_sizes {
+            let content = Arc::new(MemStore::new());
+            let setup = FsoSetup::with_stores(
+                "ca",
+                EnclaveConfig::paper_prototype(),
+                seg_sgx::Platform::new_with_seed(1),
+                Arc::clone(&content) as Arc<dyn ObjectStore>,
+                Arc::new(MemStore::new()),
+                Arc::new(MemStore::new()),
+            );
+            let server = setup.server().unwrap();
+            let alice = setup.enroll_user("alice", "a@x", "A").unwrap();
+            let mut a = server.connect_local(&alice).unwrap();
+
+            let empty_system = content.total_bytes().unwrap();
+            let payload = vec![0x11u8; plain as usize];
+            a.put("/the-file", &payload).unwrap();
+            for g in 0..entries {
+                a.set_perm("/the-file", &format!("group-{g:05}"), Perm::Read)
+                    .unwrap();
+            }
+            let total = content.total_bytes().unwrap();
+            // Attribute to the file: everything beyond the empty system
+            // (the file blob, its ACL, hash records, root-dir growth).
+            let per_file = total - empty_system;
+            let overhead = (per_file as f64 - plain as f64) / plain as f64 * 100.0;
+            let paper = match (plain, entries) {
+                (10_000_000, 95) => "10.11 MB (1.12%)",
+                (10_000_000, 1119) => "10.15 MB (1.48%)",
+                (200_000_000, 95) => "202.09 MB (1.05%)",
+                (200_000_000, 1119) => "202.13 MB (1.06%)",
+                _ => "-",
+            };
+            println!(
+                "{:>7} MB {:>12} | {:>11.2} MB {:>11.2} MB | {:>8.2}% | {paper}",
+                plain / 1_000_000,
+                entries,
+                total as f64 / 1e6,
+                per_file as f64 / 1e6,
+                overhead
+            );
+        }
+    }
+    println!();
+    println!("(shape: ~1% overhead dominated by Protected-FS node framing; a few");
+    println!(" extra kB for the ACL file and rollback-tree hash records, growing");
+    println!(" mildly with ACL entries — matching the paper's 1.05-1.48% band)");
+}

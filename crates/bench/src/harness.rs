@@ -1,0 +1,146 @@
+//! Shared plumbing for the table/figure regenerators.
+
+use std::time::Instant;
+
+use seg_net::simwan::WanProfile;
+use segshare::{Client, EnclaveConfig, EnrolledUser, FsoSetup, SegShareServer};
+
+/// The AES-GCM throughput the paper's server hardware sustains
+/// (AES-NI + PCLMUL on a Xeon E-2176G, conservatively 2 GB/s). Used to
+/// produce the hardware-normalized latency column: this reproduction's
+/// pure-Rust GCM runs ~10–20× slower than AES-NI, and at 100 MB+ sizes
+/// crypto is the dominant processing term.
+pub const HW_GCM_MBPS: f64 = 2000.0;
+
+/// Mean and spread of repeated measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct Measured {
+    /// Mean seconds.
+    pub mean_s: f64,
+    /// Sample standard deviation in seconds.
+    pub sd_s: f64,
+    /// Number of runs.
+    pub runs: usize,
+}
+
+impl Measured {
+    /// Half-width of the 95 % confidence interval (normal
+    /// approximation, matching the paper's error bars).
+    #[must_use]
+    pub fn ci95_s(&self) -> f64 {
+        if self.runs < 2 {
+            return 0.0;
+        }
+        1.96 * self.sd_s / (self.runs as f64).sqrt()
+    }
+}
+
+/// Times `runs` executions of `f` (one warm-up first).
+pub fn measure<F: FnMut()>(runs: usize, mut f: F) -> Measured {
+    f(); // warm-up
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = if samples.len() > 1 {
+        samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64
+    } else {
+        0.0
+    };
+    Measured {
+        mean_s: mean,
+        sd_s: var.sqrt(),
+        runs,
+    }
+}
+
+/// Measures the local software GCM throughput (MB/s) to calibrate the
+/// hardware-normalized column.
+#[must_use]
+pub fn local_gcm_mbps() -> f64 {
+    let gcm = seg_crypto::gcm::Gcm::new(&[7u8; 16]).expect("valid key");
+    let data = vec![0u8; 32 * 1024 * 1024];
+    let iv = [1u8; 12];
+    let start = Instant::now();
+    let sealed = gcm.seal(&iv, b"", &data);
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(&sealed);
+    32.0 / elapsed
+}
+
+/// Scales a measured processing time to what AES-NI-class hardware
+/// would take, assuming the processing is crypto-dominated (true for
+/// multi-megabyte transfers).
+#[must_use]
+pub fn normalize_processing(measured_s: f64, local_mbps: f64) -> f64 {
+    measured_s * (local_mbps / HW_GCM_MBPS)
+}
+
+/// A ready-to-use deployment: server plus an enrolled user.
+pub struct Rig {
+    /// The setup context (CA, stores, platform).
+    pub setup: FsoSetup,
+    /// The running server.
+    pub server: SegShareServer,
+    /// An enrolled user.
+    pub alice: EnrolledUser,
+}
+
+impl Rig {
+    /// Builds an in-memory deployment with `config`.
+    #[must_use]
+    pub fn new(config: EnclaveConfig) -> Rig {
+        let setup = FsoSetup::new_in_memory("bench-ca", config);
+        let server = setup.server().expect("setup succeeds");
+        let alice = setup
+            .enroll_user("alice", "alice@bench", "Alice")
+            .expect("enroll succeeds");
+        Rig {
+            setup,
+            server,
+            alice,
+        }
+    }
+
+    /// Connects a fresh client session for `alice`.
+    #[must_use]
+    pub fn client(&self) -> Client<seg_net::ChannelTransport> {
+        self.server
+            .connect_local(&self.alice)
+            .expect("local connect succeeds")
+    }
+}
+
+/// The WAN used by every figure (the paper's two-region testbed).
+#[must_use]
+pub fn wan() -> WanProfile {
+    WanProfile::azure_two_region()
+}
+
+/// Formats seconds as the paper does (s with two decimals, or ms).
+#[must_use]
+pub fn fmt_s(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.2} ms", s * 1000.0)
+    }
+}
+
+/// Simple `--flag value` argument lookup.
+#[must_use]
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare `--flag` is present.
+#[must_use]
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}

@@ -1,0 +1,3 @@
+//! Shared helpers for the SeGShare benchmark harness (see the `bin`
+//! targets and `benches/`).
+pub mod harness;

@@ -1,0 +1,418 @@
+//! The user application (§IV-B): links a local view to the remote file
+//! system over the secure channel.
+//!
+//! Requires no special hardware (F5) and stores only the client
+//! certificate and key, independent of how much is shared with whom
+//! (P1).
+
+use seg_crypto::rng::SystemRng;
+use seg_fs::Perm;
+use seg_net::FrameTransport;
+use seg_proto::{ErrorCode, ListingEntry, Request, Response, CHUNK_LEN};
+use seg_tls::SecureStream;
+
+use crate::error::SegShareError;
+use crate::server::EnrolledUser;
+
+/// A connected SeGShare client.
+pub struct Client<T: FrameTransport> {
+    stream: SecureStream<T>,
+}
+
+impl<T: FrameTransport> std::fmt::Debug for Client<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Client(..)")
+    }
+}
+
+impl<T: FrameTransport> Client<T> {
+    /// Connects and mutually authenticates over `transport`.
+    ///
+    /// # Errors
+    ///
+    /// Returns TLS/PKI errors if either side fails authentication.
+    pub fn connect(transport: T, user: &EnrolledUser) -> Result<Client<T>, SegShareError> {
+        let stream = SecureStream::connect(
+            transport,
+            user.certificate.clone(),
+            user.secret_key.clone(),
+            user.ca_key,
+            user.now,
+            &mut SystemRng::new(),
+        )?;
+        Ok(Client { stream })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), SegShareError> {
+        self.stream.send(&request.encode())?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, SegShareError> {
+        Ok(Response::decode(&self.stream.recv()?)?)
+    }
+
+    fn expect_ok(&mut self) -> Result<(), SegShareError> {
+        match self.recv()? {
+            Response::Ok => Ok(()),
+            Response::Error { code, message } => Err(SegShareError::Request { code, message }),
+            other => Err(SegShareError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Creates a directory. Accepts paths with or without the trailing
+    /// slash.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`].
+    pub fn mkdir(&mut self, path: &str) -> Result<(), SegShareError> {
+        let path = canonical_dir(path);
+        self.send(&Request::MkDir { path })?;
+        self.expect_ok()
+    }
+
+    /// Creates or updates a content file, streaming `content` in
+    /// [`CHUNK_LEN`] chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`].
+    pub fn put(&mut self, path: &str, content: &[u8]) -> Result<(), SegShareError> {
+        self.send(&Request::PutFile {
+            path: path.to_string(),
+            size: content.len() as u64,
+        })?;
+        for chunk in content.chunks(CHUNK_LEN) {
+            self.send(&Request::Data {
+                bytes: chunk.to_vec(),
+            })?;
+        }
+        self.expect_ok()
+    }
+
+    /// Creates or updates a content file from a reader, streaming
+    /// [`CHUNK_LEN`] chunks without buffering the whole file — the
+    /// client-side half of the paper's streaming design (§VI). The total
+    /// `size` must be known up front (as in HTTP's Content-Length).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or the server's refusal.
+    pub fn put_reader<R: std::io::Read>(
+        &mut self,
+        path: &str,
+        size: u64,
+        mut reader: R,
+    ) -> Result<(), SegShareError> {
+        self.send(&Request::PutFile {
+            path: path.to_string(),
+            size,
+        })?;
+        let mut remaining = size;
+        let mut buf = vec![0u8; CHUNK_LEN];
+        while remaining > 0 {
+            let want = remaining.min(CHUNK_LEN as u64) as usize;
+            let mut filled = 0;
+            while filled < want {
+                let n = reader
+                    .read(&mut buf[filled..want])
+                    .map_err(|e| SegShareError::Protocol(format!("reader failed: {e}")))?;
+                if n == 0 {
+                    return Err(SegShareError::Protocol(
+                        "reader ended before the announced size".to_string(),
+                    ));
+                }
+                filled += n;
+            }
+            self.send(&Request::Data {
+                bytes: buf[..want].to_vec(),
+            })?;
+            remaining -= want as u64;
+        }
+        self.expect_ok()
+    }
+
+    /// Downloads a content file into a writer, one chunk at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or the server's refusal.
+    pub fn get_to_writer<W: std::io::Write>(
+        &mut self,
+        path: &str,
+        mut writer: W,
+    ) -> Result<u64, SegShareError> {
+        self.send(&Request::Get {
+            path: path.to_string(),
+        })?;
+        let size = match self.recv()? {
+            Response::FileStart { size } => size,
+            Response::Error { code, message } => {
+                return Err(SegShareError::Request { code, message })
+            }
+            other => {
+                return Err(SegShareError::Protocol(format!(
+                    "unexpected response {other:?}"
+                )))
+            }
+        };
+        let mut received = 0u64;
+        while received < size {
+            match self.recv()? {
+                Response::Data { bytes } => {
+                    received += bytes.len() as u64;
+                    writer
+                        .write_all(&bytes)
+                        .map_err(|e| SegShareError::Protocol(format!("writer failed: {e}")))?;
+                }
+                Response::Error { code, message } => {
+                    return Err(SegShareError::Request { code, message })
+                }
+                other => {
+                    return Err(SegShareError::Protocol(format!(
+                        "unexpected response {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(size)
+    }
+
+    /// Downloads a content file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`]; a
+    /// directory path yields [`ErrorCode::BadRequest`].
+    pub fn get(&mut self, path: &str) -> Result<Vec<u8>, SegShareError> {
+        self.send(&Request::Get {
+            path: path.to_string(),
+        })?;
+        let size = match self.recv()? {
+            Response::FileStart { size } => size,
+            Response::Listing { .. } => {
+                return Err(SegShareError::request(
+                    ErrorCode::BadRequest,
+                    format!("{path} is a directory; use list()"),
+                ))
+            }
+            Response::Error { code, message } => {
+                return Err(SegShareError::Request { code, message })
+            }
+            other => {
+                return Err(SegShareError::Protocol(format!(
+                    "unexpected response {other:?}"
+                )))
+            }
+        };
+        let mut out = Vec::with_capacity(size as usize);
+        while (out.len() as u64) < size {
+            match self.recv()? {
+                Response::Data { bytes } => out.extend_from_slice(&bytes),
+                Response::Error { code, message } => {
+                    return Err(SegShareError::Request { code, message })
+                }
+                other => {
+                    return Err(SegShareError::Protocol(format!(
+                        "unexpected response {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Lists a directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`].
+    pub fn list(&mut self, path: &str) -> Result<Vec<ListingEntry>, SegShareError> {
+        let path = canonical_dir(path);
+        self.send(&Request::Get { path })?;
+        match self.recv()? {
+            Response::Listing { entries } => Ok(entries),
+            Response::Error { code, message } => Err(SegShareError::Request { code, message }),
+            other => Err(SegShareError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Removes a file or empty directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`].
+    pub fn remove(&mut self, path: &str) -> Result<(), SegShareError> {
+        self.send(&Request::Remove {
+            path: path.to_string(),
+        })?;
+        self.expect_ok()
+    }
+
+    /// Moves/renames a file or directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`].
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), SegShareError> {
+        self.send(&Request::Move {
+            from: from.to_string(),
+            to: to.to_string(),
+        })?;
+        self.expect_ok()
+    }
+
+    /// Sets `group`'s permission on a file or directory. Use `~user` to
+    /// address an individual user's default group.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`].
+    pub fn set_perm(&mut self, path: &str, group: &str, perm: Perm) -> Result<(), SegShareError> {
+        self.send(&Request::SetPerm {
+            path: path.to_string(),
+            group: group.to_string(),
+            perm: perm.encode(),
+            remove: false,
+        })?;
+        self.expect_ok()
+    }
+
+    /// Removes `group`'s permission entry entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`].
+    pub fn remove_perm(&mut self, path: &str, group: &str) -> Result<(), SegShareError> {
+        self.send(&Request::SetPerm {
+            path: path.to_string(),
+            group: group.to_string(),
+            perm: 0,
+            remove: true,
+        })?;
+        self.expect_ok()
+    }
+
+    /// Toggles permission inheritance (§V-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`].
+    pub fn set_inherit(&mut self, path: &str, inherit: bool) -> Result<(), SegShareError> {
+        self.send(&Request::SetInherit {
+            path: path.to_string(),
+            inherit,
+        })?;
+        self.expect_ok()
+    }
+
+    /// Extends file ownership to `group` (F7).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`].
+    pub fn add_owner(&mut self, path: &str, group: &str) -> Result<(), SegShareError> {
+        self.send(&Request::AddOwner {
+            path: path.to_string(),
+            group: group.to_string(),
+        })?;
+        self.expect_ok()
+    }
+
+    /// Adds `user` to `group`, creating the group (owned by the caller)
+    /// if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`].
+    pub fn add_user(&mut self, user: &str, group: &str) -> Result<(), SegShareError> {
+        self.send(&Request::AddUser {
+            user: user.to_string(),
+            group: group.to_string(),
+        })?;
+        self.expect_ok()
+    }
+
+    /// Removes `user` from `group` — immediate revocation (S4).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`].
+    pub fn remove_user(&mut self, user: &str, group: &str) -> Result<(), SegShareError> {
+        self.send(&Request::RemoveUser {
+            user: user.to_string(),
+            group: group.to_string(),
+        })?;
+        self.expect_ok()
+    }
+
+    /// Removes a file owner (file owners only; the last owner stays).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`].
+    pub fn remove_owner(&mut self, path: &str, group: &str) -> Result<(), SegShareError> {
+        self.send(&Request::RemoveOwner {
+            path: path.to_string(),
+            group: group.to_string(),
+        })?;
+        self.expect_ok()
+    }
+
+    /// Removes a group owner (group owners only; the last owner stays).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`].
+    pub fn remove_group_owner(
+        &mut self,
+        owner_group: &str,
+        group: &str,
+    ) -> Result<(), SegShareError> {
+        self.send(&Request::RemoveGroupOwner {
+            owner_group: owner_group.to_string(),
+            group: group.to_string(),
+        })?;
+        self.expect_ok()
+    }
+
+    /// Deletes `group` entirely (group owners only). Deliberately the
+    /// expensive operation: the enclave sweeps every member list
+    /// (§IV-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`].
+    pub fn delete_group(&mut self, group: &str) -> Result<(), SegShareError> {
+        self.send(&Request::DeleteGroup {
+            group: group.to_string(),
+        })?;
+        self.expect_ok()
+    }
+
+    /// Extends ownership of `group` to `owner_group`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's refusal as [`SegShareError::Request`].
+    pub fn add_group_owner(&mut self, owner_group: &str, group: &str) -> Result<(), SegShareError> {
+        self.send(&Request::AddGroupOwner {
+            owner_group: owner_group.to_string(),
+            group: group.to_string(),
+        })?;
+        self.expect_ok()
+    }
+}
+
+fn canonical_dir(path: &str) -> String {
+    if path.ends_with('/') {
+        path.to_string()
+    } else {
+        format!("{path}/")
+    }
+}

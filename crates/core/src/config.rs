@@ -1,0 +1,145 @@
+//! Enclave configuration: the §V extension toggles and tuning knobs.
+
+/// Configuration compiled into the SeGShare enclave.
+///
+/// Defaults match the paper's evaluated prototype (§VI): filename hiding
+/// and individual-file rollback protection *on*; deduplication and
+/// whole-file-system rollback protection are extensions benchmarks and
+/// tests opt into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnclaveConfig {
+    /// Server-side deduplication via a third store (§V-A).
+    pub dedup: bool,
+    /// Hide filenames and directory structure: store every object under
+    /// an HMAC-derived pseudorandom name (§V-C).
+    pub hide_names: bool,
+    /// Individual-file rollback protection: the Merkle-tree variant with
+    /// incremental multiset hashes and bucket hashes (§V-D).
+    pub rollback_individual: bool,
+    /// Whole-file-system rollback protection via a TEE monotonic counter
+    /// (§V-E). Requires `rollback_individual`.
+    pub rollback_whole_fs: bool,
+    /// Bucket hashes per directory node in the rollback tree (§V-D's
+    /// second optimization). `1` degenerates to a single multiset hash
+    /// per node (the ablation case: leaf validation then touches *all*
+    /// siblings).
+    pub rollback_buckets: u16,
+    /// Permission inheritance resolution walks ancestors while the
+    /// inherit flag stays set (§V-B).
+    pub max_inherit_depth: u32,
+}
+
+impl Default for EnclaveConfig {
+    fn default() -> Self {
+        EnclaveConfig {
+            dedup: false,
+            hide_names: true,
+            rollback_individual: true,
+            rollback_whole_fs: false,
+            rollback_buckets: 64,
+            max_inherit_depth: 64,
+        }
+    }
+}
+
+impl EnclaveConfig {
+    /// The paper's evaluated prototype configuration (§VI).
+    #[must_use]
+    pub fn paper_prototype() -> EnclaveConfig {
+        EnclaveConfig::default()
+    }
+
+    /// Everything off — the minimal core design of §IV only.
+    #[must_use]
+    pub fn minimal() -> EnclaveConfig {
+        EnclaveConfig {
+            dedup: false,
+            hide_names: false,
+            rollback_individual: false,
+            rollback_whole_fs: false,
+            rollback_buckets: 64,
+            max_inherit_depth: 64,
+        }
+    }
+
+    /// Every extension enabled.
+    #[must_use]
+    pub fn full() -> EnclaveConfig {
+        EnclaveConfig {
+            dedup: true,
+            hide_names: true,
+            rollback_individual: true,
+            rollback_whole_fs: true,
+            rollback_buckets: 64,
+            max_inherit_depth: 64,
+        }
+    }
+
+    /// Serializes the config into the enclave image so the measurement
+    /// (and with it sealing keys) binds the configuration.
+    #[must_use]
+    pub fn image_bytes(&self) -> Vec<u8> {
+        format!(
+            "segshare-enclave-v1;dedup={};hide={};rb_ind={};rb_fs={};buckets={};inherit={}",
+            self.dedup,
+            self.hide_names,
+            self.rollback_individual,
+            self.rollback_whole_fs,
+            self.rollback_buckets,
+            self.max_inherit_depth
+        )
+        .into_bytes()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rollback_whole_fs` is set without
+    /// `rollback_individual`, or `rollback_buckets` is zero.
+    pub fn assert_valid(&self) {
+        assert!(
+            self.rollback_individual || !self.rollback_whole_fs,
+            "whole-file-system rollback protection requires the individual-file tree"
+        );
+        assert!(self.rollback_buckets > 0, "at least one bucket required");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_prototype() {
+        let c = EnclaveConfig::default();
+        assert!(c.hide_names);
+        assert!(c.rollback_individual);
+        assert!(!c.dedup);
+        assert!(!c.rollback_whole_fs);
+        c.assert_valid();
+        EnclaveConfig::minimal().assert_valid();
+        EnclaveConfig::full().assert_valid();
+    }
+
+    #[test]
+    fn image_bytes_bind_configuration() {
+        let a = EnclaveConfig::default().image_bytes();
+        let cfg = EnclaveConfig {
+            dedup: true,
+            ..EnclaveConfig::default()
+        };
+        assert_ne!(a, cfg.image_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the individual-file tree")]
+    fn inconsistent_rollback_config_panics() {
+        let cfg = EnclaveConfig {
+            rollback_individual: false,
+            rollback_whole_fs: true,
+            ..EnclaveConfig::default()
+        };
+        cfg.assert_valid();
+    }
+}

@@ -1,0 +1,390 @@
+//! The SeGShare enclave: everything inside the trusted boundary.
+//!
+//! Composition (paper Fig. 1, right side): the trusted TLS interface
+//! terminates the secure channel ([`session`]), the request handler
+//! dispatches Algorithm 1, the [`access_control`] component enforces
+//! Table I/IV, and the trusted [`file_manager`] encrypts and decrypts
+//! everything through [`trusted_store`] on its way to the untrusted
+//! stores.
+
+pub mod access_control;
+pub mod file_manager;
+pub mod keys;
+pub mod names;
+pub mod session;
+pub mod trusted_store;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use seg_crypto::ed25519::{PublicKey, SecretKey};
+use seg_crypto::rng::{SecureRandom, SystemRng};
+use seg_crypto::sha256::Sha256;
+use seg_pki::{Certificate, Csr, Identity};
+use seg_sgx::{Enclave, EnclaveImage, Platform, Quote};
+use seg_store::ObjectStore;
+
+use crate::config::EnclaveConfig;
+use crate::error::SegShareError;
+
+use access_control::AccessControl;
+use file_manager::FileManager;
+use keys::KeyHierarchy;
+use session::EnclaveSession;
+use trusted_store::TrustedStore;
+
+/// Untrusted-store keys for the enclave's sealed state (sealed blobs are
+/// self-protecting, so these names are not hidden). They carry the
+/// platform id so replicas sharing one central data repository (§V-F)
+/// keep separate sealed blobs — sealing is platform-bound.
+fn sealed_root_key_name(platform: &Platform) -> String {
+    format!("!sealed-root-key-{}", keys::hex(&platform.id()))
+}
+
+fn sealed_server_key_name(platform: &Platform) -> String {
+    format!("!sealed-server-key-{}", keys::hex(&platform.id()))
+}
+
+/// The SeGShare enclave.
+///
+/// Shared (via `Arc`) between all connection-handling threads of the
+/// untrusted host. A single global reader/writer lock serializes
+/// file-system mutations against reads, mirroring the prototype's
+/// single-enclave, per-file-writer discipline.
+pub struct SegShareEnclave {
+    sgx: Arc<Enclave>,
+    config: EnclaveConfig,
+    ca_key: PublicKey,
+    server_key: SecretKey,
+    server_cert: RwLock<Option<Certificate>>,
+    store: Arc<TrustedStore>,
+    access: AccessControl,
+    files: FileManager,
+    fs_lock: RwLock<()>,
+    clock: AtomicU64,
+}
+
+impl std::fmt::Debug for SegShareEnclave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegShareEnclave")
+            .field("config", &self.config)
+            .field("measurement", &keys::hex(&self.sgx.measurement()[..4]))
+            .finish()
+    }
+}
+
+impl SegShareEnclave {
+    /// The enclave image for a given configuration and CA key. The
+    /// measurement binds both — "it contains a hard-coded copy of the
+    /// CA's public key" (§III-B) — so the CA's attestation check pins
+    /// the exact configuration it expects.
+    #[must_use]
+    pub fn image(config: &EnclaveConfig, ca_key: &PublicKey) -> EnclaveImage {
+        let mut code = config.image_bytes();
+        code.extend_from_slice(b";ca=");
+        code.extend_from_slice(&ca_key.to_bytes());
+        EnclaveImage::from_code(&code)
+    }
+
+    /// Launches (or restarts) the enclave on `platform` against the
+    /// given untrusted stores.
+    ///
+    /// On first start the enclave generates and seals the root key
+    /// `SK_r` and a server key pair; on restarts it unseals them
+    /// (§IV-B "File Managers", §IV-A).
+    ///
+    /// # Errors
+    ///
+    /// Fails if sealed state exists but cannot be unsealed (wrong
+    /// platform/enclave) or storage fails.
+    pub fn launch(
+        platform: &Platform,
+        config: EnclaveConfig,
+        ca_key: PublicKey,
+        content: Arc<dyn ObjectStore>,
+        group: Arc<dyn ObjectStore>,
+        dedup: Arc<dyn ObjectStore>,
+    ) -> Result<Arc<SegShareEnclave>, SegShareError> {
+        Self::launch_inner(platform, config, ca_key, content, group, dedup, None)
+    }
+
+    /// Launches a *replica* enclave around a root key obtained from a
+    /// root enclave via [`SegShareEnclave::export_root_key`] (§V-F).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sealing and storage failures.
+    pub fn launch_with_root_key(
+        platform: &Platform,
+        config: EnclaveConfig,
+        ca_key: PublicKey,
+        content: Arc<dyn ObjectStore>,
+        group: Arc<dyn ObjectStore>,
+        dedup: Arc<dyn ObjectStore>,
+        root_key: [u8; 32],
+    ) -> Result<Arc<SegShareEnclave>, SegShareError> {
+        Self::launch_inner(
+            platform,
+            config,
+            ca_key,
+            content,
+            group,
+            dedup,
+            Some(root_key),
+        )
+    }
+
+    fn launch_inner(
+        platform: &Platform,
+        config: EnclaveConfig,
+        ca_key: PublicKey,
+        content: Arc<dyn ObjectStore>,
+        group: Arc<dyn ObjectStore>,
+        dedup: Arc<dyn ObjectStore>,
+        root_key_override: Option<[u8; 32]>,
+    ) -> Result<Arc<SegShareEnclave>, SegShareError> {
+        config.assert_valid();
+        let sgx = Arc::new(platform.launch(&Self::image(&config, &ca_key)));
+
+        // Root key: imported (replication), unsealed (restart), or
+        // generated-and-sealed (first start).
+        let root_name = sealed_root_key_name(platform);
+        let root_key: [u8; 32] = match root_key_override {
+            Some(key) => {
+                let sealed = sgx.seal(&key)?;
+                sgx.boundary().ocall(|| content.put(&root_name, &sealed))?;
+                key
+            }
+            None => match sgx.boundary().ocall(|| content.get(&root_name))? {
+                Some(blob) => sgx.unseal(&blob)?.try_into().map_err(|_| {
+                    SegShareError::Integrity("sealed root key has wrong size".into())
+                })?,
+                None => {
+                    let key: [u8; 32] = SystemRng::new().array();
+                    let sealed = sgx.seal(&key)?;
+                    sgx.boundary().ocall(|| content.put(&root_name, &sealed))?;
+                    key
+                }
+            },
+        };
+
+        // Server key pair: "the enclave generates a temporary key pair"
+        // (§IV-A), sealed so restarts keep serving the same certificate.
+        let server_name = sealed_server_key_name(platform);
+        let server_key = match sgx.boundary().ocall(|| content.get(&server_name))? {
+            Some(blob) => {
+                let seed: [u8; 32] = sgx.unseal(&blob)?.try_into().map_err(|_| {
+                    SegShareError::Integrity("sealed server key has wrong size".into())
+                })?;
+                SecretKey::from_seed(&seed)
+            }
+            None => {
+                let mut rng = SystemRng::new();
+                let seed: [u8; 32] = rng.array();
+                let sealed = sgx.seal(&seed)?;
+                sgx.boundary()
+                    .ocall(|| content.put(&server_name, &sealed))?;
+                SecretKey::from_seed(&seed)
+            }
+        };
+
+        let keys = KeyHierarchy::new(root_key);
+        let store = Arc::new(TrustedStore::new(
+            keys,
+            config,
+            Arc::clone(&sgx),
+            content,
+            group,
+            dedup,
+        ));
+        let enclave = Arc::new(SegShareEnclave {
+            sgx,
+            config,
+            ca_key,
+            server_key,
+            server_cert: RwLock::new(None),
+            access: AccessControl::new(Arc::clone(&store)),
+            files: FileManager::new(Arc::clone(&store)),
+            store,
+            fs_lock: RwLock::new(()),
+            clock: AtomicU64::new(1_000),
+        });
+        enclave.files.init_file_system()?;
+        Ok(enclave)
+    }
+
+    // ----------------------------------------------- setup/certification
+
+    /// Produces the CSR plus an attestation quote binding it (§IV-A
+    /// messages 1–2): the quote's report data is the hash of the CSR, so
+    /// the CA knows this exact key pair lives in an attested enclave.
+    #[must_use]
+    pub fn certification_request(&self, server_name: &str) -> (Csr, Quote) {
+        let csr = Csr::new(Identity::server(server_name), &self.server_key);
+        let quote = self.sgx.quote(&Sha256::digest(&csr.encode()));
+        (csr, quote)
+    }
+
+    /// Installs the CA-signed server certificate (§IV-A message 3). "The
+    /// enclave checks the certificate's validity."
+    ///
+    /// # Errors
+    ///
+    /// Rejects certificates that do not verify under the hard-coded CA
+    /// key or that certify a different public key.
+    pub fn install_certificate(&self, cert: Certificate) -> Result<(), SegShareError> {
+        cert.validate(&self.ca_key, self.now())?;
+        if cert.public_key() != self.server_key.public_key() {
+            return Err(SegShareError::Protocol(
+                "server certificate does not match the enclave key pair".to_string(),
+            ));
+        }
+        *self.server_cert.write() = Some(cert);
+        Ok(())
+    }
+
+    /// The installed server certificate, if certification completed.
+    #[must_use]
+    pub fn server_certificate(&self) -> Option<Certificate> {
+        self.server_cert.read().clone()
+    }
+
+    /// The enclave's logical clock (unix seconds) used for certificate
+    /// validation.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Advances the logical clock.
+    pub fn set_now(&self, now: u64) {
+        self.clock.store(now, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------- connections
+
+    /// Starts a new connection session (trusted TLS interface).
+    ///
+    /// # Errors
+    ///
+    /// Fails if certification has not completed yet.
+    pub fn new_session(&self) -> Result<EnclaveSession, SegShareError> {
+        let cert = self.server_certificate().ok_or_else(|| {
+            SegShareError::Protocol("enclave has no server certificate yet".to_string())
+        })?;
+        Ok(EnclaveSession::new(
+            cert,
+            self.server_key.clone(),
+            self.ca_key,
+            self.now(),
+        ))
+    }
+
+    // ---------------------------------------------------------- plumbing
+
+    /// The trusted persistence layer (exposed for benchmarks and
+    /// white-box tests).
+    #[must_use]
+    pub fn store(&self) -> &Arc<TrustedStore> {
+        &self.store
+    }
+
+    pub(crate) fn access(&self) -> &AccessControl {
+        &self.access
+    }
+
+    pub(crate) fn files(&self) -> &FileManager {
+        &self.files
+    }
+
+    pub(crate) fn fs_lock(&self) -> &RwLock<()> {
+        &self.fs_lock
+    }
+
+    /// The underlying simulated-SGX enclave (stats, counters, EPC).
+    #[must_use]
+    pub fn sgx(&self) -> &Arc<Enclave> {
+        &self.sgx
+    }
+
+    /// The enclave configuration.
+    #[must_use]
+    pub fn config(&self) -> &EnclaveConfig {
+        &self.config
+    }
+
+    // -------------------------------------------------- replication (§V-F)
+
+    /// Exports the root key to a peer enclave after mutual attestation:
+    /// both quotes must verify under the respective platforms'
+    /// attestation keys and carry the *same measurement* — "if the
+    /// measurements of both enclaves are equal, the non-root enclave is
+    /// assured to communicate with another enclave that was compiled for
+    /// the same CA" (§V-F).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegShareError::Sgx`] if either quote fails or the
+    /// measurements differ.
+    pub fn export_root_key(
+        &self,
+        peer_quote: &Quote,
+        peer_attestation_key: &PublicKey,
+    ) -> Result<[u8; 32], SegShareError> {
+        let peer_measurement = peer_quote.verify(peer_attestation_key)?;
+        if peer_measurement != self.sgx.measurement() {
+            return Err(SegShareError::Protocol(
+                "peer enclave measurement differs; refusing root key export".to_string(),
+            ));
+        }
+        Ok(*self.store.keys().root())
+    }
+
+    /// Recomputes the rollback tree from the stored objects and
+    /// re-anchors counters — backup restoration (§V-G). The caller is
+    /// the CA-signed reset path in [`crate::server::SegShareServer`].
+    pub(crate) fn rebuild_after_restore(&self) -> Result<(), SegShareError> {
+        let _guard = self.fs_lock.write();
+        self.store.rebuild_tree()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared white-box fixtures for the enclave component tests.
+
+    use std::sync::Arc;
+
+    use seg_sgx::{EnclaveImage, Platform};
+    use seg_store::MemStore;
+
+    use super::access_control::AccessControl;
+    use super::file_manager::FileManager;
+    use super::keys::KeyHierarchy;
+    use super::trusted_store::TrustedStore;
+    use crate::config::EnclaveConfig;
+
+    pub(crate) struct ComponentFixture {
+        pub access: AccessControl,
+        pub files: FileManager,
+    }
+
+    pub(crate) fn components(config: EnclaveConfig) -> ComponentFixture {
+        let platform = Platform::new_with_seed(99);
+        let sgx = Arc::new(platform.launch(&EnclaveImage::from_code(b"component-test")));
+        let store = Arc::new(TrustedStore::new(
+            KeyHierarchy::new([5u8; 32]),
+            config,
+            sgx,
+            Arc::new(MemStore::new()),
+            Arc::new(MemStore::new()),
+            Arc::new(MemStore::new()),
+        ));
+        let access = AccessControl::new(Arc::clone(&store));
+        let files = FileManager::new(Arc::clone(&store));
+        files.init_file_system().expect("init");
+        ComponentFixture { access, files }
+    }
+}

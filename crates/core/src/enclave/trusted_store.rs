@@ -1,0 +1,943 @@
+//! The trusted file manager's persistence layer.
+//!
+//! Every logical object (content file, directory file, ACL, group list,
+//! member list, dedup blob) is stored in the untrusted object store as a
+//! Protected-FS blob (4 KiB nodes, per-node AES-GCM, per-file tag tree —
+//! [`seg_sgx::pfs`]) under a per-object key derived from `SK_r`. All
+//! actual store accesses go through the enclave boundary as ocalls, so
+//! the switchless-call cost model sees them (§II-A/§VI).
+//!
+//! # Rollback protection (§V-D)
+//!
+//! With `rollback_individual` enabled, each object additionally has an
+//! encrypted *hash record* holding its tree node hash: an incremental
+//! multiset hash over its path and the object's PFS header (the header
+//! authenticates the whole blob through the tag tree, so binding it
+//! pins the exact stored version without rehashing file contents).
+//! Directory nodes also hold *bucket hashes*: children are assigned to
+//! buckets by path hash, each bucket accumulating its children's node
+//! hashes, and the node hash folds the buckets in. The two §V-D
+//! optimizations fall out:
+//!
+//! * **updates** touch one hash record per ancestor — the multiset
+//!   `replace` subtracts the stale child hash and adds the new one
+//!   *without reading any sibling*;
+//! * **leaf validation** recomputes one bucket per level, reading only
+//!   the hash records of the (few) same-bucket siblings.
+//!
+//! The root node's hash record anchors the store; with
+//! `rollback_whole_fs` (§V-E) it also carries the value of a TEE
+//! monotonic counter, incremented on every update, so rolling back the
+//! entire store (root included) is detected on the next read.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use seg_crypto::mset::{MsetHash, MSET_HASH_LEN};
+use seg_crypto::pae::{pae_dec, pae_enc};
+use seg_crypto::rng::SystemRng;
+use seg_crypto::sha256::Sha256;
+use seg_fs::codec::{Decoder, Encoder};
+use seg_fs::{DirFile, UserId};
+use seg_sgx::pfs::{pfs_decrypt, pfs_encrypt, PfsFile, NODE_LEN};
+use seg_sgx::Enclave;
+use seg_store::ObjectStore;
+
+use crate::config::EnclaveConfig;
+use crate::error::SegShareError;
+
+use super::keys::KeyHierarchy;
+use super::names::{ObjectId, StoreKind};
+
+/// Monotonic-counter ids per store (whole-FS rollback protection).
+fn counter_id(store: StoreKind) -> u64 {
+    match store {
+        StoreKind::Content => 1,
+        StoreKind::Group => 2,
+        StoreKind::Dedup => 3,
+    }
+}
+
+/// The group store's root file: the list of users with member-list
+/// files ("a root directory file stores a list of all contained files",
+/// §IV-B).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GroupRootFile {
+    users: BTreeSet<UserId>,
+}
+
+impl GroupRootFile {
+    /// An empty root file.
+    #[must_use]
+    pub fn new() -> GroupRootFile {
+        GroupRootFile::default()
+    }
+
+    /// Registers a user's member-list file; returns whether it was new.
+    pub fn add_user(&mut self, user: UserId) -> bool {
+        self.users.insert(user)
+    }
+
+    /// Whether `user` has a member-list file.
+    #[must_use]
+    pub fn contains(&self, user: &UserId) -> bool {
+        self.users.contains(user)
+    }
+
+    /// Iterates over registered users.
+    pub fn users(&self) -> impl Iterator<Item = &UserId> {
+        self.users.iter()
+    }
+
+    /// Serializes the root file.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.tag(b"GRT1");
+        e.u32(self.users.len() as u32);
+        for u in &self.users {
+            e.str(u.as_str());
+        }
+        e.finish()
+    }
+
+    /// Parses a [`GroupRootFile::encode`] payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`seg_fs::FsError`] on malformed input.
+    pub fn decode(data: &[u8]) -> Result<GroupRootFile, seg_fs::FsError> {
+        let mut d = Decoder::new(data);
+        d.tag(b"GRT1")?;
+        let count = d.u32()?;
+        let mut users = BTreeSet::new();
+        for _ in 0..count {
+            users.insert(UserId::new(d.str()?)?);
+        }
+        d.finish()?;
+        Ok(GroupRootFile { users })
+    }
+}
+
+/// One object's rollback-tree hash record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRecord {
+    /// The node's main hash.
+    pub main: MsetHash,
+    /// Bucket hashes (inner nodes only).
+    pub buckets: Vec<MsetHash>,
+    /// Monotonic-counter value (tree roots with whole-FS protection).
+    pub counter: u64,
+}
+
+impl HashRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.tag(b"HRC1");
+        e.raw(&self.main.to_bytes());
+        e.u64(self.counter);
+        e.u32(self.buckets.len() as u32);
+        for b in &self.buckets {
+            e.raw(&b.to_bytes());
+        }
+        e.finish()
+    }
+
+    fn decode(data: &[u8]) -> Result<HashRecord, SegShareError> {
+        let mut d = Decoder::new(data);
+        d.tag(b"HRC1")?;
+        let main_bytes: [u8; MSET_HASH_LEN] = d
+            .raw(MSET_HASH_LEN)?
+            .try_into()
+            .expect("fixed length");
+        let counter = d.u64()?;
+        let count = d.u32()?;
+        let mut buckets = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let b: [u8; MSET_HASH_LEN] =
+                d.raw(MSET_HASH_LEN)?.try_into().expect("fixed length");
+            buckets.push(MsetHash::from_bytes(&b));
+        }
+        d.finish()?;
+        Ok(HashRecord {
+            main: MsetHash::from_bytes(&main_bytes),
+            buckets,
+            counter,
+        })
+    }
+}
+
+/// How an update changes a node's hash in its parent's bucket.
+enum TreeChange {
+    Insert { new: MsetHash },
+    Replace { old: MsetHash, new: MsetHash },
+    Remove { old: MsetHash },
+}
+
+/// The encrypted persistence layer shared by the access-control and
+/// file-manager components.
+pub struct TrustedStore {
+    keys: KeyHierarchy,
+    config: EnclaveConfig,
+    sgx: Arc<Enclave>,
+    content: Arc<dyn ObjectStore>,
+    group: Arc<dyn ObjectStore>,
+    dedup: Arc<dyn ObjectStore>,
+}
+
+impl std::fmt::Debug for TrustedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrustedStore")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl TrustedStore {
+    /// Assembles the layer.
+    pub(crate) fn new(
+        keys: KeyHierarchy,
+        config: EnclaveConfig,
+        sgx: Arc<Enclave>,
+        content: Arc<dyn ObjectStore>,
+        group: Arc<dyn ObjectStore>,
+        dedup: Arc<dyn ObjectStore>,
+    ) -> TrustedStore {
+        TrustedStore {
+            keys,
+            config,
+            sgx,
+            content,
+            group,
+            dedup,
+        }
+    }
+
+    /// The key hierarchy (for dedup-name computation upstream).
+    #[must_use]
+    pub fn keys(&self) -> &KeyHierarchy {
+        &self.keys
+    }
+
+    /// The enclave configuration.
+    #[must_use]
+    pub fn config(&self) -> &EnclaveConfig {
+        &self.config
+    }
+
+    fn store_for(&self, kind: StoreKind) -> &Arc<dyn ObjectStore> {
+        match kind {
+            StoreKind::Content => &self.content,
+            StoreKind::Group => &self.group,
+            StoreKind::Dedup => &self.dedup,
+        }
+    }
+
+    /// The per-object AEAD key (dedup blobs use content-derived keys).
+    fn data_key(&self, id: &ObjectId) -> [u8; 16] {
+        match id {
+            ObjectId::DedupBlob(name) => self.keys.dedup_blob_key(name),
+            other => self.keys.file_key(other),
+        }
+    }
+
+    // -------------------------------------------------- raw (ocall) io
+
+    fn raw_get(&self, id: &ObjectId) -> Result<Option<Vec<u8>>, SegShareError> {
+        let key = self.keys.storage_key(id, self.config.hide_names);
+        let store = self.store_for(id.store());
+        Ok(self.sgx.boundary().ocall(|| store.get(&key))?)
+    }
+
+    fn raw_put(&self, id: &ObjectId, blob: &[u8]) -> Result<(), SegShareError> {
+        let key = self.keys.storage_key(id, self.config.hide_names);
+        let store = self.store_for(id.store());
+        Ok(self.sgx.boundary().ocall(|| store.put(&key, blob))?)
+    }
+
+    fn raw_delete(&self, id: &ObjectId) -> Result<bool, SegShareError> {
+        let key = self.keys.storage_key(id, self.config.hide_names);
+        let store = self.store_for(id.store());
+        Ok(self.sgx.boundary().ocall(|| store.delete(&key))?)
+    }
+
+    /// Whether an object exists (Table IV `exists_f` / `exists_g`
+    /// support).
+    pub fn exists(&self, id: &ObjectId) -> Result<bool, SegShareError> {
+        let key = self.keys.storage_key(id, self.config.hide_names);
+        let store = self.store_for(id.store());
+        Ok(self.sgx.boundary().ocall(|| store.exists(&key))?)
+    }
+
+    // ------------------------------------------------------ hash records
+
+    fn read_hash_record(&self, id: &ObjectId) -> Result<Option<HashRecord>, SegShareError> {
+        let key = self
+            .keys
+            .hash_record_storage_key(id, self.config.hide_names);
+        let store = self.store_for(id.store());
+        let Some(blob) = self.sgx.boundary().ocall(|| store.get(&key))? else {
+            return Ok(None);
+        };
+        let pae_key = self.keys.hash_record_key(id);
+        let body = pae_dec(&pae_key, &blob, id.canonical().as_bytes())
+            .map_err(|_| integrity(id, "hash record authentication failed"))?;
+        Ok(Some(HashRecord::decode(&body)?))
+    }
+
+    fn write_hash_record(&self, id: &ObjectId, rec: &HashRecord) -> Result<(), SegShareError> {
+        let key = self
+            .keys
+            .hash_record_storage_key(id, self.config.hide_names);
+        let pae_key = self.keys.hash_record_key(id);
+        let blob = pae_enc(
+            &pae_key,
+            &rec.encode(),
+            id.canonical().as_bytes(),
+            &mut SystemRng::new(),
+        );
+        let store = self.store_for(id.store());
+        Ok(self.sgx.boundary().ocall(|| store.put(&key, &blob))?)
+    }
+
+    fn delete_hash_record(&self, id: &ObjectId) -> Result<(), SegShareError> {
+        let key = self
+            .keys
+            .hash_record_storage_key(id, self.config.hide_names);
+        let store = self.store_for(id.store());
+        self.sgx.boundary().ocall(|| store.delete(&key))?;
+        Ok(())
+    }
+
+    // ---------------------------------------------------- tree hashing
+
+    fn tree_enabled_for(&self, id: &ObjectId) -> bool {
+        // Dedup blobs are content-addressed (name = HMAC(SK_r, content),
+        // key derived from the name), so a "rolled back" blob that still
+        // decrypts necessarily has the same content — they need no tree.
+        self.config.rollback_individual && id.store() != StoreKind::Dedup
+    }
+
+    fn bucket_count(&self) -> usize {
+        self.config.rollback_buckets as usize
+    }
+
+    fn bucket_index(&self, id: &ObjectId) -> usize {
+        let digest = Sha256::digest(id.canonical().as_bytes());
+        let v = u16::from_le_bytes([digest[0], digest[1]]) as usize;
+        v % self.bucket_count()
+    }
+
+    fn elem_path(id: &ObjectId) -> Vec<u8> {
+        let mut e = b"path:".to_vec();
+        e.extend_from_slice(id.canonical().as_bytes());
+        e
+    }
+
+    fn elem_head(header: &[u8]) -> Vec<u8> {
+        let mut e = b"head:".to_vec();
+        e.extend_from_slice(header);
+        e
+    }
+
+    fn elem_bucket(index: usize, bucket: &MsetHash) -> Vec<u8> {
+        let mut e = b"bucket:".to_vec();
+        e.extend_from_slice(&(index as u32).to_le_bytes());
+        e.extend_from_slice(&bucket.to_bytes());
+        e
+    }
+
+    fn elem_child(id: &ObjectId, main: &MsetHash) -> Vec<u8> {
+        let mut e = b"child:".to_vec();
+        e.extend_from_slice(id.canonical().as_bytes());
+        e.push(0);
+        e.extend_from_slice(&main.to_bytes());
+        e
+    }
+
+    /// Computes a node's main hash from its PFS header and buckets.
+    fn node_main(&self, id: &ObjectId, header: &[u8], buckets: &[MsetHash]) -> MsetHash {
+        let key = self.keys.mset_key(id.store());
+        let mut main = MsetHash::empty();
+        main.add(&key, &Self::elem_path(id));
+        main.add(&key, &Self::elem_head(header));
+        for (i, b) in buckets.iter().enumerate() {
+            main.add(&key, &Self::elem_bucket(i, b));
+        }
+        main
+    }
+
+    /// Walks ancestors applying an incremental child-hash change —
+    /// O(depth) hash-record updates, no sibling reads (§V-D).
+    fn apply_tree_change(&self, id: &ObjectId, change: TreeChange) -> Result<(), SegShareError> {
+        let mut cur = id.clone();
+        let mut cur_change = change;
+        while let Some(parent) = cur.tree_parent() {
+            let mut rec = self
+                .read_hash_record(&parent)?
+                .ok_or_else(|| integrity(&parent, "missing ancestor hash record"))?;
+            let key = self.keys.mset_key(parent.store());
+            let b = self.bucket_index(&cur);
+            if rec.buckets.len() != self.bucket_count() {
+                return Err(integrity(&parent, "bucket count mismatch"));
+            }
+            let old_bucket = rec.buckets[b];
+            match &cur_change {
+                TreeChange::Insert { new } => {
+                    rec.buckets[b].add(&key, &Self::elem_child(&cur, new));
+                }
+                TreeChange::Replace { old, new } => {
+                    rec.buckets[b].remove(&key, &Self::elem_child(&cur, old));
+                    rec.buckets[b].add(&key, &Self::elem_child(&cur, new));
+                }
+                TreeChange::Remove { old } => {
+                    rec.buckets[b].remove(&key, &Self::elem_child(&cur, old));
+                }
+            }
+            let old_main = rec.main;
+            rec.main.replace(
+                &key,
+                &Self::elem_bucket(b, &old_bucket),
+                &Self::elem_bucket(b, &rec.buckets[b]),
+            );
+            self.write_hash_record(&parent, &rec)?;
+            cur_change = TreeChange::Replace {
+                old: old_main,
+                new: rec.main,
+            };
+            cur = parent;
+        }
+        // `cur` is now the store's tree root.
+        if self.config.rollback_whole_fs {
+            self.bump_root_counter(&cur)?;
+        }
+        Ok(())
+    }
+
+    /// Increments the store's monotonic counter and records the value in
+    /// the root hash record (§V-E).
+    fn bump_root_counter(&self, root: &ObjectId) -> Result<(), SegShareError> {
+        let ctr = self.sgx.counter(counter_id(root.store()));
+        let value = ctr.increment()?;
+        // Real counter increments cost tens of milliseconds; charge it.
+        self.sgx.boundary().charge(ctr.increment_latency_ns());
+        let mut rec = self
+            .read_hash_record(root)?
+            .ok_or_else(|| integrity(root, "missing root hash record"))?;
+        rec.counter = value;
+        self.write_hash_record(root, &rec)
+    }
+
+    /// Enumerates a directory node's tree children from its decoded body.
+    fn tree_children(
+        &self,
+        parent: &ObjectId,
+        parent_body: &[u8],
+    ) -> Result<Vec<ObjectId>, SegShareError> {
+        match parent {
+            ObjectId::DirData(dir) => {
+                let df = DirFile::decode(parent_body)?;
+                let mut children = Vec::with_capacity(2 * df.len() + 1);
+                for (name, kind) in df.children() {
+                    let child_path = df.child_path(name, kind)?;
+                    children.push(match kind {
+                        seg_fs::ChildKind::Directory => ObjectId::DirData(child_path.clone()),
+                        seg_fs::ChildKind::File => ObjectId::FileData(child_path.clone()),
+                    });
+                    children.push(ObjectId::Acl(child_path));
+                }
+                if dir.is_root() {
+                    children.push(ObjectId::Acl(seg_fs::SegPath::root()));
+                }
+                Ok(children)
+            }
+            ObjectId::GroupRoot => {
+                let root = GroupRootFile::decode(parent_body)?;
+                let mut children = vec![ObjectId::GroupList];
+                for user in root.users() {
+                    children.push(ObjectId::MemberList(user.clone()));
+                }
+                Ok(children)
+            }
+            other => Err(integrity(other, "node cannot have children")),
+        }
+    }
+
+    /// Full §V-D validation of `id` (whose PFS header is `header`):
+    /// check its own hash record, then one bucket per ancestor level,
+    /// then the root counter.
+    fn verify_tree(&self, id: &ObjectId, header: &[u8]) -> Result<(), SegShareError> {
+        let rec = self
+            .read_hash_record(id)?
+            .ok_or_else(|| integrity(id, "missing hash record (rollback or tamper)"))?;
+        let expected = self.node_main(id, header, &rec.buckets);
+        if expected != rec.main {
+            return Err(integrity(id, "node hash mismatch (rollback or tamper)"));
+        }
+
+        let mut cur = id.clone();
+        let mut cur_main = rec.main;
+        let mut root = cur.clone();
+        while let Some(parent) = cur.tree_parent() {
+            let parent_blob = self
+                .raw_get(&parent)?
+                .ok_or_else(|| integrity(&parent, "missing ancestor"))?;
+            if parent_blob.len() < NODE_LEN {
+                return Err(integrity(&parent, "truncated ancestor blob"));
+            }
+            let parent_rec = self
+                .read_hash_record(&parent)?
+                .ok_or_else(|| integrity(&parent, "missing ancestor hash record"))?;
+            let parent_expect =
+                self.node_main(&parent, &parent_blob[..NODE_LEN], &parent_rec.buckets);
+            if parent_expect != parent_rec.main {
+                return Err(integrity(&parent, "ancestor hash mismatch"));
+            }
+            // Recompute the single bucket containing `cur` from the
+            // same-bucket siblings' hash records.
+            let parent_body = pfs_decrypt(&self.data_key(&parent), &parent_blob)?;
+            let children = self.tree_children(&parent, &parent_body)?;
+            let b = self.bucket_index(&cur);
+            let key = self.keys.mset_key(parent.store());
+            let mut recomputed = MsetHash::empty();
+            let mut cur_listed = false;
+            for child in children {
+                if self.bucket_index(&child) != b {
+                    continue;
+                }
+                let child_main = if child == cur {
+                    cur_listed = true;
+                    cur_main
+                } else {
+                    self.read_hash_record(&child)?
+                        .ok_or_else(|| integrity(&child, "missing sibling hash record"))?
+                        .main
+                };
+                recomputed.add(&key, &Self::elem_child(&child, &child_main));
+            }
+            if !cur_listed {
+                return Err(integrity(&cur, "not listed in parent (rollback or tamper)"));
+            }
+            if recomputed != parent_rec.buckets[b] {
+                return Err(integrity(&parent, "bucket hash mismatch (rollback or tamper)"));
+            }
+            cur_main = parent_rec.main;
+            cur = parent;
+            root = cur.clone();
+        }
+        if self.config.rollback_whole_fs {
+            let rec = self
+                .read_hash_record(&root)?
+                .ok_or_else(|| integrity(&root, "missing root hash record"))?;
+            let hw = self.sgx.counter(counter_id(root.store())).read();
+            if rec.counter != hw {
+                return Err(integrity(
+                    &root,
+                    "monotonic counter mismatch (whole file system rollback)",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    // --------------------------------------------------------- object io
+
+    /// Writes an object body (non-streaming path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage, crypto, and tree failures.
+    pub fn write(&self, id: &ObjectId, body: &[u8]) -> Result<(), SegShareError> {
+        let blob = pfs_encrypt(&self.data_key(id), body, &mut SystemRng::new())?;
+        self.commit_blob(id, &blob)
+    }
+
+    /// Commits an already-encrypted PFS blob (the streaming upload path
+    /// finishes here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage, crypto, and tree failures.
+    pub fn commit_blob(&self, id: &ObjectId, blob: &[u8]) -> Result<(), SegShareError> {
+        if !self.tree_enabled_for(id) {
+            return self.raw_put(id, blob);
+        }
+        let old = self.read_hash_record(id)?;
+        let buckets = match (&old, id.is_tree_inner()) {
+            (Some(rec), true) => rec.buckets.clone(),
+            (None, true) => vec![MsetHash::empty(); self.bucket_count()],
+            (_, false) => Vec::new(),
+        };
+        let new_main = self.node_main(id, &blob[..NODE_LEN], &buckets);
+        self.raw_put(id, blob)?;
+        self.write_hash_record(
+            id,
+            &HashRecord {
+                main: new_main,
+                buckets,
+                counter: old.as_ref().map(|r| r.counter).unwrap_or(0),
+            },
+        )?;
+        match old {
+            Some(rec) => self.apply_tree_change(
+                id,
+                TreeChange::Replace {
+                    old: rec.main,
+                    new: new_main,
+                },
+            ),
+            None => self.apply_tree_change(id, TreeChange::Insert { new: new_main }),
+        }
+    }
+
+    /// Reads and fully verifies an object body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegShareError::Integrity`] on any tamper or rollback.
+    pub fn read(&self, id: &ObjectId) -> Result<Option<Vec<u8>>, SegShareError> {
+        let Some(blob) = self.raw_get(id)? else {
+            return Ok(None);
+        };
+        if blob.len() < NODE_LEN {
+            return Err(integrity(id, "truncated blob"));
+        }
+        if self.tree_enabled_for(id) {
+            self.verify_tree(id, &blob[..NODE_LEN])?;
+        }
+        Ok(Some(pfs_decrypt(&self.data_key(id), &blob)?))
+    }
+
+    /// Opens an object for streamed (chunk-at-a-time) reading, verifying
+    /// the rollback tree up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegShareError::Integrity`] on any tamper or rollback.
+    pub fn open_stream(&self, id: &ObjectId) -> Result<Option<PfsFile>, SegShareError> {
+        let Some(blob) = self.raw_get(id)? else {
+            return Ok(None);
+        };
+        if blob.len() < NODE_LEN {
+            return Err(integrity(id, "truncated blob"));
+        }
+        if self.tree_enabled_for(id) {
+            self.verify_tree(id, &blob[..NODE_LEN])?;
+        }
+        Ok(Some(PfsFile::open(&self.data_key(id), blob)?))
+    }
+
+    /// Deletes an object (and its tree node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and tree failures.
+    pub fn delete(&self, id: &ObjectId) -> Result<bool, SegShareError> {
+        let existed = self.raw_delete(id)?;
+        if self.tree_enabled_for(id) {
+            if let Some(rec) = self.read_hash_record(id)? {
+                self.delete_hash_record(id)?;
+                self.apply_tree_change(id, TreeChange::Remove { old: rec.main })?;
+            }
+        }
+        Ok(existed)
+    }
+
+    /// Rebuilds every hash record bottom-up from the stored objects and
+    /// re-anchors the root counter — backup restoration (§V-G).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any stored object is unreadable.
+    pub fn rebuild_tree(&self) -> Result<(), SegShareError> {
+        if !self.config.rollback_individual {
+            return Ok(());
+        }
+        self.rebuild_node(&ObjectId::DirData(seg_fs::SegPath::root()))?;
+        self.rebuild_node(&ObjectId::GroupRoot)?;
+        if self.config.rollback_whole_fs {
+            self.bump_root_counter(&ObjectId::DirData(seg_fs::SegPath::root()))?;
+            self.bump_root_counter(&ObjectId::GroupRoot)?;
+        }
+        Ok(())
+    }
+
+    fn rebuild_node(&self, id: &ObjectId) -> Result<MsetHash, SegShareError> {
+        let blob = self
+            .raw_get(id)?
+            .ok_or_else(|| integrity(id, "missing object during rebuild"))?;
+        if blob.len() < NODE_LEN {
+            return Err(integrity(id, "truncated blob during rebuild"));
+        }
+        let mut buckets = Vec::new();
+        if id.is_tree_inner() {
+            buckets = vec![MsetHash::empty(); self.bucket_count()];
+            let body = pfs_decrypt(&self.data_key(id), &blob)?;
+            let key = self.keys.mset_key(id.store());
+            for child in self.tree_children(id, &body)? {
+                let child_main = self.rebuild_node(&child)?;
+                let b = self.bucket_index(&child);
+                buckets[b].add(&key, &Self::elem_child(&child, &child_main));
+            }
+        }
+        let main = self.node_main(id, &blob[..NODE_LEN], &buckets);
+        self.write_hash_record(
+            id,
+            &HashRecord {
+                main,
+                buckets,
+                counter: 0,
+            },
+        )?;
+        Ok(main)
+    }
+}
+
+fn integrity(id: &ObjectId, what: &str) -> SegShareError {
+    SegShareError::Integrity(format!("{}: {what}", id.canonical()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::keys::KeyHierarchy;
+    use seg_fs::SegPath;
+    use seg_sgx::{EnclaveImage, Platform};
+    use seg_store::MemStore;
+
+    struct Fixture {
+        store: TrustedStore,
+        content: Arc<MemStore>,
+    }
+
+    fn fixture(config: EnclaveConfig) -> Fixture {
+        let platform = Platform::new_with_seed(1);
+        let sgx = Arc::new(platform.launch(&EnclaveImage::from_code(b"test-enclave")));
+        let content = Arc::new(MemStore::new());
+        let group = Arc::new(MemStore::new());
+        let dedup = Arc::new(MemStore::new());
+        let store = TrustedStore::new(
+            KeyHierarchy::new([7u8; 32]),
+            config,
+            sgx,
+            Arc::clone(&content) as Arc<dyn ObjectStore>,
+            group,
+            dedup,
+        );
+        Fixture { store, content }
+    }
+
+    fn root_id() -> ObjectId {
+        ObjectId::DirData(SegPath::root())
+    }
+
+    fn file_id(path: &str) -> ObjectId {
+        ObjectId::FileData(SegPath::parse(path).unwrap())
+    }
+
+    /// Initializes both store roots so leaves can hang off them (and
+    /// `rebuild_tree`, which walks both, has roots to start from).
+    fn init_root(f: &Fixture) {
+        f.store
+            .write(&root_id(), &DirFile::new(SegPath::root()).encode())
+            .unwrap();
+        f.store
+            .write(&ObjectId::GroupRoot, &GroupRootFile::new().encode())
+            .unwrap();
+        f.store
+            .write(&ObjectId::GroupList, &seg_fs::GroupListFile::new().encode())
+            .unwrap();
+        f.store
+            .write(
+                &ObjectId::Acl(SegPath::root()),
+                &seg_fs::AclFile::new().encode(),
+            )
+            .unwrap();
+    }
+
+    /// Registers a root child in the root directory file (the tree
+    /// verifier reads the children list during bucket recompute) and
+    /// gives it the ACL object every file-system entry carries.
+    fn register_child(f: &Fixture, name: &str, kind: seg_fs::ChildKind) {
+        let body = f.store.read(&root_id()).unwrap().unwrap();
+        let mut dir = DirFile::decode(&body).unwrap();
+        dir.add_child(name, kind);
+        f.store.write(&root_id(), &dir.encode()).unwrap();
+        let child_path = dir.child_path(name, kind).unwrap();
+        f.store
+            .write(
+                &ObjectId::Acl(child_path),
+                &seg_fs::AclFile::new().encode(),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn write_read_roundtrip_with_tree() {
+        let f = fixture(EnclaveConfig::default());
+        init_root(&f);
+        register_child(&f, "a", seg_fs::ChildKind::File);
+        f.store.write(&file_id("/a"), b"hello tree").unwrap();
+        assert_eq!(
+            f.store.read(&file_id("/a")).unwrap().unwrap(),
+            b"hello tree"
+        );
+        assert!(f.store.read(&file_id("/missing")).unwrap().is_none());
+    }
+
+    #[test]
+    fn whole_store_rollback_undetected_without_counter() {
+        // The §V-D boundary: a *complete, consistent* old state (root
+        // included) verifies when the counter extension is off.
+        let f = fixture(EnclaveConfig::default());
+        init_root(&f);
+        register_child(&f, "a", seg_fs::ChildKind::File);
+        f.store.write(&file_id("/a"), b"version 1").unwrap();
+        let snapshot = f.content.snapshot();
+        f.store.write(&file_id("/a"), b"version 2").unwrap();
+        f.content.restore(snapshot);
+        assert_eq!(
+            f.store.read(&file_id("/a")).unwrap().unwrap(),
+            b"version 1"
+        );
+    }
+
+    #[test]
+    fn leaf_rollback_detected_via_parent_bucket() {
+        let f = fixture(EnclaveConfig::default());
+        init_root(&f);
+        register_child(&f, "a", seg_fs::ChildKind::File);
+
+        f.store.write(&file_id("/a"), b"version 1").unwrap();
+        // Capture exactly the leaf's two objects.
+        let data_key = f.store.keys.storage_key(&file_id("/a"), true);
+        let hrec_key = f
+            .store
+            .keys
+            .hash_record_storage_key(&file_id("/a"), true);
+        let old_data = f.content.get(&data_key).unwrap().unwrap();
+        let old_hrec = f.content.get(&hrec_key).unwrap().unwrap();
+
+        f.store.write(&file_id("/a"), b"version 2").unwrap();
+        f.content.put(&data_key, &old_data).unwrap();
+        f.content.put(&hrec_key, &old_hrec).unwrap();
+
+        assert!(matches!(
+            f.store.read(&file_id("/a")),
+            Err(SegShareError::Integrity(_))
+        ));
+    }
+
+    #[test]
+    fn delete_unlinks_from_tree() {
+        let f = fixture(EnclaveConfig::default());
+        init_root(&f);
+        register_child(&f, "a", seg_fs::ChildKind::File);
+        register_child(&f, "b", seg_fs::ChildKind::File);
+        f.store.write(&file_id("/a"), b"A").unwrap();
+        f.store.write(&file_id("/b"), b"B").unwrap();
+
+        assert!(f.store.delete(&file_id("/a")).unwrap());
+        // Unregister from the directory body too.
+        let body = f.store.read(&root_id()).unwrap().unwrap();
+        let mut dir = DirFile::decode(&body).unwrap();
+        dir.remove_child("a");
+        f.store.write(&root_id(), &dir.encode()).unwrap();
+
+        // The sibling still verifies.
+        assert_eq!(f.store.read(&file_id("/b")).unwrap().unwrap(), b"B");
+        assert!(f.store.read(&file_id("/a")).unwrap().is_none());
+    }
+
+    #[test]
+    fn rebuild_tree_recovers_corrupted_hash_records() {
+        let f = fixture(EnclaveConfig::default());
+        init_root(&f);
+        register_child(&f, "a", seg_fs::ChildKind::File);
+        f.store.write(&file_id("/a"), b"content").unwrap();
+
+        // Destroy the leaf's hash record (simulating a backup restored
+        // onto a fresh platform, §V-G).
+        let hrec_key = f
+            .store
+            .keys
+            .hash_record_storage_key(&file_id("/a"), true);
+        f.content.delete(&hrec_key).unwrap();
+        assert!(f.store.read(&file_id("/a")).is_err());
+
+        f.store.rebuild_tree().unwrap();
+        assert_eq!(f.store.read(&file_id("/a")).unwrap().unwrap(), b"content");
+    }
+
+    #[test]
+    fn no_tree_mode_skips_hash_records() {
+        let f = fixture(EnclaveConfig::minimal());
+        init_root(&f);
+        f.store.write(&file_id("/a"), b"plain mode").unwrap();
+        assert_eq!(f.store.read(&file_id("/a")).unwrap().unwrap(), b"plain mode");
+        // Only data objects, no hash records: root dir, root ACL, and
+        // the file itself.
+        assert_eq!(f.content.len().unwrap(), 3);
+    }
+
+    #[test]
+    fn hidden_names_are_opaque() {
+        let f = fixture(EnclaveConfig::default());
+        init_root(&f);
+        register_child(&f, "secret-name", seg_fs::ChildKind::File);
+        f.store
+            .write(&file_id("/secret-name"), b"secret-content")
+            .unwrap();
+        for key in f.content.list().unwrap() {
+            assert!(!key.contains("secret"), "key {key} leaks the path");
+            assert_eq!(key.len(), 64, "hidden keys are HMAC hex strings");
+        }
+    }
+
+    #[test]
+    fn group_root_file_roundtrip() {
+        let mut root = GroupRootFile::new();
+        assert!(root.add_user(UserId::new("alice").unwrap()));
+        assert!(!root.add_user(UserId::new("alice").unwrap()));
+        assert!(root.contains(&UserId::new("alice").unwrap()));
+        let decoded = GroupRootFile::decode(&root.encode()).unwrap();
+        assert_eq!(decoded, root);
+        assert!(GroupRootFile::decode(b"junk").is_err());
+    }
+
+    #[test]
+    fn hash_record_codec_roundtrip() {
+        let key = seg_crypto::mset::MsetKey::from_bytes([1u8; 32]);
+        let mut main = MsetHash::empty();
+        main.add(&key, b"x");
+        let rec = HashRecord {
+            main,
+            buckets: vec![MsetHash::empty(), MsetHash::of(&key, b"c")],
+            counter: 42,
+        };
+        let decoded = HashRecord::decode(&rec.encode()).unwrap();
+        assert_eq!(decoded, rec);
+        for cut in 0..rec.encode().len() {
+            assert!(HashRecord::decode(&rec.encode()[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn whole_fs_counter_anchors_root() {
+        let f = fixture(EnclaveConfig {
+            rollback_whole_fs: true,
+            ..EnclaveConfig::default()
+        });
+        init_root(&f);
+        register_child(&f, "a", seg_fs::ChildKind::File);
+        f.store.write(&file_id("/a"), b"state 1").unwrap();
+        let snapshot = f.content.snapshot();
+        f.store.write(&file_id("/a"), b"state 2").unwrap();
+        // Whole-store rollback (root included).
+        f.content.restore(snapshot);
+        assert!(matches!(
+            f.store.read(&file_id("/a")),
+            Err(SegShareError::Integrity(msg)) if msg.contains("counter")
+        ));
+    }
+}

@@ -1,0 +1,301 @@
+//! Deployment plumbing: the file-system owner's setup (CA, attestation,
+//! enrollment) and the running server.
+
+use std::sync::Arc;
+
+use seg_crypto::ed25519::{PublicKey, SecretKey, Signature};
+use seg_crypto::rng::SystemRng;
+use seg_crypto::sha256::Sha256;
+use seg_fs::UserId;
+use seg_net::{duplex, ChannelTransport, FrameTransport};
+use seg_pki::{Certificate, CertificateAuthority, Identity};
+use seg_sgx::Platform;
+use seg_store::{MemStore, ObjectStore};
+
+use crate::client::Client;
+use crate::config::EnclaveConfig;
+use crate::enclave::SegShareEnclave;
+use crate::error::SegShareError;
+use crate::untrusted::serve_connection;
+
+/// Certificate validity horizon used by [`FsoSetup`] (logical seconds).
+const VALIDITY_END: u64 = 1 << 40;
+
+/// The domain-separated message the CA signs to authorize a backup
+/// restoration (§V-G "the CA can send a signed reset message").
+pub const RESET_MESSAGE: &[u8] = b"segshare-backup-reset-v1";
+
+/// A user's enrollment material: everything the user application stores
+/// (P1 — constant client storage).
+#[derive(Clone)]
+pub struct EnrolledUser {
+    /// The user's identity.
+    pub user_id: UserId,
+    /// The CA-issued client certificate.
+    pub certificate: Certificate,
+    /// The matching secret key.
+    pub secret_key: SecretKey,
+    /// The CA's verification key (pre-distributed trust anchor).
+    pub ca_key: PublicKey,
+    /// The user's clock (logical unix seconds) for validity checks.
+    pub now: u64,
+}
+
+impl std::fmt::Debug for EnrolledUser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EnrolledUser({})", self.user_id)
+    }
+}
+
+/// The file-system owner's setup context: CA, platform, and stores.
+pub struct FsoSetup {
+    ca: CertificateAuthority,
+    config: EnclaveConfig,
+    platform: Platform,
+    content: Arc<dyn ObjectStore>,
+    group: Arc<dyn ObjectStore>,
+    dedup: Arc<dyn ObjectStore>,
+}
+
+impl std::fmt::Debug for FsoSetup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FsoSetup").field("ca", &self.ca).finish()
+    }
+}
+
+impl FsoSetup {
+    /// A setup with in-memory stores and a fresh simulated platform —
+    /// the default for tests, examples, and benchmarks.
+    #[must_use]
+    pub fn new_in_memory(ca_name: &str, config: EnclaveConfig) -> FsoSetup {
+        FsoSetup::with_stores(
+            ca_name,
+            config,
+            Platform::new(),
+            Arc::new(MemStore::new()),
+            Arc::new(MemStore::new()),
+            Arc::new(MemStore::new()),
+        )
+    }
+
+    /// A setup over caller-provided stores and platform (on-disk
+    /// deployments, adversarial wrappers, instrumentation).
+    #[must_use]
+    pub fn with_stores(
+        ca_name: &str,
+        config: EnclaveConfig,
+        platform: Platform,
+        content: Arc<dyn ObjectStore>,
+        group: Arc<dyn ObjectStore>,
+        dedup: Arc<dyn ObjectStore>,
+    ) -> FsoSetup {
+        FsoSetup {
+            ca: CertificateAuthority::new(ca_name, &mut SystemRng::new()),
+            config,
+            platform,
+            content,
+            group,
+            dedup,
+        }
+    }
+
+    /// The CA (its public key is the system's trust anchor).
+    #[must_use]
+    pub fn ca(&self) -> &CertificateAuthority {
+        &self.ca
+    }
+
+    /// The simulated SGX platform the server runs on.
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Launches the enclave and performs the §IV-A setup phase: remote
+    /// attestation (quote verification against the *expected*
+    /// measurement for this CA and configuration), CSR exchange, and
+    /// server-certificate installation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if attestation or certification fails.
+    pub fn server(&self) -> Result<SegShareServer, SegShareError> {
+        let enclave = SegShareEnclave::launch(
+            &self.platform,
+            self.config,
+            self.ca.public_key(),
+            Arc::clone(&self.content),
+            Arc::clone(&self.group),
+            Arc::clone(&self.dedup),
+        )?;
+        self.certify(&enclave, &self.platform)?;
+        Ok(SegShareServer { enclave })
+    }
+
+    fn certify(
+        &self,
+        enclave: &Arc<SegShareEnclave>,
+        platform: &Platform,
+    ) -> Result<(), SegShareError> {
+        let (csr, quote) = enclave.certification_request("segshare");
+        // "if the CA receives the expected measurement, it is assured to
+        // communicate with an enclave that was built specifically for
+        // this CA" (§IV-A).
+        let measurement = quote.verify(&platform.attestation_public_key())?;
+        let expected = SegShareEnclave::image(&self.config, &self.ca.public_key()).measurement();
+        if measurement != expected {
+            return Err(SegShareError::Protocol(
+                "enclave measurement does not match the expected image".to_string(),
+            ));
+        }
+        // The quote binds this CSR: report data is its hash.
+        let csr_hash = Sha256::digest(&csr.encode());
+        if quote.report_data()[..32] != csr_hash {
+            return Err(SegShareError::Protocol(
+                "attestation quote does not bind the CSR".to_string(),
+            ));
+        }
+        let cert = self.ca.issue_server_from_csr(&csr, 0, VALIDITY_END)?;
+        enclave.install_certificate(cert)
+    }
+
+    /// Launches a *replica* server on `replica_platform` against the
+    /// same central data repository (§V-F): the replica attests to the
+    /// root enclave (equal measurements), receives `SK_r`, and is then
+    /// certified like any server.
+    ///
+    /// # Errors
+    ///
+    /// Fails if mutual attestation or certification fails.
+    pub fn replica(
+        &self,
+        source: &SegShareServer,
+        replica_platform: &Platform,
+    ) -> Result<SegShareServer, SegShareError> {
+        // The replica enclave proves its identity with a quote...
+        let image = SegShareEnclave::image(&self.config, &self.ca.public_key());
+        let probe = replica_platform.launch(&image);
+        let quote = probe.quote(b"segshare-replication");
+        // ...and the root enclave releases SK_r only to an identical
+        // enclave on a genuine platform.
+        let root_key = source
+            .enclave
+            .export_root_key(&quote, &replica_platform.attestation_public_key())?;
+        let enclave = SegShareEnclave::launch_with_root_key(
+            replica_platform,
+            self.config,
+            self.ca.public_key(),
+            Arc::clone(&self.content),
+            Arc::clone(&self.group),
+            Arc::clone(&self.dedup),
+            root_key,
+        )?;
+        self.certify(&enclave, replica_platform)?;
+        Ok(SegShareServer { enclave })
+    }
+
+    /// Enrolls a user: the CA validates the identity out of band and
+    /// issues a client certificate (§IV-A "Establish enclave trust in
+    /// users").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegShareError::Pki`] for malformed identities.
+    pub fn enroll_user(
+        &self,
+        user_id: &str,
+        email: &str,
+        full_name: &str,
+    ) -> Result<EnrolledUser, SegShareError> {
+        let identity = Identity::user(user_id, email, full_name)?;
+        let (certificate, secret_key) =
+            self.ca
+                .issue_user(identity, 0, VALIDITY_END, &mut SystemRng::new());
+        Ok(EnrolledUser {
+            user_id: UserId::new(user_id)?,
+            certificate,
+            secret_key,
+            ca_key: self.ca.public_key(),
+            now: 1_000,
+        })
+    }
+
+    /// Produces the CA-signed reset message authorizing a backup
+    /// restoration (§V-G).
+    #[must_use]
+    pub fn signed_reset(&self) -> Signature {
+        // The CA's long-term key doubles as the reset authority; a real
+        // deployment would use a dedicated key, but the trust root is
+        // the same.
+        self.ca.sign_message(RESET_MESSAGE)
+    }
+}
+
+/// A running SeGShare server: the enclave plus its untrusted host.
+pub struct SegShareServer {
+    enclave: Arc<SegShareEnclave>,
+}
+
+impl std::fmt::Debug for SegShareServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegShareServer")
+            .field("enclave", &self.enclave)
+            .finish()
+    }
+}
+
+impl SegShareServer {
+    /// The enclave (statistics, configuration, counters).
+    #[must_use]
+    pub fn enclave(&self) -> &Arc<SegShareEnclave> {
+        &self.enclave
+    }
+
+    /// Serves one connection to completion (run this per accepted
+    /// transport, typically on its own thread).
+    ///
+    /// # Errors
+    ///
+    /// Returns session-fatal errors; clean disconnects are `Ok`.
+    pub fn handle_connection<T: FrameTransport>(&self, transport: T) -> Result<(), SegShareError> {
+        serve_connection(&self.enclave, transport)
+    }
+
+    /// Connects an in-process client: creates a duplex pair, serves the
+    /// server end on a background thread, and completes the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns TLS/PKI errors if authentication fails.
+    pub fn connect_local(
+        &self,
+        user: &EnrolledUser,
+    ) -> Result<Client<ChannelTransport>, SegShareError> {
+        let (client_t, server_t) = duplex();
+        let enclave = Arc::clone(&self.enclave);
+        std::thread::spawn(move || {
+            // Session errors surface to the client as closed transports.
+            let _ = serve_connection(&enclave, server_t);
+        });
+        Client::connect(client_t, user)
+    }
+
+    /// Verifies a CA-signed reset message and rebuilds integrity state
+    /// from a restored backup (§V-G): recompute all tree hashes, compare
+    /// root hashes, re-anchor monotonic counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegShareError::Pki`] for invalid signatures and
+    /// integrity errors if the restored data is unreadable.
+    pub fn restore_with_reset(
+        &self,
+        ca_key: &PublicKey,
+        signature: &Signature,
+    ) -> Result<(), SegShareError> {
+        ca_key
+            .verify(RESET_MESSAGE, signature)
+            .map_err(|_| SegShareError::Pki(seg_pki::PkiError::BadSignature))?;
+        self.enclave.rebuild_after_restore()
+    }
+}

@@ -1,0 +1,48 @@
+//! The untrusted server host (paper Fig. 1, left half of the provider).
+//!
+//! Everything here runs *outside* the trusted boundary: it terminates
+//! transport connections, shuttles opaque TLS frames into and out of the
+//! enclave (as ecalls, so the boundary cost model sees them), and owns
+//! the object stores that hold only ciphertext.
+
+use seg_net::{FrameTransport, NetError};
+
+use crate::enclave::SegShareEnclave;
+use crate::error::SegShareError;
+
+/// Runs one connection to completion: the untrusted TLS interface's
+/// record pump. Returns when the peer disconnects.
+///
+/// # Errors
+///
+/// Returns session-fatal errors (handshake failure, record forgery,
+/// protocol violations); a clean peer disconnect is `Ok`.
+pub fn serve_connection<T: FrameTransport>(
+    enclave: &SegShareEnclave,
+    mut transport: T,
+) -> Result<(), SegShareError> {
+    let mut session = enclave.new_session()?;
+    loop {
+        // Drain everything the enclave wants sent (handshake replies,
+        // responses, lazily produced download chunks).
+        loop {
+            let frame = enclave
+                .sgx()
+                .boundary()
+                .ecall(|| session.next_outgoing(enclave))?;
+            match frame {
+                Some(frame) => transport.send_frame(&frame)?,
+                None => break,
+            }
+        }
+        let frame = match transport.recv_frame() {
+            Ok(frame) => frame,
+            Err(NetError::Closed) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        enclave
+            .sgx()
+            .boundary()
+            .ecall(|| session.handle_frame(enclave, &frame))?;
+    }
+}

@@ -1,0 +1,89 @@
+//! Constant-time comparison helpers.
+//!
+//! Authentication-tag and MAC comparisons must not leak the position of the
+//! first mismatching byte; these helpers accumulate differences without
+//! early exit.
+
+/// Compares two byte slices in constant time (with respect to content).
+///
+/// Returns `true` iff the slices have equal length and equal content. The
+/// comparison time depends only on the lengths, never on where the first
+/// difference occurs.
+///
+/// # Examples
+///
+/// ```
+/// use seg_crypto::ct::ct_eq;
+/// assert!(ct_eq(b"tag", b"tag"));
+/// assert!(!ct_eq(b"tag", b"tab"));
+/// assert!(!ct_eq(b"tag", b"tag-longer"));
+/// ```
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Conditionally selects `b` (if `choice` is 1) or `a` (if `choice` is 0)
+/// per element without branching.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or `choice` is not 0 or 1.
+pub fn ct_select(choice: u8, a: &[u8], b: &[u8], out: &mut [u8]) {
+    assert!(choice <= 1, "choice must be a bit");
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), out.len());
+    let mask = 0u8.wrapping_sub(choice);
+    for ((o, x), y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x ^ (mask & (x ^ y));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"a", b"a"));
+        assert!(!ct_eq(b"a", b"b"));
+        assert!(!ct_eq(b"", b"a"));
+        assert!(!ct_eq(b"aa", b"a"));
+    }
+
+    #[test]
+    fn eq_differs_in_each_position() {
+        let base = [0u8; 16];
+        for i in 0..16 {
+            let mut other = base;
+            other[i] = 1;
+            assert!(!ct_eq(&base, &other), "difference at byte {i} not detected");
+        }
+    }
+
+    #[test]
+    fn select_picks_correct_operand() {
+        let a = [1u8, 2, 3];
+        let b = [9u8, 8, 7];
+        let mut out = [0u8; 3];
+        ct_select(0, &a, &b, &mut out);
+        assert_eq!(out, a);
+        ct_select(1, &a, &b, &mut out);
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "choice must be a bit")]
+    fn select_rejects_non_bit_choice() {
+        let mut out = [0u8; 1];
+        ct_select(2, &[0], &[1], &mut out);
+    }
+}

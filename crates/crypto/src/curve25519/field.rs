@@ -1,0 +1,399 @@
+//! Arithmetic in GF(2^255 − 19) with five 51-bit limbs.
+
+/// Mask selecting the low 51 bits of a limb.
+const MASK51: u64 = (1u64 << 51) - 1;
+
+/// An element of GF(2^255 − 19).
+///
+/// Representation: five 64-bit limbs holding 51 bits each (lazily
+/// reduced). Arithmetic is variable-time, which matches the paper's threat
+/// model (side channels out of scope, §III-B).
+#[derive(Clone, Copy, Debug)]
+pub struct FieldElement(pub(crate) [u64; 5]);
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement([0; 5]);
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement([1, 0, 0, 0, 0]);
+
+    /// Builds a field element from a small integer.
+    #[must_use]
+    pub fn from_u64(x: u64) -> FieldElement {
+        let mut fe = FieldElement::ZERO;
+        fe.0[0] = x & MASK51;
+        fe.0[1] = x >> 51;
+        fe
+    }
+
+    /// Parses 32 little-endian bytes, ignoring the top bit (RFC 7748
+    /// convention).
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; 32]) -> FieldElement {
+        let load = |range: std::ops::Range<usize>| -> u64 {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[range]);
+            u64::from_le_bytes(word)
+        };
+        FieldElement([
+            load(0..8) & MASK51,
+            (load(6..14) >> 3) & MASK51,
+            (load(12..20) >> 6) & MASK51,
+            (load(19..27) >> 1) & MASK51,
+            (load(24..32) >> 12) & MASK51,
+        ])
+    }
+
+    /// Serializes to the canonical 32-byte little-endian encoding
+    /// (fully reduced modulo p).
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut t = self.carried().carried();
+        // Determine whether t >= p by propagating the +19 carry.
+        let mut q = (t.0[0] + 19) >> 51;
+        q = (t.0[1] + q) >> 51;
+        q = (t.0[2] + q) >> 51;
+        q = (t.0[3] + q) >> 51;
+        q = (t.0[4] + q) >> 51;
+        // Conditionally subtract p = 2^255 - 19: add 19q then drop bit 255.
+        t.0[0] += 19 * q;
+        let mut carry = t.0[0] >> 51;
+        t.0[0] &= MASK51;
+        for i in 1..5 {
+            t.0[i] += carry;
+            carry = t.0[i] >> 51;
+            t.0[i] &= MASK51;
+        }
+        // carry (the would-be 2^255 bit) is discarded.
+
+        let mut out = [0u8; 32];
+        let limbs = t.0;
+        let mut bit_offset = 0usize;
+        for limb in limbs {
+            for bit in 0..51 {
+                let absolute = bit_offset + bit;
+                if (limb >> bit) & 1 == 1 {
+                    out[absolute / 8] |= 1 << (absolute % 8);
+                }
+            }
+            bit_offset += 51;
+        }
+        out
+    }
+
+    /// One pass of carry propagation, folding the top carry back with
+    /// factor 19. Output limbs fit in 52 bits.
+    #[must_use]
+    pub(crate) fn carried(self) -> FieldElement {
+        let mut l = self.0;
+        let mut carry: u64;
+        for i in 0..4 {
+            carry = l[i] >> 51;
+            l[i] &= MASK51;
+            l[i + 1] += carry;
+        }
+        carry = l[4] >> 51;
+        l[4] &= MASK51;
+        l[0] += carry * 19;
+        FieldElement(l)
+    }
+
+    /// Field addition.
+    #[must_use]
+    pub fn add(&self, rhs: &FieldElement) -> FieldElement {
+        let mut l = [0u64; 5];
+        for (slot, (a, b)) in l.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *slot = a + b;
+        }
+        FieldElement(l).carried()
+    }
+
+    /// Field subtraction (adds 8p before subtracting so no limb can
+    /// underflow even when `rhs` is only lazily reduced, with limbs up to
+    /// 2^52).
+    #[must_use]
+    pub fn sub(&self, rhs: &FieldElement) -> FieldElement {
+        const EIGHT_P: [u64; 5] = [
+            (1u64 << 54) - 152,
+            (1u64 << 54) - 8,
+            (1u64 << 54) - 8,
+            (1u64 << 54) - 8,
+            (1u64 << 54) - 8,
+        ];
+        let mut l = [0u64; 5];
+        for (i, slot) in l.iter_mut().enumerate() {
+            *slot = self.0[i] + EIGHT_P[i] - rhs.0[i];
+        }
+        FieldElement(l).carried()
+    }
+
+    /// Field negation.
+    #[must_use]
+    pub fn neg(&self) -> FieldElement {
+        FieldElement::ZERO.sub(self)
+    }
+
+    /// Field multiplication.
+    #[must_use]
+    pub fn mul(&self, rhs: &FieldElement) -> FieldElement {
+        let a = &self.0;
+        let b = &rhs.0;
+        let m = |x: u64, y: u64| (x as u128) * (y as u128);
+        let mut r = [0u128; 5];
+        r[0] = m(a[0], b[0])
+            + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        r[1] = m(a[0], b[1])
+            + m(a[1], b[0])
+            + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        r[2] = m(a[0], b[2])
+            + m(a[1], b[1])
+            + m(a[2], b[0])
+            + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        r[3] = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0])
+            + 19 * m(a[4], b[4]);
+        r[4] = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        // Carry the 128-bit accumulators down to 64-bit limbs.
+        let mut l = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..5 {
+            let v = r[i] + carry;
+            l[i] = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        // carry < 2^77-ish; fold back with factor 19 via u128 then carry once.
+        let fold = carry * 19 + l[0] as u128;
+        l[0] = (fold as u64) & MASK51;
+        let mut c = (fold >> 51) as u64;
+        for limb in l.iter_mut().skip(1) {
+            let v = *limb + c;
+            *limb = v & MASK51;
+            c = v >> 51;
+        }
+        l[0] += c * 19;
+        FieldElement(l)
+    }
+
+    /// Field squaring.
+    #[must_use]
+    pub fn square(&self) -> FieldElement {
+        self.mul(self)
+    }
+
+    /// Exponentiation by an arbitrary little-endian exponent.
+    #[must_use]
+    pub fn pow_le_bytes(&self, exponent: &[u8]) -> FieldElement {
+        let mut acc = FieldElement::ONE;
+        for byte in exponent.iter().rev() {
+            for bit in (0..8).rev() {
+                acc = acc.square();
+                if (byte >> bit) & 1 == 1 {
+                    acc = acc.mul(self);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Multiplicative inverse (of nonzero elements) via Fermat:
+    /// `x^(p-2)`. The inverse of zero is zero.
+    #[must_use]
+    pub fn invert(&self) -> FieldElement {
+        // p - 2 = 2^255 - 21.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb; // 0xff - 20
+        exp[31] = 0x7f;
+        self.pow_le_bytes(&exp)
+    }
+
+    /// `x^((p-5)/8)`, the core of the square-root computation.
+    #[must_use]
+    pub fn pow_p58(&self) -> FieldElement {
+        // (p - 5) / 8 = 2^252 - 3.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfd;
+        exp[31] = 0x0f;
+        self.pow_le_bytes(&exp)
+    }
+
+    /// Whether the canonical encoding is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// Canonical equality.
+    #[must_use]
+    pub fn ct_equals(&self, other: &FieldElement) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+
+    /// The "sign" of the canonical encoding (its lowest bit), used for
+    /// point compression.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    /// sqrt(-1) mod p, i.e. 2^((p-1)/4).
+    #[must_use]
+    pub fn sqrt_m1() -> FieldElement {
+        use std::sync::OnceLock;
+        static SQRT_M1: OnceLock<[u64; 5]> = OnceLock::new();
+        let limbs = SQRT_M1.get_or_init(|| {
+            // (p - 1) / 4 = 2^253 - 5.
+            let mut exp = [0xffu8; 32];
+            exp[0] = 0xfb;
+            exp[31] = 0x1f;
+            FieldElement::from_u64(2).pow_le_bytes(&exp).0
+        });
+        FieldElement(*limbs)
+    }
+
+    /// Computes `sqrt(u/v)` if it exists.
+    ///
+    /// Returns `Some(x)` with `v * x^2 == u`, choosing the non-negative
+    /// root; `None` if `u/v` is a non-residue.
+    #[must_use]
+    pub fn sqrt_ratio(u: &FieldElement, v: &FieldElement) -> Option<FieldElement> {
+        // Candidate x = u * v^3 * (u * v^7)^((p-5)/8).
+        let v3 = v.square().mul(v);
+        let v7 = v3.square().mul(v);
+        let mut x = u.mul(&v3).mul(&u.mul(&v7).pow_p58());
+        let vx2 = v.mul(&x.square());
+        if vx2.ct_equals(u) {
+            // fallthrough
+        } else if vx2.ct_equals(&u.neg()) {
+            x = x.mul(&FieldElement::sqrt_m1());
+        } else {
+            return None;
+        }
+        if x.is_negative() {
+            x = x.neg();
+        }
+        Some(x)
+    }
+}
+
+impl PartialEq for FieldElement {
+    fn eq(&self, other: &Self) -> bool {
+        self.ct_equals(other)
+    }
+}
+
+impl Eq for FieldElement {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(x: u64) -> FieldElement {
+        FieldElement::from_u64(x)
+    }
+
+    #[test]
+    fn small_integer_arithmetic() {
+        assert_eq!(fe(2).add(&fe(3)), fe(5));
+        assert_eq!(fe(7).sub(&fe(3)), fe(4));
+        assert_eq!(fe(6).mul(&fe(7)), fe(42));
+        assert_eq!(fe(9).square(), fe(81));
+    }
+
+    #[test]
+    fn subtraction_wraps_mod_p() {
+        // 0 - 1 = p - 1, whose encoding ends with 0x7f.
+        let m1 = fe(0).sub(&fe(1));
+        let bytes = m1.to_bytes();
+        assert_eq!(bytes[0], 0xec); // p - 1 = ...ec (2^255 - 20)
+        assert_eq!(bytes[31], 0x7f);
+        assert_eq!(m1.add(&fe(1)), fe(0));
+    }
+
+    #[test]
+    fn p_encodes_as_zero() {
+        // p = 2^255 - 19 must canonically encode to zero.
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        let p = FieldElement::from_bytes(&p_bytes);
+        assert!(p.is_zero());
+        // Non-canonical p + 1 encodes as 1.
+        let mut p1 = p_bytes;
+        p1[0] = 0xee;
+        assert_eq!(FieldElement::from_bytes(&p1), fe(1));
+    }
+
+    #[test]
+    fn inverse() {
+        for x in [1u64, 2, 3, 486662, 121665] {
+            let inv = fe(x).invert();
+            assert_eq!(fe(x).mul(&inv), FieldElement::ONE, "x = {x}");
+        }
+        // Inverse of zero is zero by convention.
+        assert!(fe(0).invert().is_zero());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let mut bytes: [u8; 32] = rng.random();
+            bytes[31] &= 0x7f; // stay below 2^255
+            let fe = FieldElement::from_bytes(&bytes);
+            // Canonical values below p roundtrip exactly.
+            let reencoded = FieldElement::from_bytes(&fe.to_bytes());
+            assert_eq!(fe, reencoded);
+        }
+    }
+
+    #[test]
+    fn field_axioms_random() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let mut random_fe = || -> FieldElement {
+            let mut b: [u8; 32] = rng.random();
+            b[31] &= 0x7f;
+            FieldElement::from_bytes(&b)
+        };
+        for _ in 0..25 {
+            let a = random_fe();
+            let b = random_fe();
+            let c = random_fe();
+            assert_eq!(a.mul(&b), b.mul(&a));
+            assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+            assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+            assert_eq!(a.sub(&a), FieldElement::ZERO);
+            assert_eq!(a.add(&b).sub(&b), a);
+            if !a.is_zero() {
+                assert_eq!(a.mul(&a.invert()), FieldElement::ONE);
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = FieldElement::sqrt_m1();
+        assert_eq!(i.square(), fe(0).sub(&fe(1)));
+    }
+
+    #[test]
+    fn sqrt_ratio_finds_roots() {
+        // 4/1 has root 2 (the non-negative one).
+        let r = FieldElement::sqrt_ratio(&fe(4), &fe(1)).expect("4 is a QR");
+        assert!(r == fe(2) || r == fe(2).neg());
+        assert!(!r.is_negative());
+        // 2 is a non-residue mod p (p ≡ 5 mod 8), so sqrt(2) must fail.
+        assert!(FieldElement::sqrt_ratio(&fe(2), &fe(1)).is_none());
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let x = fe(3);
+        let mut acc = FieldElement::ONE;
+        for _ in 0..13 {
+            acc = acc.mul(&x);
+        }
+        assert_eq!(x.pow_le_bytes(&[13]), acc);
+    }
+}

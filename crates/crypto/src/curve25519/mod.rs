@@ -1,0 +1,18 @@
+//! Curve25519 arithmetic: the field GF(2^255 − 19), the scalar field
+//! modulo the group order ℓ, and the twisted Edwards group used by
+//! Ed25519.
+//!
+//! [`crate::ed25519`] (signatures for the PKI and TLS substrates) and
+//! [`crate::x25519`] (ECDHE for the TLS handshake) build on this module.
+//! The implementation favours auditability: 51-bit limbs with `u128`
+//! products, a strongly unified Edwards addition law (also used for
+//! doubling), and schoolbook scalar arithmetic with binary long division
+//! for reduction. Handshake-rate operations do not need more speed.
+
+pub mod edwards;
+pub mod field;
+pub mod scalar;
+
+pub use edwards::EdwardsPoint;
+pub use field::FieldElement;
+pub use scalar::Scalar;

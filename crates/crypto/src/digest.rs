@@ -1,0 +1,49 @@
+//! The [`Digest`] trait abstracting over the hash functions in this crate.
+//!
+//! [`crate::hmac`] and [`crate::hkdf`] are generic over this trait so the
+//! same code serves SHA-256 (used throughout SeGShare) and SHA-512 (used by
+//! Ed25519).
+
+/// A streaming cryptographic hash function.
+///
+/// Implementors are cheap to clone (cloning forks the running state, which
+/// HMAC exploits to avoid rehashing the padded key).
+pub trait Digest: Clone {
+    /// Internal block length in bytes (HMAC's `B` parameter).
+    const BLOCK_LEN: usize;
+    /// Output length in bytes.
+    const OUTPUT_LEN: usize;
+
+    /// Creates a fresh hash state.
+    fn new() -> Self;
+
+    /// Absorbs `data` into the state.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consumes the state and writes the digest into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != Self::OUTPUT_LEN`.
+    fn finalize_into(self, out: &mut [u8]);
+
+    /// Convenience: finalizes into a freshly allocated vector.
+    fn finalize_vec(self) -> Vec<u8>
+    where
+        Self: Sized,
+    {
+        let mut out = vec![0u8; Self::OUTPUT_LEN];
+        self.finalize_into(&mut out);
+        out
+    }
+
+    /// Convenience: one-shot hash of `data`.
+    fn hash(data: &[u8]) -> Vec<u8>
+    where
+        Self: Sized,
+    {
+        let mut d = Self::new();
+        d.update(data);
+        d.finalize_vec()
+    }
+}

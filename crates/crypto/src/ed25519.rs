@@ -1,0 +1,318 @@
+//! Ed25519 signatures (RFC 8032), used by the PKI substrate (certificate
+//! signatures) and the TLS handshake (CertificateVerify / server key
+//! exchange signatures).
+
+use crate::curve25519::{EdwardsPoint, Scalar};
+use crate::rng::SecureRandom;
+use crate::sha512::Sha512;
+use crate::CryptoError;
+
+/// Length of a signature in bytes.
+pub const SIGNATURE_LEN: usize = 64;
+/// Length of a public key in bytes.
+pub const PUBLIC_KEY_LEN: usize = 32;
+/// Length of a secret seed in bytes.
+pub const SEED_LEN: usize = 32;
+
+/// An Ed25519 signature (`R || S`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature(pub [u8; SIGNATURE_LEN]);
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Signature({:02x}{:02x}..)", self.0[0], self.0[1])
+    }
+}
+
+impl Signature {
+    /// Parses a 64-byte signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] if `bytes` is not 64 bytes.
+    pub fn from_slice(bytes: &[u8]) -> Result<Signature, CryptoError> {
+        let arr: [u8; SIGNATURE_LEN] =
+            bytes.try_into().map_err(|_| CryptoError::InvalidLength)?;
+        Ok(Signature(arr))
+    }
+
+    /// The raw 64 bytes.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; SIGNATURE_LEN] {
+        self.0
+    }
+}
+
+/// An Ed25519 verifying (public) key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey(pub [u8; PUBLIC_KEY_LEN]);
+
+impl std::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PublicKey({:02x}{:02x}..)", self.0[0], self.0[1])
+    }
+}
+
+impl PublicKey {
+    /// Parses a 32-byte public key, checking it decodes to a curve point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] / [`CryptoError::InvalidEncoding`]
+    /// for malformed input.
+    pub fn from_slice(bytes: &[u8]) -> Result<PublicKey, CryptoError> {
+        let arr: [u8; PUBLIC_KEY_LEN] =
+            bytes.try_into().map_err(|_| CryptoError::InvalidLength)?;
+        EdwardsPoint::decompress(&arr)?;
+        Ok(PublicKey(arr))
+    }
+
+    /// The raw 32 bytes.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; PUBLIC_KEY_LEN] {
+        self.0
+    }
+
+    /// Verifies `signature` over `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::SignatureInvalid`] if verification fails for
+    /// any reason (malformed `R`, non-canonical `S`, or equation mismatch).
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
+        let r_bytes: [u8; 32] = signature.0[..32].try_into().expect("32 bytes");
+        let s_bytes: [u8; 32] = signature.0[32..].try_into().expect("32 bytes");
+        let r = EdwardsPoint::decompress(&r_bytes).map_err(|_| CryptoError::SignatureInvalid)?;
+        let s = Scalar::from_canonical_bytes(&s_bytes).ok_or(CryptoError::SignatureInvalid)?;
+        let a = EdwardsPoint::decompress(&self.0).map_err(|_| CryptoError::SignatureInvalid)?;
+
+        let mut h = Sha512::new();
+        h.update(&r_bytes);
+        h.update(&self.0);
+        h.update(message);
+        let k = Scalar::from_bytes_mod_order_wide(&h.finalize());
+
+        // Check S·B == R + k·A.
+        let lhs = EdwardsPoint::mul_base(&s);
+        let rhs = r.add(&a.mul_scalar(&k));
+        if lhs == rhs {
+            Ok(())
+        } else {
+            Err(CryptoError::SignatureInvalid)
+        }
+    }
+}
+
+/// An Ed25519 signing (secret) key.
+#[derive(Clone)]
+pub struct SecretKey {
+    seed: [u8; SEED_LEN],
+    scalar: Scalar,
+    prefix: [u8; 32],
+    public: PublicKey,
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecretKey")
+            .field("public", &self.public)
+            .finish()
+    }
+}
+
+impl SecretKey {
+    /// Derives a signing key from a 32-byte seed (RFC 8032 key
+    /// generation).
+    #[must_use]
+    pub fn from_seed(seed: &[u8; SEED_LEN]) -> SecretKey {
+        let h = Sha512::digest(seed);
+        let mut scalar_bytes: [u8; 32] = h[..32].try_into().expect("32 bytes");
+        // Clamp.
+        scalar_bytes[0] &= 0xf8;
+        scalar_bytes[31] &= 0x7f;
+        scalar_bytes[31] |= 0x40;
+        let scalar = Scalar::from_bytes_mod_order(&scalar_bytes);
+        let prefix: [u8; 32] = h[32..].try_into().expect("32 bytes");
+        let public = PublicKey(EdwardsPoint::mul_base(&scalar).compress());
+        SecretKey {
+            seed: *seed,
+            scalar,
+            prefix,
+            public,
+        }
+    }
+
+    /// Generates a fresh random signing key.
+    #[must_use]
+    pub fn generate<R: SecureRandom>(rng: &mut R) -> SecretKey {
+        SecretKey::from_seed(&rng.array::<SEED_LEN>())
+    }
+
+    /// The seed this key was derived from.
+    #[must_use]
+    pub fn seed(&self) -> &[u8; SEED_LEN] {
+        &self.seed
+    }
+
+    /// The corresponding public key.
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs `message` (deterministic, RFC 8032).
+    #[must_use]
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let mut h = Sha512::new();
+        h.update(&self.prefix);
+        h.update(message);
+        let r = Scalar::from_bytes_mod_order_wide(&h.finalize());
+        let r_point = EdwardsPoint::mul_base(&r).compress();
+
+        let mut h = Sha512::new();
+        h.update(&r_point);
+        h.update(&self.public.0);
+        h.update(message);
+        let k = Scalar::from_bytes_mod_order_wide(&h.finalize());
+
+        let s = k.mul_add(&self.scalar, &r);
+        let mut sig = [0u8; SIGNATURE_LEN];
+        sig[..32].copy_from_slice(&r_point);
+        sig[32..].copy_from_slice(&s.to_bytes());
+        Signature(sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DeterministicRng;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("hex");
+        }
+        out
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // RFC 8032 §7.1 TEST 1: empty message.
+    #[test]
+    fn rfc8032_test1() {
+        let seed =
+            unhex32("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+        let sk = SecretKey::from_seed(&seed);
+        assert_eq!(
+            hex(&sk.public_key().to_bytes()),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+        );
+        let sig = sk.sign(b"");
+        assert_eq!(
+            hex(&sig.to_bytes()),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+             5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+                .replace(char::is_whitespace, "")
+        );
+        sk.public_key().verify(b"", &sig).expect("valid signature");
+    }
+
+    // RFC 8032 §7.1 TEST 2: one-byte message 0x72.
+    #[test]
+    fn rfc8032_test2() {
+        let seed =
+            unhex32("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+        let sk = SecretKey::from_seed(&seed);
+        assert_eq!(
+            hex(&sk.public_key().to_bytes()),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+        );
+        let sig = sk.sign(&[0x72]);
+        assert_eq!(
+            hex(&sig.to_bytes()),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+             085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+                .replace(char::is_whitespace, "")
+        );
+        sk.public_key().verify(&[0x72], &sig).expect("valid signature");
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut rng = DeterministicRng::seeded(21);
+        let sk = SecretKey::generate(&mut rng);
+        let pk = sk.public_key();
+        for msg_len in [0usize, 1, 32, 100, 1000] {
+            let msg: Vec<u8> = (0..msg_len).map(|i| (i * 3) as u8).collect();
+            let sig = sk.sign(&msg);
+            pk.verify(&msg, &sig).expect("valid signature");
+        }
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let mut rng = DeterministicRng::seeded(22);
+        let sk = SecretKey::generate(&mut rng);
+        let sig = sk.sign(b"original");
+        assert_eq!(
+            sk.public_key().verify(b"0riginal", &sig).unwrap_err(),
+            CryptoError::SignatureInvalid
+        );
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut rng = DeterministicRng::seeded(23);
+        let sk = SecretKey::generate(&mut rng);
+        let sig = sk.sign(b"msg");
+        for i in [0usize, 31, 32, 63] {
+            let mut bad = sig.to_bytes();
+            bad[i] ^= 1;
+            assert!(
+                sk.public_key().verify(b"msg", &Signature(bad)).is_err(),
+                "flip at byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = DeterministicRng::seeded(24);
+        let sk1 = SecretKey::generate(&mut rng);
+        let sk2 = SecretKey::generate(&mut rng);
+        let sig = sk1.sign(b"msg");
+        assert!(sk2.public_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn non_canonical_s_rejected() {
+        let mut rng = DeterministicRng::seeded(25);
+        let sk = SecretKey::generate(&mut rng);
+        let mut sig = sk.sign(b"msg").to_bytes();
+        // Make S >= l by setting its top byte to 0xff.
+        sig[63] = 0xff;
+        assert!(sk
+            .public_key()
+            .verify(b"msg", &Signature(sig))
+            .is_err());
+    }
+
+    #[test]
+    fn public_key_parsing() {
+        assert!(PublicKey::from_slice(&[0u8; 31]).is_err());
+        let mut rng = DeterministicRng::seeded(26);
+        let sk = SecretKey::generate(&mut rng);
+        let pk = PublicKey::from_slice(&sk.public_key().to_bytes()).expect("valid key");
+        assert_eq!(pk, sk.public_key());
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let sk = SecretKey::from_seed(&[5u8; 32]);
+        assert_eq!(sk.sign(b"m").to_bytes(), sk.sign(b"m").to_bytes());
+        assert_ne!(sk.sign(b"m").to_bytes(), sk.sign(b"n").to_bytes());
+    }
+}

@@ -1,0 +1,157 @@
+//! HKDF (RFC 5869) extract-and-expand key derivation.
+//!
+//! The SeGShare enclave derives one key per file from the sealed root key
+//! `SK_r` (§IV-B "File Managers"); the TLS substrate derives record keys
+//! from the ECDHE shared secret. Both use HKDF-SHA-256.
+
+use crate::digest::Digest;
+use crate::hmac::Hmac;
+
+/// HKDF-Extract: concentrates input keying material into a pseudorandom key.
+#[must_use]
+pub fn extract<D: Digest>(salt: &[u8], ikm: &[u8]) -> Vec<u8> {
+    Hmac::<D>::mac(salt, ikm)
+}
+
+/// HKDF-Expand: expands `prk` into `len` bytes of output keying material
+/// bound to `info`.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * D::OUTPUT_LEN` (the RFC 5869 limit).
+#[must_use]
+pub fn expand<D: Digest>(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(
+        len <= 255 * D::OUTPUT_LEN,
+        "hkdf output length exceeds RFC 5869 limit"
+    );
+    let mut okm = Vec::with_capacity(len);
+    let mut previous: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < len {
+        let mut h = Hmac::<D>::new(prk);
+        h.update(&previous);
+        h.update(info);
+        h.update(&[counter]);
+        previous = h.finalize();
+        let take = (len - okm.len()).min(previous.len());
+        okm.extend_from_slice(&previous[..take]);
+        counter = counter.checked_add(1).expect("counter bounded by len check");
+    }
+    okm
+}
+
+/// One-shot extract-then-expand.
+#[must_use]
+pub fn hkdf<D: Digest>(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let prk = extract::<D>(salt, ikm);
+    expand::<D>(&prk, info, len)
+}
+
+/// Derives a 16-byte AES-128 key from a 32-byte root key and a context
+/// label — the per-file key derivation used by the trusted file manager.
+#[must_use]
+pub fn derive_key_128(root: &[u8; 32], label: &str, context: &[u8]) -> [u8; 16] {
+    let mut info = Vec::with_capacity(label.len() + 1 + context.len());
+    info.extend_from_slice(label.as_bytes());
+    info.push(0);
+    info.extend_from_slice(context);
+    let okm = hkdf::<crate::sha256::Sha256>(b"segshare-v1", root, &info, 16);
+    let mut out = [0u8; 16];
+    out.copy_from_slice(&okm);
+    out
+}
+
+/// Derives a 32-byte key, same construction as [`derive_key_128`].
+#[must_use]
+pub fn derive_key_256(root: &[u8; 32], label: &str, context: &[u8]) -> [u8; 32] {
+    let mut info = Vec::with_capacity(label.len() + 1 + context.len());
+    info.extend_from_slice(label.as_bytes());
+    info.push(0);
+    info.extend_from_slice(context);
+    let okm = hkdf::<crate::sha256::Sha256>(b"segshare-v1", root, &info, 32);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&okm);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::Sha256;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex"))
+            .collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract::<Sha256>(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand::<Sha256>(&prk, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let okm = hkdf::<Sha256>(&[], &ikm, &[], 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn expand_lengths() {
+        let prk = extract::<Sha256>(b"salt", b"ikm");
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            assert_eq!(expand::<Sha256>(&prk, b"info", len).len(), len);
+        }
+        // Prefix property: shorter outputs are prefixes of longer ones.
+        let long = expand::<Sha256>(&prk, b"info", 100);
+        let short = expand::<Sha256>(&prk, b"info", 33);
+        assert_eq!(&long[..33], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hkdf output length exceeds")]
+    fn expand_rejects_oversized_output() {
+        let prk = extract::<Sha256>(b"salt", b"ikm");
+        let _ = expand::<Sha256>(&prk, b"info", 255 * 32 + 1);
+    }
+
+    #[test]
+    fn derived_keys_are_domain_separated() {
+        let root = [7u8; 32];
+        let k1 = derive_key_128(&root, "file", b"/a");
+        let k2 = derive_key_128(&root, "file", b"/b");
+        let k3 = derive_key_128(&root, "acl", b"/a");
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+        // label/context boundary must matter: "ab"+"c" != "a"+"bc"
+        let k4 = derive_key_128(&root, "ab", b"c");
+        let k5 = derive_key_128(&root, "a", b"bc");
+        assert_ne!(k4, k5);
+        // Deterministic.
+        assert_eq!(k1, derive_key_128(&root, "file", b"/a"));
+    }
+}

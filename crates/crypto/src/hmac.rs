@@ -1,0 +1,184 @@
+//! HMAC (FIPS 198-1 / RFC 2104), generic over the crate's hash functions.
+//!
+//! SeGShare uses HMAC-SHA-256 keyed with the root key `SK_r` for two
+//! purposes: deduplication names (§V-A) and pseudorandom storage paths when
+//! hiding the directory structure (§V-C). The TLS substrate uses it inside
+//! HKDF.
+
+use crate::digest::Digest;
+
+/// Streaming HMAC state over digest `D`.
+///
+/// # Examples
+///
+/// ```
+/// use seg_crypto::hmac::Hmac;
+/// use seg_crypto::sha256::Sha256;
+///
+/// let tag = Hmac::<Sha256>::mac(b"key", b"message");
+/// assert_eq!(tag.len(), 32);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    outer: D,
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Creates an HMAC state keyed with `key` (any length).
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = vec![0u8; D::BLOCK_LEN];
+        if key.len() > D::BLOCK_LEN {
+            let mut d = D::new();
+            d.update(key);
+            let hashed = d.finalize_vec();
+            block_key[..hashed.len()].copy_from_slice(&hashed);
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+
+        let mut inner = D::new();
+        let ipad: Vec<u8> = block_key.iter().map(|b| b ^ 0x36).collect();
+        inner.update(&ipad);
+
+        let mut outer = D::new();
+        let opad: Vec<u8> = block_key.iter().map(|b| b ^ 0x5c).collect();
+        outer.update(&opad);
+
+        Hmac { inner, outer }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the MAC.
+    #[must_use]
+    pub fn finalize(mut self) -> Vec<u8> {
+        let inner_digest = self.inner.finalize_vec();
+        self.outer.update(&inner_digest);
+        self.outer.finalize_vec()
+    }
+
+    /// One-shot convenience.
+    #[must_use]
+    pub fn mac(key: &[u8], data: &[u8]) -> Vec<u8> {
+        let mut h = Hmac::<D>::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Verifies `tag` against the MAC of `data` in constant time.
+    #[must_use]
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        crate::ct::ct_eq(&Hmac::<D>::mac(key, data), tag)
+    }
+}
+
+/// One-shot HMAC-SHA-256 returning a fixed-size array, the common case in
+/// SeGShare (dedup names, hidden paths).
+#[must_use]
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    let v = Hmac::<crate::sha256::Sha256>::mac(key, data);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::Sha256;
+    use crate::sha512::Sha512;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1_sha256() {
+        let key = [0x0bu8; 20];
+        let data = b"Hi There";
+        assert_eq!(
+            hex(&Hmac::<Sha256>::mac(&key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case1_sha512() {
+        let key = [0x0bu8; 20];
+        let data = b"Hi There";
+        assert_eq!(
+            hex(&Hmac::<Sha512>::mac(&key, data)),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+             daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    // RFC 4231 test case 2: key "Jefe", data "what do ya want for nothing?".
+    #[test]
+    fn rfc4231_case2_sha256() {
+        assert_eq!(
+            hex(&Hmac::<Sha256>::mac(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+    #[test]
+    fn rfc4231_case3_sha256() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex(&Hmac::<Sha256>::mac(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    // RFC 4231 test case 6: key longer than the block size.
+    #[test]
+    fn rfc4231_case6_long_key_sha256() {
+        let key = [0xaau8; 131];
+        let data = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        assert_eq!(
+            hex(&Hmac::<Sha256>::mac(&key, &data[..])),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let key = b"a moderately long key for streaming";
+        let data: Vec<u8> = (0..500u32).map(|i| (i * 7 % 256) as u8).collect();
+        let one_shot = Hmac::<Sha256>::mac(key, &data);
+        let mut h = Hmac::<Sha256>::new(key);
+        for chunk in data.chunks(11) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), one_shot);
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = Hmac::<Sha256>::mac(b"k", b"m");
+        assert!(Hmac::<Sha256>::verify(b"k", b"m", &tag));
+        assert!(!Hmac::<Sha256>::verify(b"k", b"m2", &tag));
+        assert!(!Hmac::<Sha256>::verify(b"k2", b"m", &tag));
+        let mut bad = tag.clone();
+        bad[0] ^= 1;
+        assert!(!Hmac::<Sha256>::verify(b"k", b"m", &bad));
+        assert!(!Hmac::<Sha256>::verify(b"k", b"m", &tag[..31]));
+    }
+
+    #[test]
+    fn distinct_keys_give_distinct_tags() {
+        let t1 = hmac_sha256(b"key1", b"data");
+        let t2 = hmac_sha256(b"key2", b"data");
+        assert_ne!(t1, t2);
+    }
+}

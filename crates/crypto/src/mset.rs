@@ -1,0 +1,267 @@
+//! Incremental multiset hashes (MSet-XOR-Hash, Clarke et al. ASIACRYPT
+//! 2003), used by SeGShare's individual-file rollback protection (§V-D).
+//!
+//! The rollback-protection Merkle tree variant replaces plain hash
+//! concatenation with multiset hashes so that a single child update can be
+//! folded into an inner node *incrementally* — subtract the old child's
+//! hash, add the new one — without touching any sibling file. XOR is its
+//! own inverse, so addition and removal are the same operation; a separate
+//! element count distinguishes multiplicities that XOR alone would cancel.
+//!
+//! The construction is keyed (the enclave keys it with a key derived from
+//! the sealed root key `SK_r`), matching the secret-key setting of the
+//! MSet-XOR-Hash security proof: an attacker who cannot evaluate
+//! `HMAC(K, ·)` cannot craft a colliding multiset.
+
+use crate::hmac::hmac_sha256;
+
+/// Serialized size of a [`MsetHash`] in bytes (32-byte accumulator plus
+/// 8-byte count).
+pub const MSET_HASH_LEN: usize = 40;
+
+/// The key for a multiset hash domain.
+#[derive(Clone)]
+pub struct MsetKey([u8; 32]);
+
+impl std::fmt::Debug for MsetKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MsetKey(..)")
+    }
+}
+
+impl MsetKey {
+    /// Wraps raw 32-byte key material.
+    #[must_use]
+    pub fn from_bytes(key: [u8; 32]) -> Self {
+        MsetKey(key)
+    }
+
+    /// Hashes one element into its accumulator contribution.
+    fn element_hash(&self, element: &[u8]) -> [u8; 32] {
+        hmac_sha256(&self.0, element)
+    }
+}
+
+/// An incremental multiset hash value.
+///
+/// The hash of the empty multiset is [`MsetHash::empty`]; elements are
+/// [added](MsetHash::add) and [removed](MsetHash::remove) in O(1), and two
+/// hashes [combine](MsetHash::combine) in O(1) independent of order.
+///
+/// # Examples
+///
+/// ```
+/// use seg_crypto::mset::{MsetKey, MsetHash};
+///
+/// let key = MsetKey::from_bytes([7u8; 32]);
+/// let mut a = MsetHash::empty();
+/// a.add(&key, b"x");
+/// a.add(&key, b"y");
+/// let mut b = MsetHash::empty();
+/// b.add(&key, b"y");
+/// b.add(&key, b"x");
+/// assert_eq!(a, b); // order independence
+/// a.remove(&key, b"y");
+/// let mut only_x = MsetHash::empty();
+/// only_x.add(&key, b"x");
+/// assert_eq!(a, only_x); // incremental removal
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsetHash {
+    acc: [u8; 32],
+    count: u64,
+}
+
+impl std::fmt::Debug for MsetHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MsetHash {{ count: {}, acc: {:02x}{:02x}{:02x}{:02x}.. }}",
+            self.count, self.acc[0], self.acc[1], self.acc[2], self.acc[3]
+        )
+    }
+}
+
+impl Default for MsetHash {
+    fn default() -> Self {
+        MsetHash::empty()
+    }
+}
+
+impl MsetHash {
+    /// The hash of the empty multiset.
+    #[must_use]
+    pub fn empty() -> Self {
+        MsetHash {
+            acc: [0u8; 32],
+            count: 0,
+        }
+    }
+
+    /// Hash of a single-element multiset.
+    #[must_use]
+    pub fn of(key: &MsetKey, element: &[u8]) -> Self {
+        let mut h = MsetHash::empty();
+        h.add(key, element);
+        h
+    }
+
+    /// Adds one element occurrence.
+    pub fn add(&mut self, key: &MsetKey, element: &[u8]) {
+        let eh = key.element_hash(element);
+        for (a, e) in self.acc.iter_mut().zip(eh.iter()) {
+            *a ^= e;
+        }
+        self.count = self.count.wrapping_add(1);
+    }
+
+    /// Removes one element occurrence.
+    ///
+    /// Removing an element that was never added silently corrupts the
+    /// accumulator (as with any XOR accumulator); callers maintain that
+    /// invariant — in SeGShare the trusted file manager only removes a
+    /// child hash it previously stored.
+    pub fn remove(&mut self, key: &MsetKey, element: &[u8]) {
+        let eh = key.element_hash(element);
+        for (a, e) in self.acc.iter_mut().zip(eh.iter()) {
+            *a ^= e;
+        }
+        self.count = self.count.wrapping_sub(1);
+    }
+
+    /// Replaces one occurrence of `old` with `new` in O(1).
+    pub fn replace(&mut self, key: &MsetKey, old: &[u8], new: &[u8]) {
+        self.remove(key, old);
+        self.add(key, new);
+    }
+
+    /// Multiset union: folds `other` into `self`.
+    pub fn combine(&mut self, other: &MsetHash) {
+        for (a, o) in self.acc.iter_mut().zip(other.acc.iter()) {
+            *a ^= o;
+        }
+        self.count = self.count.wrapping_add(other.count);
+    }
+
+    /// Number of element occurrences folded into this hash.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Serializes to a fixed 40-byte encoding.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; MSET_HASH_LEN] {
+        let mut out = [0u8; MSET_HASH_LEN];
+        out[..32].copy_from_slice(&self.acc);
+        out[32..].copy_from_slice(&self.count.to_le_bytes());
+        out
+    }
+
+    /// Parses the [`MsetHash::to_bytes`] encoding.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; MSET_HASH_LEN]) -> Self {
+        let mut acc = [0u8; 32];
+        acc.copy_from_slice(&bytes[..32]);
+        let count = u64::from_le_bytes(bytes[32..].try_into().expect("8 bytes"));
+        MsetHash { acc, count }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> MsetKey {
+        MsetKey::from_bytes([9u8; 32])
+    }
+
+    #[test]
+    fn empty_is_identity_for_combine() {
+        let k = key();
+        let mut h = MsetHash::of(&k, b"a");
+        let before = h;
+        h.combine(&MsetHash::empty());
+        assert_eq!(h, before);
+    }
+
+    #[test]
+    fn order_independence() {
+        let k = key();
+        let elements: [&[u8]; 4] = [b"alpha", b"beta", b"gamma", b"delta"];
+        let mut forward = MsetHash::empty();
+        for e in elements {
+            forward.add(&k, e);
+        }
+        let mut backward = MsetHash::empty();
+        for e in elements.iter().rev() {
+            backward.add(&k, e);
+        }
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn multiplicity_matters() {
+        let k = key();
+        let mut once = MsetHash::of(&k, b"x");
+        let mut twice = MsetHash::of(&k, b"x");
+        twice.add(&k, b"x");
+        assert_ne!(once, twice, "counts must distinguish multiplicities");
+        // XOR cancels the accumulator but not the count.
+        assert_eq!(twice.to_bytes()[..32], MsetHash::empty().to_bytes()[..32]);
+        once.add(&k, b"x");
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn add_then_remove_restores() {
+        let k = key();
+        let mut h = MsetHash::of(&k, b"base");
+        let snapshot = h;
+        h.add(&k, b"transient");
+        assert_ne!(h, snapshot);
+        h.remove(&k, b"transient");
+        assert_eq!(h, snapshot);
+    }
+
+    #[test]
+    fn replace_is_remove_plus_add() {
+        let k = key();
+        let mut h = MsetHash::of(&k, b"old");
+        h.replace(&k, b"old", b"new");
+        assert_eq!(h, MsetHash::of(&k, b"new"));
+    }
+
+    #[test]
+    fn combine_matches_sequential_adds() {
+        let k = key();
+        let mut left = MsetHash::empty();
+        left.add(&k, b"1");
+        left.add(&k, b"2");
+        let mut right = MsetHash::empty();
+        right.add(&k, b"3");
+        left.combine(&right);
+        let mut all = MsetHash::empty();
+        for e in [&b"1"[..], b"2", b"3"] {
+            all.add(&k, e);
+        }
+        assert_eq!(left, all);
+        assert_eq!(left.count(), 3);
+    }
+
+    #[test]
+    fn different_keys_different_hashes() {
+        let k1 = MsetKey::from_bytes([1u8; 32]);
+        let k2 = MsetKey::from_bytes([2u8; 32]);
+        assert_ne!(MsetHash::of(&k1, b"e"), MsetHash::of(&k2, b"e"));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let k = key();
+        let mut h = MsetHash::empty();
+        h.add(&k, b"a");
+        h.add(&k, b"b");
+        assert_eq!(MsetHash::from_bytes(&h.to_bytes()), h);
+    }
+}

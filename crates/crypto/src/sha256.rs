@@ -1,0 +1,290 @@
+//! SHA-256 (FIPS 180-4).
+//!
+//! SeGShare uses SHA-256 everywhere a collision-resistant hash is needed:
+//! enclave measurements, Merkle-tree leaves, deduplication HMAC names, and
+//! the TLS transcript hash.
+
+use std::sync::OnceLock;
+
+use crate::digest::Digest;
+use crate::sha2gen;
+
+/// Digest length in bytes.
+pub const DIGEST_LEN: usize = 32;
+/// Internal block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+fn round_constants() -> &'static [u32; 64] {
+    static K: OnceLock<[u32; 64]> = OnceLock::new();
+    K.get_or_init(|| {
+        let primes = sha2gen::first_primes(64);
+        let mut k = [0u32; 64];
+        for (slot, p) in k.iter_mut().zip(primes) {
+            *slot = sha2gen::cbrt_frac32(p);
+        }
+        k
+    })
+}
+
+fn initial_state() -> [u32; 8] {
+    static H: OnceLock<[u32; 8]> = OnceLock::new();
+    *H.get_or_init(|| {
+        let primes = sha2gen::first_primes(8);
+        let mut h = [0u32; 8];
+        for (slot, p) in h.iter_mut().zip(primes) {
+            *slot = sha2gen::sqrt_frac32(p);
+        }
+        h
+    })
+}
+
+/// Streaming SHA-256 state.
+///
+/// # Examples
+///
+/// ```
+/// use seg_crypto::sha256::Sha256;
+/// use seg_crypto::digest::Digest;
+///
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// assert_eq!(
+///     hex(&h.finalize()),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// # fn hex(b: &[u8]) -> String { b.iter().map(|x| format!("{x:02x}")).collect() }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; BLOCK_LEN],
+    buffered: usize,
+    total_len: u64,
+}
+
+impl Sha256 {
+    /// Creates a fresh hash state.
+    #[must_use]
+    pub fn new() -> Self {
+        Sha256 {
+            state: initial_state(),
+            buffer: [0u8; BLOCK_LEN],
+            buffered: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffered > 0 {
+            let take = (BLOCK_LEN - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == BLOCK_LEN {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while data.len() >= BLOCK_LEN {
+            let (block, rest) = data.split_at(BLOCK_LEN);
+            let mut b = [0u8; BLOCK_LEN];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+    }
+
+    /// Finishes hashing and returns the 32-byte digest.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit big-endian length.
+        self.update_padding(&[0x80]);
+        while self.buffered != 56 {
+            self.update_padding(&[0]);
+        }
+        self.update_padding(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; DIGEST_LEN];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state.iter()) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot convenience.
+    #[must_use]
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// `update` that does not count towards the message length (for padding).
+    fn update_padding(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.buffer[self.buffered] = byte;
+            self.buffered += 1;
+            if self.buffered == BLOCK_LEN {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let k = round_constants();
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+impl Digest for Sha256 {
+    const BLOCK_LEN: usize = BLOCK_LEN;
+    const OUTPUT_LEN: usize = DIGEST_LEN;
+
+    fn new() -> Self {
+        Sha256::new()
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        Sha256::update(self, data);
+    }
+
+    fn finalize_into(self, out: &mut [u8]) {
+        assert_eq!(out.len(), DIGEST_LEN);
+        out.copy_from_slice(&self.finalize());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_message() {
+        assert_eq!(
+            hex(&Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            hex(&Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&Sha256::digest(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 17, 63, 64, 65, 100, 999, 1000] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha256::digest(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_matches() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Sha256::new();
+        for &b in data.iter() {
+            h.update(&[b]);
+        }
+        assert_eq!(h.finalize(), Sha256::digest(data));
+    }
+
+    #[test]
+    fn lengths_around_block_boundary() {
+        // Padding logic is most fragile at 55/56/57 and 63/64/65 bytes.
+        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 128, 129] {
+            let data = vec![0xa5u8; len];
+            let d1 = Sha256::digest(&data);
+            let mut h = Sha256::new();
+            for chunk in data.chunks(7) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), d1, "len {len}");
+        }
+    }
+}

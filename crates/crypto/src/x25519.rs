@@ -1,0 +1,209 @@
+//! X25519 Diffie-Hellman (RFC 7748), the key agreement of the TLS
+//! substrate's ECDHE handshake.
+
+use crate::curve25519::FieldElement;
+use crate::rng::SecureRandom;
+use crate::CryptoError;
+
+/// Length of public keys, secret keys, and shared secrets.
+pub const KEY_LEN: usize = 32;
+
+/// The Montgomery curve constant (A − 2)/4 = 121665.
+fn a24() -> FieldElement {
+    FieldElement::from_u64(121_665)
+}
+
+/// Clamps a 32-byte scalar per RFC 7748.
+#[must_use]
+pub fn clamp(mut k: [u8; KEY_LEN]) -> [u8; KEY_LEN] {
+    k[0] &= 0xf8;
+    k[31] &= 0x7f;
+    k[31] |= 0x40;
+    k
+}
+
+/// The Montgomery ladder: `scalar * u`, both as 32-byte strings.
+///
+/// `scalar` is clamped internally per RFC 7748.
+#[must_use]
+pub fn scalar_mult(scalar: &[u8; KEY_LEN], u: &[u8; KEY_LEN]) -> [u8; KEY_LEN] {
+    let k = clamp(*scalar);
+    let x1 = FieldElement::from_bytes(u);
+    let mut x2 = FieldElement::ONE;
+    let mut z2 = FieldElement::ZERO;
+    let mut x3 = x1;
+    let mut z3 = FieldElement::ONE;
+    let mut swap = 0u8;
+
+    for t in (0..255).rev() {
+        let k_t = (k[t / 8] >> (t % 8)) & 1;
+        swap ^= k_t;
+        if swap == 1 {
+            std::mem::swap(&mut x2, &mut x3);
+            std::mem::swap(&mut z2, &mut z3);
+        }
+        swap = k_t;
+
+        let a = x2.add(&z2);
+        let aa = a.square();
+        let b = x2.sub(&z2);
+        let bb = b.square();
+        let e = aa.sub(&bb);
+        let c = x3.add(&z3);
+        let d = x3.sub(&z3);
+        let da = d.mul(&a);
+        let cb = c.mul(&b);
+        x3 = da.add(&cb).square();
+        z3 = x1.mul(&da.sub(&cb).square());
+        x2 = aa.mul(&bb);
+        z2 = e.mul(&aa.add(&a24().mul(&e)));
+    }
+    if swap == 1 {
+        std::mem::swap(&mut x2, &mut x3);
+        std::mem::swap(&mut z2, &mut z3);
+    }
+    x2.mul(&z2.invert()).to_bytes()
+}
+
+/// `scalar * 9` — the public key for a secret scalar.
+#[must_use]
+pub fn base_mult(scalar: &[u8; KEY_LEN]) -> [u8; KEY_LEN] {
+    let mut base = [0u8; KEY_LEN];
+    base[0] = 9;
+    scalar_mult(scalar, &base)
+}
+
+/// An ephemeral X25519 key pair.
+#[derive(Clone)]
+pub struct EphemeralKeyPair {
+    secret: [u8; KEY_LEN],
+    public: [u8; KEY_LEN],
+}
+
+impl std::fmt::Debug for EphemeralKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EphemeralKeyPair(public: {:02x}{:02x}..)",
+            self.public[0], self.public[1]
+        )
+    }
+}
+
+impl EphemeralKeyPair {
+    /// Generates a fresh key pair.
+    #[must_use]
+    pub fn generate<R: SecureRandom>(rng: &mut R) -> EphemeralKeyPair {
+        let secret = clamp(rng.array::<KEY_LEN>());
+        let public = base_mult(&secret);
+        EphemeralKeyPair { secret, public }
+    }
+
+    /// The public half.
+    #[must_use]
+    pub fn public(&self) -> &[u8; KEY_LEN] {
+        &self.public
+    }
+
+    /// Computes the shared secret with a peer's public key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::WeakSharedSecret`] if the result is all
+    /// zeros (the peer sent a low-order point), per RFC 7748 §6.1.
+    pub fn diffie_hellman(&self, peer_public: &[u8; KEY_LEN]) -> Result<[u8; KEY_LEN], CryptoError> {
+        let shared = scalar_mult(&self.secret, peer_public);
+        if shared == [0u8; KEY_LEN] {
+            return Err(CryptoError::WeakSharedSecret);
+        }
+        Ok(shared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DeterministicRng;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("hex");
+        }
+        out
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let scalar =
+            unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        assert_eq!(
+            hex(&scalar_mult(&scalar, &u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    // RFC 7748 §5.2 iterated test, 1 iteration.
+    #[test]
+    fn rfc7748_iterated_once() {
+        let mut k = [0u8; 32];
+        k[0] = 9;
+        let u = k;
+        let out = scalar_mult(&k, &u);
+        assert_eq!(
+            hex(&out),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+    }
+
+    #[test]
+    fn diffie_hellman_agrees() {
+        let mut rng = DeterministicRng::seeded(31);
+        for _ in 0..5 {
+            let alice = EphemeralKeyPair::generate(&mut rng);
+            let bob = EphemeralKeyPair::generate(&mut rng);
+            let s1 = alice.diffie_hellman(bob.public()).expect("strong secret");
+            let s2 = bob.diffie_hellman(alice.public()).expect("strong secret");
+            assert_eq!(s1, s2);
+            assert_ne!(s1, [0u8; 32]);
+        }
+    }
+
+    #[test]
+    fn different_peers_different_secrets() {
+        let mut rng = DeterministicRng::seeded(32);
+        let alice = EphemeralKeyPair::generate(&mut rng);
+        let bob = EphemeralKeyPair::generate(&mut rng);
+        let carol = EphemeralKeyPair::generate(&mut rng);
+        let s_ab = alice.diffie_hellman(bob.public()).expect("strong secret");
+        let s_ac = alice.diffie_hellman(carol.public()).expect("strong secret");
+        assert_ne!(s_ab, s_ac);
+    }
+
+    #[test]
+    fn low_order_point_rejected() {
+        let mut rng = DeterministicRng::seeded(33);
+        let alice = EphemeralKeyPair::generate(&mut rng);
+        // u = 0 is a low-order point; the ladder maps it to 0.
+        assert_eq!(
+            alice.diffie_hellman(&[0u8; 32]).unwrap_err(),
+            CryptoError::WeakSharedSecret
+        );
+    }
+
+    #[test]
+    fn clamping_is_idempotent_and_effective() {
+        let k = [0xffu8; 32];
+        let c = clamp(k);
+        assert_eq!(c[0] & 0x07, 0);
+        assert_eq!(c[31] & 0x80, 0);
+        assert_eq!(c[31] & 0x40, 0x40);
+        assert_eq!(clamp(c), c);
+    }
+}

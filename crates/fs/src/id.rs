@@ -1,0 +1,155 @@
+//! User and group identifiers (Table I: `U` and `G`).
+
+use std::fmt;
+
+use crate::FsError;
+
+/// A user identity, as carried in the client certificate's identity
+/// information (§III-A). Authorization never uses anything else, which is
+/// the paper's separation of authentication and authorization (F8).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(String);
+
+impl UserId {
+    /// Validates and wraps a user id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::InvalidId`] for empty ids or ids containing
+    /// NUL / newline (they are embedded in certificates and wire
+    /// messages).
+    pub fn new(id: impl Into<String>) -> Result<UserId, FsError> {
+        let id = id.into();
+        if id.is_empty() || id.contains('\0') || id.contains('\n') {
+            return Err(FsError::InvalidId(format!("bad user id: {id:?}")));
+        }
+        Ok(UserId(id))
+    }
+
+    /// The raw id string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The user's *default group* `g_u` (Table I): a singleton group that
+    /// always contains exactly this user, letting every per-user
+    /// operation reuse the group machinery (P2).
+    #[must_use]
+    pub fn default_group(&self) -> GroupId {
+        GroupId(format!("~{}", self.0))
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A group identity.
+///
+/// Names beginning with `~` are reserved for users' default groups.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(String);
+
+impl GroupId {
+    /// Validates and wraps a (non-default) group id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::InvalidId`] for empty ids, reserved `~` names,
+    /// or ids containing NUL / newline.
+    pub fn new(id: impl Into<String>) -> Result<GroupId, FsError> {
+        let id = id.into();
+        if id.is_empty() || id.contains('\0') || id.contains('\n') {
+            return Err(FsError::InvalidId(format!("bad group id: {id:?}")));
+        }
+        if id.starts_with('~') {
+            return Err(FsError::InvalidId(format!(
+                "group names starting with '~' are reserved for default groups: {id:?}"
+            )));
+        }
+        Ok(GroupId(id))
+    }
+
+    /// Parses a group id that may be a default group (used when decoding
+    /// stored files, where `~user` entries are legitimate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::InvalidId`] for empty or NUL/newline ids.
+    pub fn parse_stored(id: impl Into<String>) -> Result<GroupId, FsError> {
+        let id = id.into();
+        if id.is_empty() || id.contains('\0') || id.contains('\n') {
+            return Err(FsError::InvalidId(format!("bad group id: {id:?}")));
+        }
+        Ok(GroupId(id))
+    }
+
+    /// The raw id string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Whether this is some user's default group.
+    #[must_use]
+    pub fn is_default_group(&self) -> bool {
+        self.0.starts_with('~')
+    }
+
+    /// If this is a default group, the user it belongs to.
+    #[must_use]
+    pub fn default_group_user(&self) -> Option<UserId> {
+        self.0.strip_prefix('~').map(|u| UserId(u.to_string()))
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_id_validation() {
+        assert!(UserId::new("alice").is_ok());
+        assert!(UserId::new("alice@example.com").is_ok());
+        assert!(UserId::new("").is_err());
+        assert!(UserId::new("a\nb").is_err());
+        assert!(UserId::new("a\0b").is_err());
+    }
+
+    #[test]
+    fn default_groups_are_reserved_and_recoverable() {
+        let alice = UserId::new("alice").unwrap();
+        let g = alice.default_group();
+        assert!(g.is_default_group());
+        assert_eq!(g.default_group_user().unwrap(), alice);
+        assert_eq!(g.as_str(), "~alice");
+        // Users cannot claim a default-group name as a regular group.
+        assert!(GroupId::new("~alice").is_err());
+        // But stored-file parsing accepts it.
+        assert!(GroupId::parse_stored("~alice").is_ok());
+    }
+
+    #[test]
+    fn distinct_users_distinct_default_groups() {
+        let a = UserId::new("alice").unwrap().default_group();
+        let b = UserId::new("bob").unwrap().default_group();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn group_id_validation() {
+        assert!(GroupId::new("engineering").is_ok());
+        assert!(GroupId::new("").is_err());
+        assert!(GroupId::new("x\ny").is_err());
+        assert!(GroupId::new("regular").unwrap().default_group_user().is_none());
+    }
+}

@@ -1,0 +1,62 @@
+//! File-system model for the SeGShare reproduction.
+//!
+//! This crate implements the generic file-system model of §II-C and the
+//! access-control relations of Table I as concrete, serializable data
+//! structures. The enclave's trusted file manager stores each of these as
+//! an individually PAE-encrypted object (§IV-B "File Managers"):
+//!
+//! 1. content files and directory files ([`dirfile::DirFile`]),
+//! 2. one ACL file per file-system entry ([`acl::AclFile`], carrying
+//!    `r_P`, `r_FO` and the inherit flag),
+//! 3. one group-list file ([`grouplist::GroupListFile`], the set `G`),
+//! 4. one member-list file per user ([`memberlist::MemberListFile`],
+//!    carrying `r_G` and `r_GO`).
+//!
+//! All list contents are kept sorted (B-tree collections), so a
+//! permission or membership update is one decrypt, a logarithmic search,
+//! one insert/remove, and one re-encrypt — the property behind the
+//! paper's immediate, re-encryption-free revocations (§IV-B, P3/S4).
+
+pub mod acl;
+pub mod codec;
+pub mod dirfile;
+pub mod grouplist;
+pub mod id;
+pub mod memberlist;
+pub mod path;
+pub mod perm;
+
+pub use acl::AclFile;
+pub use dirfile::{ChildKind, DirFile};
+pub use grouplist::GroupListFile;
+pub use id::{GroupId, UserId};
+pub use memberlist::MemberListFile;
+pub use path::SegPath;
+pub use perm::{Access, Perm};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from path validation and file codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsError {
+    /// A path string violated the §II-C path grammar.
+    InvalidPath(String),
+    /// An identifier (user/group) was malformed.
+    InvalidId(String),
+    /// A serialized management file could not be decoded.
+    Codec(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::InvalidPath(msg) => write!(f, "invalid path: {msg}"),
+            FsError::InvalidId(msg) => write!(f, "invalid identifier: {msg}"),
+            FsError::Codec(msg) => write!(f, "malformed management file: {msg}"),
+        }
+    }
+}
+
+impl Error for FsError {}

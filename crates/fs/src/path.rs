@@ -1,0 +1,283 @@
+//! The path model of §II-C.
+//!
+//! Directories form a tree rooted at `/`. A directory's path is "the
+//! concatenation of all directory names in the tree from the root to it,
+//! delimited and concluded by `/`"; a content file's path is its parent
+//! directory's path followed by its filename. Consequently a trailing
+//! slash distinguishes directory paths from content-file paths, and this
+//! type preserves that distinction.
+
+use std::fmt;
+
+use crate::FsError;
+
+/// A validated absolute path.
+///
+/// Invariants: starts with `/`; no empty segments; segment characters are
+/// anything but `/` and NUL; directory paths (including the root `/`)
+/// end with `/`, content-file paths do not.
+///
+/// # Examples
+///
+/// ```
+/// use seg_fs::SegPath;
+///
+/// # fn main() -> Result<(), seg_fs::FsError> {
+/// let dir = SegPath::parse("/projects/alpha/")?;
+/// assert!(dir.is_dir());
+/// let file = dir.join_file("report.pdf")?;
+/// assert_eq!(file.as_str(), "/projects/alpha/report.pdf");
+/// assert_eq!(file.parent().expect("non-root"), dir);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegPath {
+    raw: String,
+}
+
+impl fmt::Debug for SegPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SegPath({:?})", self.raw)
+    }
+}
+
+impl fmt::Display for SegPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+impl SegPath {
+    /// The root directory `/`.
+    #[must_use]
+    pub fn root() -> SegPath {
+        SegPath { raw: "/".to_string() }
+    }
+
+    /// Parses and validates a path string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::InvalidPath`] if the string is not absolute,
+    /// contains empty or NUL-bearing segments, or uses the reserved `.` /
+    /// `..` names.
+    pub fn parse(s: &str) -> Result<SegPath, FsError> {
+        if !s.starts_with('/') {
+            return Err(FsError::InvalidPath(format!("not absolute: {s:?}")));
+        }
+        if s == "/" {
+            return Ok(SegPath::root());
+        }
+        let body = &s[1..];
+        let trimmed = body.strip_suffix('/').unwrap_or(body);
+        for segment in trimmed.split('/') {
+            validate_name(segment)?;
+        }
+        Ok(SegPath { raw: s.to_string() })
+    }
+
+    /// The raw path string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+
+    /// Whether this is a directory path (trailing `/`).
+    #[must_use]
+    pub fn is_dir(&self) -> bool {
+        self.raw.ends_with('/')
+    }
+
+    /// Whether this is the root directory.
+    #[must_use]
+    pub fn is_root(&self) -> bool {
+        self.raw == "/"
+    }
+
+    /// The last path segment (the directory or file name); the root's
+    /// name is `/` per §II-C.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        if self.is_root() {
+            return "/";
+        }
+        let trimmed = self.raw.strip_suffix('/').unwrap_or(&self.raw);
+        match trimmed.rfind('/') {
+            Some(idx) => &trimmed[idx + 1..],
+            None => trimmed,
+        }
+    }
+
+    /// The parent directory (`None` for the root).
+    #[must_use]
+    pub fn parent(&self) -> Option<SegPath> {
+        if self.is_root() {
+            return None;
+        }
+        let trimmed = self.raw.strip_suffix('/').unwrap_or(&self.raw);
+        let idx = trimmed.rfind('/').expect("absolute path has a slash");
+        Some(SegPath {
+            raw: trimmed[..=idx].to_string(),
+        })
+    }
+
+    /// Appends a directory name, yielding a directory path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::InvalidPath`] for invalid names or if `self` is
+    /// not a directory.
+    pub fn join_dir(&self, name: &str) -> Result<SegPath, FsError> {
+        self.require_dir()?;
+        validate_name(name)?;
+        Ok(SegPath {
+            raw: format!("{}{}/", self.raw, name),
+        })
+    }
+
+    /// Appends a filename, yielding a content-file path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::InvalidPath`] for invalid names or if `self` is
+    /// not a directory.
+    pub fn join_file(&self, name: &str) -> Result<SegPath, FsError> {
+        self.require_dir()?;
+        validate_name(name)?;
+        Ok(SegPath {
+            raw: format!("{}{}", self.raw, name),
+        })
+    }
+
+    /// Number of segments (the root has depth 0).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        if self.is_root() {
+            return 0;
+        }
+        let trimmed = self.raw.strip_suffix('/').unwrap_or(&self.raw);
+        trimmed.matches('/').count()
+    }
+
+    /// Whether `self` is `other` or a descendant of directory `other`.
+    #[must_use]
+    pub fn starts_with(&self, other: &SegPath) -> bool {
+        other.is_dir() && self.raw.starts_with(&other.raw)
+    }
+
+    fn require_dir(&self) -> Result<(), FsError> {
+        if self.is_dir() {
+            Ok(())
+        } else {
+            Err(FsError::InvalidPath(format!(
+                "not a directory path: {:?}",
+                self.raw
+            )))
+        }
+    }
+}
+
+/// Validates a single directory or file name.
+fn validate_name(name: &str) -> Result<(), FsError> {
+    if name.is_empty() {
+        return Err(FsError::InvalidPath("empty path segment".to_string()));
+    }
+    if name == "." || name == ".." {
+        return Err(FsError::InvalidPath(format!("reserved name: {name:?}")));
+    }
+    if name.contains('/') || name.contains('\0') {
+        return Err(FsError::InvalidPath(format!(
+            "name contains reserved character: {name:?}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_properties() {
+        let root = SegPath::root();
+        assert!(root.is_dir());
+        assert!(root.is_root());
+        assert_eq!(root.name(), "/");
+        assert_eq!(root.parent(), None);
+        assert_eq!(root.depth(), 0);
+        assert_eq!(SegPath::parse("/").unwrap(), root);
+    }
+
+    #[test]
+    fn parse_accepts_valid_paths() {
+        for p in ["/a", "/a/", "/a/b.txt", "/a/b/c/", "/weird name/ok!"] {
+            assert!(SegPath::parse(p).is_ok(), "{p}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_invalid_paths() {
+        for p in ["", "a", "a/b", "//", "/a//b", "/a/./b", "/../x", "/a\0b"] {
+            assert!(SegPath::parse(p).is_err(), "{p:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn dir_vs_file_distinction() {
+        let dir = SegPath::parse("/docs/").unwrap();
+        let file = SegPath::parse("/docs").unwrap();
+        assert!(dir.is_dir());
+        assert!(!file.is_dir());
+        assert_ne!(dir, file);
+        assert_eq!(dir.name(), "docs");
+        assert_eq!(file.name(), "docs");
+    }
+
+    #[test]
+    fn parent_chain() {
+        let f = SegPath::parse("/a/b/c.txt").unwrap();
+        let p1 = f.parent().unwrap();
+        assert_eq!(p1.as_str(), "/a/b/");
+        let p2 = p1.parent().unwrap();
+        assert_eq!(p2.as_str(), "/a/");
+        let p3 = p2.parent().unwrap();
+        assert!(p3.is_root());
+        assert_eq!(p3.parent(), None);
+    }
+
+    #[test]
+    fn join_builds_correct_paths() {
+        let root = SegPath::root();
+        let d = root.join_dir("a").unwrap();
+        assert_eq!(d.as_str(), "/a/");
+        let f = d.join_file("b.txt").unwrap();
+        assert_eq!(f.as_str(), "/a/b.txt");
+        assert!(f.join_dir("x").is_err(), "cannot join onto a file");
+        assert!(d.join_file("with/slash").is_err());
+        assert!(d.join_dir("..").is_err());
+    }
+
+    #[test]
+    fn depth_and_prefix() {
+        let a = SegPath::parse("/a/").unwrap();
+        let ab = SegPath::parse("/a/b/").unwrap();
+        let abc = SegPath::parse("/a/b/c").unwrap();
+        assert_eq!(SegPath::root().depth(), 0);
+        assert_eq!(a.depth(), 1);
+        assert_eq!(ab.depth(), 2);
+        assert_eq!(abc.depth(), 3);
+        assert!(abc.starts_with(&ab));
+        assert!(abc.starts_with(&SegPath::root()));
+        assert!(!ab.starts_with(&abc));
+        // A file is never a prefix parent.
+        assert!(!abc.starts_with(&SegPath::parse("/a/b").unwrap()));
+    }
+
+    #[test]
+    fn name_extraction() {
+        assert_eq!(SegPath::parse("/a/b/c.txt").unwrap().name(), "c.txt");
+        assert_eq!(SegPath::parse("/a/b/").unwrap().name(), "b");
+        assert_eq!(SegPath::parse("/a").unwrap().name(), "a");
+    }
+}

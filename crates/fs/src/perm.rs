@@ -1,0 +1,118 @@
+//! Permissions (Table I: `P = {p_r, p_w, p_deny}`).
+
+use crate::FsError;
+
+/// The kind of access a request needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Read file content / list a directory.
+    Read,
+    /// Create, update, move, or remove.
+    Write,
+}
+
+/// A permission entry for one (group, file) pair.
+///
+/// Per §II-C ("The permissions can either be a combination of read and
+/// write, or access can be denied"), an entry is read, write, both, or an
+/// explicit deny. An explicit deny on a file takes precedence over an
+/// inherited grant for the *same group* (§V-B) but never overrides a
+/// grant another group gives the user (Table IV `auth_f` is an
+/// existential check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Perm {
+    /// Read only.
+    Read,
+    /// Write only.
+    Write,
+    /// Read and write.
+    ReadWrite,
+    /// Access denied (overrides inherited permissions for this group).
+    Deny,
+}
+
+impl Perm {
+    /// Whether this entry grants `access`.
+    #[must_use]
+    pub fn allows(self, access: Access) -> bool {
+        matches!(
+            (self, access),
+            (Perm::Read, Access::Read)
+                | (Perm::Write, Access::Write)
+                | (Perm::ReadWrite, Access::Read)
+                | (Perm::ReadWrite, Access::Write)
+        )
+    }
+
+    /// Adds `access` to this entry (deny is replaced by the grant).
+    #[must_use]
+    pub fn grant(self, access: Access) -> Perm {
+        match (self, access) {
+            (Perm::Deny, Access::Read) | (Perm::Read, Access::Read) => Perm::Read,
+            (Perm::Deny, Access::Write) | (Perm::Write, Access::Write) => Perm::Write,
+            (Perm::Read, Access::Write)
+            | (Perm::Write, Access::Read)
+            | (Perm::ReadWrite, _) => Perm::ReadWrite,
+        }
+    }
+
+    /// Compact encoding (the paper stores 32-bit entries; the permission
+    /// nibble is the low bits).
+    #[must_use]
+    pub fn encode(self) -> u8 {
+        match self {
+            Perm::Read => 1,
+            Perm::Write => 2,
+            Perm::ReadWrite => 3,
+            Perm::Deny => 0,
+        }
+    }
+
+    /// Inverse of [`Perm::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Codec`] for unknown encodings.
+    pub fn decode(v: u8) -> Result<Perm, FsError> {
+        match v {
+            0 => Ok(Perm::Deny),
+            1 => Ok(Perm::Read),
+            2 => Ok(Perm::Write),
+            3 => Ok(Perm::ReadWrite),
+            other => Err(FsError::Codec(format!("unknown permission code {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allows_matrix() {
+        assert!(Perm::Read.allows(Access::Read));
+        assert!(!Perm::Read.allows(Access::Write));
+        assert!(Perm::Write.allows(Access::Write));
+        assert!(!Perm::Write.allows(Access::Read));
+        assert!(Perm::ReadWrite.allows(Access::Read));
+        assert!(Perm::ReadWrite.allows(Access::Write));
+        assert!(!Perm::Deny.allows(Access::Read));
+        assert!(!Perm::Deny.allows(Access::Write));
+    }
+
+    #[test]
+    fn grant_composition() {
+        assert_eq!(Perm::Read.grant(Access::Write), Perm::ReadWrite);
+        assert_eq!(Perm::Write.grant(Access::Read), Perm::ReadWrite);
+        assert_eq!(Perm::Deny.grant(Access::Read), Perm::Read);
+        assert_eq!(Perm::ReadWrite.grant(Access::Read), Perm::ReadWrite);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for p in [Perm::Read, Perm::Write, Perm::ReadWrite, Perm::Deny] {
+            assert_eq!(Perm::decode(p.encode()).unwrap(), p);
+        }
+        assert!(Perm::decode(9).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Transports and the WAN model for the SeGShare reproduction.
+//!
+//! SeGShare's evaluation runs a client in Azure's central-US region
+//! against a server in east US (§VII-B). We have one machine, so:
+//!
+//! * [`FrameTransport`] — the byte-frame interface both the TLS substrate
+//!   and the plaintext baselines speak.
+//! * [`duplex`] — an in-memory transport pair (tests, benches).
+//! * [`TcpTransport`] — real TCP with length framing (examples can run a
+//!   server and client in separate processes).
+//! * [`simwan::WanProfile`] — a deterministic model of the testbed's
+//!   network (RTT, bandwidth, per-request overhead) that the bench
+//!   harness composes with *measured* processing time to reproduce the
+//!   paper's end-to-end latency shape.
+
+pub mod simwan;
+mod tcp;
+
+pub use tcp::TcpTransport;
+
+use std::error::Error;
+use std::fmt;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+/// Errors from transports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The peer closed the connection.
+    Closed,
+    /// An underlying I/O failure.
+    Io(String),
+    /// A frame exceeded the receiver's size limit.
+    FrameTooLarge(usize),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Closed => f.write_str("connection closed by peer"),
+            NetError::Io(msg) => write!(f, "network i/o error: {msg}"),
+            NetError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::BrokenPipe => NetError::Closed,
+            _ => NetError::Io(e.to_string()),
+        }
+    }
+}
+
+/// Maximum accepted frame size (64 MiB) — a sanity bound against
+/// attacker-supplied length prefixes.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// A blocking, message-framed, bidirectional byte channel.
+pub trait FrameTransport: Send {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`] if the peer is gone.
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), NetError>;
+
+    /// Receives one frame, blocking until available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`] when the peer hangs up.
+    fn recv_frame(&mut self) -> Result<Vec<u8>, NetError>;
+}
+
+/// One end of an in-memory duplex connection.
+#[derive(Debug)]
+pub struct ChannelTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+/// Frames buffered per direction before `send_frame` blocks —
+/// backpressure like a real socket, so streamed transfers keep bounded
+/// memory (the paper's constant-buffer streaming, §VI, end to end).
+const DUPLEX_DEPTH: usize = 64;
+
+/// Creates a connected in-memory transport pair.
+#[must_use]
+pub fn duplex() -> (ChannelTransport, ChannelTransport) {
+    let (tx_a, rx_a) = bounded(DUPLEX_DEPTH);
+    let (tx_b, rx_b) = bounded(DUPLEX_DEPTH);
+    (
+        ChannelTransport { tx: tx_a, rx: rx_b },
+        ChannelTransport { tx: tx_b, rx: rx_a },
+    )
+}
+
+impl FrameTransport for ChannelTransport {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        self.tx.send(frame.to_vec()).map_err(|_| NetError::Closed)
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, NetError> {
+        self.rx.recv().map_err(|_| NetError::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplex_roundtrip() {
+        let (mut a, mut b) = duplex();
+        a.send_frame(b"ping").unwrap();
+        assert_eq!(b.recv_frame().unwrap(), b"ping");
+        b.send_frame(b"pong").unwrap();
+        assert_eq!(a.recv_frame().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn frames_preserve_boundaries() {
+        let (mut a, mut b) = duplex();
+        a.send_frame(b"one").unwrap();
+        a.send_frame(b"").unwrap();
+        a.send_frame(b"three").unwrap();
+        assert_eq!(b.recv_frame().unwrap(), b"one");
+        assert_eq!(b.recv_frame().unwrap(), b"");
+        assert_eq!(b.recv_frame().unwrap(), b"three");
+    }
+
+    #[test]
+    fn closed_peer_detected() {
+        let (mut a, b) = duplex();
+        drop(b);
+        assert_eq!(a.send_frame(b"x").unwrap_err(), NetError::Closed);
+        assert_eq!(a.recv_frame().unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let (mut a, mut b) = duplex();
+        let handle = std::thread::spawn(move || {
+            for i in 0u32..100 {
+                b.send_frame(&i.to_le_bytes()).unwrap();
+            }
+            // Echo back what we receive.
+            let frame = b.recv_frame().unwrap();
+            b.send_frame(&frame).unwrap();
+        });
+        for i in 0u32..100 {
+            assert_eq!(a.recv_frame().unwrap(), i.to_le_bytes());
+        }
+        a.send_frame(b"done").unwrap();
+        assert_eq!(a.recv_frame().unwrap(), b"done");
+        handle.join().unwrap();
+    }
+}

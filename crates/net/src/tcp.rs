@@ -1,0 +1,103 @@
+//! TCP transport with u32 length framing.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use crate::{FrameTransport, NetError, MAX_FRAME};
+
+/// A [`FrameTransport`] over a TCP stream: each frame is a little-endian
+/// `u32` length followed by the payload.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream.
+    #[must_use]
+    pub fn new(stream: TcpStream) -> TcpTransport {
+        // Frames are already batched; disable Nagle for latency.
+        let _ = stream.set_nodelay(true);
+        TcpTransport { stream }
+    }
+
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] if the connection fails.
+    pub fn connect(addr: &str) -> Result<TcpTransport, NetError> {
+        Ok(TcpTransport::new(TcpStream::connect(addr)?))
+    }
+}
+
+impl FrameTransport for TcpTransport {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        let len = u32::try_from(frame.len()).map_err(|_| NetError::FrameTooLarge(frame.len()))?;
+        self.stream.write_all(&len.to_le_bytes())?;
+        self.stream.write_all(frame)?;
+        Ok(())
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, NetError> {
+        let mut len_bytes = [0u8; 4];
+        self.stream.read_exact(&mut len_bytes)?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_FRAME {
+            return Err(NetError::FrameTooLarge(len));
+        }
+        let mut frame = vec![0u8; len];
+        self.stream.read_exact(&mut frame)?;
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn tcp_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::new(stream);
+            loop {
+                match t.recv_frame() {
+                    Ok(frame) => t.send_frame(&frame).unwrap(),
+                    Err(NetError::Closed) => break,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        });
+
+        let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
+        for payload in [&b""[..], b"x", &[7u8; 100_000]] {
+            client.send_frame(payload).unwrap();
+            assert_eq!(client.recv_frame().unwrap(), payload);
+        }
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // Claim a 1 GiB frame.
+            stream
+                .write_all(&(1_073_741_824u32).to_le_bytes())
+                .unwrap();
+        });
+        let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
+        assert!(matches!(
+            client.recv_frame(),
+            Err(NetError::FrameTooLarge(_))
+        ));
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,150 @@
+//! Remote attestation quotes (§II-A "Attestation").
+//!
+//! A quote proves to a remote verifier (SeGShare's CA during setup,
+//! §IV-A; peer enclaves during replication, §V-F) that specific report
+//! data was produced by an enclave with a specific measurement on a
+//! genuine platform. The platform's attestation key stands in for the
+//! EPID/DCAP machinery and the attestation service.
+
+use seg_crypto::ed25519::{PublicKey, Signature};
+
+use crate::enclave::Measurement;
+use crate::platform::Platform;
+use crate::SgxError;
+
+/// Maximum report-data length (matches SGX's 64-byte REPORTDATA field).
+pub const REPORT_DATA_LEN: usize = 64;
+
+/// An attestation quote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    measurement: Measurement,
+    platform_id: [u8; 16],
+    report_data: [u8; REPORT_DATA_LEN],
+    signature: Signature,
+}
+
+impl Quote {
+    pub(crate) fn issue(platform: &Platform, measurement: Measurement, report_data: &[u8]) -> Quote {
+        assert!(
+            report_data.len() <= REPORT_DATA_LEN,
+            "report data exceeds {REPORT_DATA_LEN} bytes"
+        );
+        let mut padded = [0u8; REPORT_DATA_LEN];
+        padded[..report_data.len()].copy_from_slice(report_data);
+        let signature = platform
+            .inner
+            .attestation_key
+            .sign(&Self::signed_bytes(&measurement, &platform.inner.id, &padded));
+        Quote {
+            measurement,
+            platform_id: platform.inner.id,
+            report_data: padded,
+            signature,
+        }
+    }
+
+    fn signed_bytes(
+        measurement: &Measurement,
+        platform_id: &[u8; 16],
+        report_data: &[u8; REPORT_DATA_LEN],
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 32 + 16 + REPORT_DATA_LEN);
+        out.extend_from_slice(b"SGXQUOTE");
+        out.extend_from_slice(measurement);
+        out.extend_from_slice(platform_id);
+        out.extend_from_slice(report_data);
+        out
+    }
+
+    /// Verifies this quote against a trusted attestation verification key
+    /// and returns the attested measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::QuoteInvalid`] if the signature does not
+    /// verify.
+    pub fn verify(&self, attestation_key: &PublicKey) -> Result<Measurement, SgxError> {
+        attestation_key
+            .verify(
+                &Self::signed_bytes(&self.measurement, &self.platform_id, &self.report_data),
+                &self.signature,
+            )
+            .map_err(|_| SgxError::QuoteInvalid)?;
+        Ok(self.measurement)
+    }
+
+    /// The claimed (unverified) measurement.
+    #[must_use]
+    pub fn measurement(&self) -> Measurement {
+        self.measurement
+    }
+
+    /// The report data carried by the quote (zero-padded to 64 bytes).
+    #[must_use]
+    pub fn report_data(&self) -> &[u8; REPORT_DATA_LEN] {
+        &self.report_data
+    }
+
+    /// The issuing platform's id.
+    #[must_use]
+    pub fn platform_id(&self) -> [u8; 16] {
+        self.platform_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::EnclaveImage;
+
+    #[test]
+    fn quote_verifies_under_platform_key() {
+        let p = Platform::new_with_seed(5);
+        let e = p.launch(&EnclaveImage::from_code(b"segshare"));
+        let quote = e.quote(b"csr public key hash");
+        let m = quote.verify(&p.attestation_public_key()).unwrap();
+        assert_eq!(m, e.measurement());
+        assert_eq!(&quote.report_data()[..19], b"csr public key hash");
+        assert!(quote.report_data()[19..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn quote_rejected_under_wrong_key() {
+        let p1 = Platform::new_with_seed(6);
+        let p2 = Platform::new_with_seed(7);
+        let quote = p1
+            .launch(&EnclaveImage::from_code(b"segshare"))
+            .quote(b"data");
+        assert_eq!(
+            quote.verify(&p2.attestation_public_key()).unwrap_err(),
+            SgxError::QuoteInvalid
+        );
+    }
+
+    #[test]
+    fn forged_measurement_rejected() {
+        let p = Platform::new_with_seed(8);
+        let e = p.launch(&EnclaveImage::from_code(b"honest"));
+        let mut quote = e.quote(b"");
+        quote.measurement[0] ^= 1;
+        assert!(quote.verify(&p.attestation_public_key()).is_err());
+    }
+
+    #[test]
+    fn forged_report_data_rejected() {
+        let p = Platform::new_with_seed(9);
+        let e = p.launch(&EnclaveImage::from_code(b"honest"));
+        let mut quote = e.quote(b"original");
+        quote.report_data[0] = b'X';
+        assert!(quote.verify(&p.attestation_public_key()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "report data exceeds")]
+    fn oversized_report_data_panics() {
+        let p = Platform::new_with_seed(10);
+        let e = p.launch(&EnclaveImage::from_code(b"x"));
+        let _ = e.quote(&[0u8; 65]);
+    }
+}

@@ -1,0 +1,113 @@
+//! A software-simulated Intel SGX platform.
+//!
+//! The paper runs on real SGX hardware; this reproduction has none, so —
+//! per the substitution rule in `DESIGN.md` — this crate rebuilds the SGX
+//! primitives SeGShare consumes, with the same APIs, failure modes, and a
+//! calibrated cost model:
+//!
+//! * [`Platform`] / [`Enclave`] — enclave lifecycle with code
+//!   *measurements* (§II-A "Attestation"): launching an image yields an
+//!   enclave whose identity is the SHA-256 of its initial code and data.
+//! * **Sealing** ([`Enclave::seal`] / [`Enclave::unseal`], §II-A "Data
+//!   Sealing") — MRENCLAVE-policy sealing keys derived from a
+//!   platform-bound master secret and the measurement; unsealing on a
+//!   different platform or from a different enclave fails.
+//! * **Remote attestation** ([`Enclave::quote`], [`attestation`]) — quotes
+//!   bind a measurement and 64 bytes of report data under the platform's
+//!   attestation key (standing in for EPID/DCAP and the attestation
+//!   service).
+//! * **Monotonic counters** ([`counter`], §V-E) — persisted per
+//!   (platform, enclave-measurement) with the slow-increment latency and
+//!   wear-out limit the paper cites as the weakness of SGX counters.
+//! * **Boundary accounting** ([`boundary`], §II-A "Switchless Calls") —
+//!   every ecall/ocall is charged a transition cost; switchless mode
+//!   charges the cheaper switchless cost, giving the ablation benchmark
+//!   its signal.
+//! * **EPC accounting** ([`epc`]) — tracks enclave memory pressure against
+//!   the 128 MiB PRM and charges paging costs beyond it, letting tests
+//!   prove the streaming design keeps enclave buffers constant.
+//! * **Protected File System Library** ([`pfs`], §II-A) — 4 KiB-node
+//!   encrypted files with a Merkle/“tag-tree” integrity structure,
+//!   matching Intel PFS's ~1 % space overhead that the paper's storage
+//!   table measures.
+//!
+//! # Example
+//!
+//! ```
+//! use seg_sgx::{Platform, EnclaveImage};
+//!
+//! # fn main() -> Result<(), seg_sgx::SgxError> {
+//! let platform = Platform::new_with_seed(7);
+//! let enclave = platform.launch(&EnclaveImage::from_code(b"my enclave code"));
+//! let sealed = enclave.seal(b"root key material")?;
+//! assert_eq!(enclave.unseal(&sealed)?, b"root key material");
+//!
+//! // A different enclave (different measurement) cannot unseal it.
+//! let other = platform.launch(&EnclaveImage::from_code(b"evil enclave"));
+//! assert!(other.unseal(&sealed).is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod attestation;
+pub mod boundary;
+pub mod counter;
+pub mod enclave;
+pub mod epc;
+pub mod pfs;
+pub mod platform;
+
+pub use attestation::Quote;
+pub use boundary::{Boundary, BoundaryStats, CostModel};
+pub use counter::CounterHandle;
+pub use enclave::{Enclave, EnclaveImage, Measurement};
+pub use platform::Platform;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the simulated SGX platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SgxError {
+    /// Sealed blob failed authentication or was sealed by another
+    /// enclave/platform.
+    UnsealFailed,
+    /// A quote signature or structure did not verify.
+    QuoteInvalid,
+    /// A monotonic counter exceeded its wear-out limit (§V-E).
+    CounterWornOut,
+    /// A protected file was corrupted, truncated, or tampered with.
+    ProtectedFileCorrupted(String),
+    /// An underlying cryptographic failure.
+    Crypto(seg_crypto::CryptoError),
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgxError::UnsealFailed => f.write_str("unsealing failed"),
+            SgxError::QuoteInvalid => f.write_str("attestation quote invalid"),
+            SgxError::CounterWornOut => f.write_str("monotonic counter worn out"),
+            SgxError::ProtectedFileCorrupted(msg) => {
+                write!(f, "protected file corrupted: {msg}")
+            }
+            SgxError::Crypto(e) => write!(f, "crypto failure: {e}"),
+        }
+    }
+}
+
+impl Error for SgxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SgxError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<seg_crypto::CryptoError> for SgxError {
+    fn from(e: seg_crypto::CryptoError) -> Self {
+        SgxError::Crypto(e)
+    }
+}

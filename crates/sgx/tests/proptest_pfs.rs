@@ -1,0 +1,97 @@
+//! Property-based tests for the Protected File System reimplementation
+//! and the sealing/attestation primitives.
+
+use proptest::prelude::*;
+use seg_crypto::rng::DeterministicRng;
+use seg_sgx::pfs::{self, PfsFile, PfsWriter, DATA_PER_NODE};
+use seg_sgx::{EnclaveImage, Platform};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pfs_roundtrip_arbitrary_sizes(
+        len in 0usize..3 * DATA_PER_NODE + 7,
+        key in proptest::array::uniform16(any::<u8>()),
+        seed in any::<u64>(),
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+        let mut rng = DeterministicRng::seeded(seed);
+        let blob = pfs::pfs_encrypt(&key, &data, &mut rng).expect("encrypt");
+        prop_assert_eq!(blob.len() as u64, pfs::encrypted_size(len as u64));
+        prop_assert_eq!(pfs::pfs_decrypt(&key, &blob).expect("decrypt"), data);
+    }
+
+    #[test]
+    fn pfs_streamed_writes_equal_one_shot(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..5000), 0..8),
+        seed in any::<u64>(),
+    ) {
+        let key = [9u8; 16];
+        let mut rng = DeterministicRng::seeded(seed);
+        let mut writer = PfsWriter::new(&key, &mut rng).expect("writer");
+        let mut all = Vec::new();
+        for chunk in &chunks {
+            writer.write(chunk);
+            all.extend_from_slice(chunk);
+        }
+        let blob = writer.finish();
+        prop_assert_eq!(pfs::pfs_decrypt(&key, &blob).expect("decrypt"), all);
+    }
+
+    #[test]
+    fn pfs_detects_any_tamper(
+        len in 1usize..2 * DATA_PER_NODE,
+        flip_at in any::<u32>(),
+        bit in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        let key = [3u8; 16];
+        let data = vec![0x5au8; len];
+        let mut rng = DeterministicRng::seeded(seed);
+        let mut blob = pfs::pfs_encrypt(&key, &data, &mut rng).expect("encrypt");
+        let idx = (flip_at as usize) % blob.len();
+        blob[idx] ^= 1 << bit;
+        prop_assert!(pfs::pfs_decrypt(&key, &blob).is_err());
+    }
+
+    #[test]
+    fn pfs_random_access_matches_linear(
+        len in 1usize..4 * DATA_PER_NODE,
+        node in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let key = [4u8; 16];
+        let data: Vec<u8> = (0..len).map(|i| (i % 249) as u8).collect();
+        let mut rng = DeterministicRng::seeded(seed);
+        let blob = pfs::pfs_encrypt(&key, &data, &mut rng).expect("encrypt");
+        let file = PfsFile::open(&key, blob).expect("open");
+        let node = node % file.node_count();
+        let expected =
+            &data[(node as usize) * DATA_PER_NODE..len.min((node as usize + 1) * DATA_PER_NODE)];
+        prop_assert_eq!(file.read_node(node).expect("read"), expected);
+    }
+
+    #[test]
+    fn sealing_roundtrip_any_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        seed in any::<u64>(),
+    ) {
+        let platform = Platform::new_with_seed(seed);
+        let enclave = platform.launch(&EnclaveImage::from_code(b"prop"));
+        let sealed = enclave.seal(&payload).expect("seal");
+        prop_assert_eq!(enclave.unseal(&sealed).expect("unseal"), payload);
+    }
+
+    #[test]
+    fn quotes_verify_only_under_their_platform(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        prop_assume!(seed_a != seed_b);
+        let a = Platform::new_with_seed(seed_a);
+        let b = Platform::new_with_seed(seed_b);
+        let enclave = a.launch(&EnclaveImage::from_code(b"prop"));
+        let quote = enclave.quote(b"report");
+        prop_assert!(quote.verify(&a.attestation_public_key()).is_ok());
+        prop_assert!(quote.verify(&b.attestation_public_key()).is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! On-disk object store.
+//!
+//! Each object is stored as one file whose name encodes the key
+//! (percent-encoding, with a length cap for deep paths); the original key
+//! is prepended inside the file so `list` can recover it even for
+//! length-capped names. This mirrors the paper's deployment, where the
+//! enclave's encrypted files land as regular files on the provider's disk
+//! (§V-G: "the cloud provider only has to copy the files on disk" for
+//! backups).
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::{ObjectStore, StoreError};
+
+/// Maximum encoded file-name length before switching to a hashed name.
+const MAX_NAME: usize = 180;
+
+/// An object store rooted at a directory on the local file system.
+#[derive(Debug)]
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the directory cannot be created.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(DirStore { root })
+    }
+
+    /// The root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn file_for(&self, key: &str) -> PathBuf {
+        self.root.join(encode_name(key))
+    }
+}
+
+/// Percent-encodes a key into a single safe file name.
+fn encode_name(key: &str) -> String {
+    let mut out = String::with_capacity(key.len() + 8);
+    // Leading marker keeps encoded names from ever being "." / ".." or
+    // colliding with our temp-file suffix handling.
+    out.push_str("o.");
+    for byte in key.bytes() {
+        match byte {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'_' | b'-' => {
+                out.push(byte as char);
+            }
+            _ => out.push_str(&format!("%{byte:02x}")),
+        }
+    }
+    if out.len() > MAX_NAME {
+        // Deterministic fallback: prefix + FNV-1a hash of the full key.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        out.truncate(MAX_NAME - 17);
+        out.push('~');
+        out.push_str(&format!("{hash:016x}"));
+    }
+    out
+}
+
+/// On-disk record: `key_len (u32 le) || key || value`.
+fn encode_record(key: &str, value: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + key.len() + value.len());
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key.as_bytes());
+    out.extend_from_slice(value);
+    out
+}
+
+fn decode_record(data: &[u8]) -> Result<(String, Vec<u8>), StoreError> {
+    if data.len() < 4 {
+        return Err(StoreError::Io("truncated record header".to_string()));
+    }
+    let key_len = u32::from_le_bytes(data[..4].try_into().expect("4 bytes")) as usize;
+    if data.len() < 4 + key_len {
+        return Err(StoreError::Io("truncated record key".to_string()));
+    }
+    let key = String::from_utf8(data[4..4 + key_len].to_vec())
+        .map_err(|_| StoreError::Io("record key is not utf-8".to_string()))?;
+    Ok((key, data[4 + key_len..].to_vec()))
+}
+
+impl ObjectStore for DirStore {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        match fs::read(self.file_for(key)) {
+            Ok(data) => {
+                let (stored_key, value) = decode_record(&data)?;
+                if stored_key != key {
+                    // Hash-name collision between distinct keys: treat as
+                    // absent rather than returning the wrong object.
+                    return Ok(None);
+                }
+                Ok(Some(value))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        // Write-then-rename for atomicity against torn writes. Temp files
+        // live in the "t." namespace (object files use "o.") and carry a
+        // unique id so concurrent writers never share one.
+        static TMP_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let target = self.file_for(key);
+        let tmp = self.root.join(format!(
+            "t.{}-{}",
+            std::process::id(),
+            TMP_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&encode_record(key, value))?;
+            f.sync_data().ok();
+        }
+        fs::rename(&tmp, &target)?;
+        Ok(())
+    }
+
+    fn delete(&self, key: &str) -> Result<bool, StoreError> {
+        match fs::remove_file(self.file_for(key)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn exists(&self, key: &str) -> Result<bool, StoreError> {
+        Ok(self.file_for(key).exists())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut keys = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file()
+                || !entry.file_name().to_string_lossy().starts_with("o.")
+            {
+                continue;
+            }
+            let data = fs::read(entry.path())?;
+            let (key, _) = decode_record(&data)?;
+            keys.push(key);
+        }
+        Ok(keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "seg-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_on_disk() {
+        let dir = tempdir("roundtrip");
+        let s = DirStore::open(&dir).unwrap();
+        s.put("content/a/b.txt", b"hello").unwrap();
+        assert_eq!(s.get("content/a/b.txt").unwrap(), Some(b"hello".to_vec()));
+        // Survives reopening.
+        let s2 = DirStore::open(&dir).unwrap();
+        assert_eq!(s2.get("content/a/b.txt").unwrap(), Some(b"hello".to_vec()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn odd_key_characters() {
+        let dir = tempdir("oddkeys");
+        let s = DirStore::open(&dir).unwrap();
+        for key in ["/", "/a b/c%d", "ünïcødé/💾", "..", "a\tb"] {
+            s.put(key, key.as_bytes()).unwrap();
+            assert_eq!(
+                s.get(key).unwrap(),
+                Some(key.as_bytes().to_vec()),
+                "key {key:?}"
+            );
+        }
+        assert_eq!(s.len().unwrap(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn very_long_keys_hash_but_roundtrip() {
+        let dir = tempdir("longkeys");
+        let s = DirStore::open(&dir).unwrap();
+        let k1 = format!("/{}", "x".repeat(500));
+        let k2 = format!("/{}", "x".repeat(501));
+        s.put(&k1, b"one").unwrap();
+        s.put(&k2, b"two").unwrap();
+        assert_eq!(s.get(&k1).unwrap(), Some(b"one".to_vec()));
+        assert_eq!(s.get(&k2).unwrap(), Some(b"two".to_vec()));
+        let mut listed = s.list().unwrap();
+        listed.sort();
+        let mut expected = vec![k1, k2];
+        expected.sort();
+        assert_eq!(listed, expected);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delete_and_rename() {
+        let dir = tempdir("delren");
+        let s = DirStore::open(&dir).unwrap();
+        s.put("a", b"v").unwrap();
+        s.rename("a", "b").unwrap();
+        assert_eq!(s.get("a").unwrap(), None);
+        assert_eq!(s.get("b").unwrap(), Some(b"v".to_vec()));
+        assert!(s.delete("b").unwrap());
+        assert!(s.is_empty().unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,215 @@
+//! Untrusted object storage for the SeGShare reproduction.
+//!
+//! In the paper's architecture (Fig. 1), the *untrusted file manager*
+//! performs the actual memory/disk accesses for the enclave; everything it
+//! touches is attacker-controlled (§III-B). This crate models that storage
+//! layer:
+//!
+//! * [`ObjectStore`] — the interface the untrusted file manager programs
+//!   against.
+//! * [`MemStore`] — an in-memory store (the common test/bench substrate).
+//! * [`DirStore`] — an on-disk store for persistence across runs.
+//! * [`CountingStore`] — instrumentation wrapper (op and byte counters)
+//!   used by the benchmark harness to report storage overheads.
+//! * [`AdversaryStore`] — a malicious-cloud wrapper that can tamper with,
+//!   roll back, or delete objects, used by the threat-model tests to show
+//!   the enclave detects every such manipulation.
+//!
+//! # Example
+//!
+//! ```
+//! use seg_store::{MemStore, ObjectStore};
+//!
+//! # fn main() -> Result<(), seg_store::StoreError> {
+//! let store = MemStore::new();
+//! store.put("content/f", b"ciphertext")?;
+//! assert_eq!(store.get("content/f")?, Some(b"ciphertext".to_vec()));
+//! # Ok(())
+//! # }
+//! ```
+
+mod adversary;
+mod counting;
+mod dir;
+mod mem;
+
+pub use adversary::AdversaryStore;
+pub use counting::{CountingStore, StoreStats};
+pub use dir::DirStore;
+pub use mem::MemStore;
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from storage backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An underlying I/O failure (message carries the OS error text).
+    Io(String),
+    /// `rename` was asked to move a key that does not exist.
+    NotFound(String),
+    /// Injected failure from [`AdversaryStore`].
+    Injected,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "storage i/o error: {msg}"),
+            StoreError::NotFound(key) => write!(f, "object not found: {key}"),
+            StoreError::Injected => f.write_str("injected storage failure"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(err: std::io::Error) -> Self {
+        StoreError::Io(err.to_string())
+    }
+}
+
+/// A flat keyed object store: the storage interface of the untrusted file
+/// manager.
+///
+/// Keys are arbitrary UTF-8 strings (SeGShare uses file-system paths, or
+/// HMAC hex strings when the filename-hiding extension is active, §V-C).
+/// All methods take `&self`; implementations are internally synchronized
+/// so the server host can serve concurrent sessions.
+pub trait ObjectStore: Send + Sync {
+    /// Reads the object at `key`, or `None` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on backend failure.
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError>;
+
+    /// Creates or replaces the object at `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on backend failure.
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError>;
+
+    /// Deletes the object at `key`; returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on backend failure.
+    fn delete(&self, key: &str) -> Result<bool, StoreError>;
+
+    /// Whether an object exists at `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on backend failure.
+    fn exists(&self, key: &str) -> Result<bool, StoreError> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Atomically moves the object at `from` to `to` (replacing any
+    /// existing object at `to`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NotFound`] if `from` does not exist.
+    fn rename(&self, from: &str, to: &str) -> Result<(), StoreError> {
+        match self.get(from)? {
+            Some(value) => {
+                self.put(to, &value)?;
+                self.delete(from)?;
+                Ok(())
+            }
+            None => Err(StoreError::NotFound(from.to_string())),
+        }
+    }
+
+    /// Lists all keys, in unspecified order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on backend failure.
+    fn list(&self) -> Result<Vec<String>, StoreError>;
+
+    /// Lists keys starting with `prefix`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on backend failure.
+    fn list_prefix(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        Ok(self
+            .list()?
+            .into_iter()
+            .filter(|k| k.starts_with(prefix))
+            .collect())
+    }
+
+    /// Number of stored objects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on backend failure.
+    fn len(&self) -> Result<usize, StoreError> {
+        Ok(self.list()?.len())
+    }
+
+    /// Whether the store holds no objects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on backend failure.
+    fn is_empty(&self) -> Result<bool, StoreError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Total bytes of stored object values (storage-overhead accounting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on backend failure.
+    fn total_bytes(&self) -> Result<u64, StoreError> {
+        let mut total = 0u64;
+        for key in self.list()? {
+            if let Some(v) = self.get(&key)? {
+                total += v.len() as u64;
+            }
+        }
+        Ok(total)
+    }
+}
+
+impl<S: ObjectStore + ?Sized> ObjectStore for Arc<S> {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        (**self).get(key)
+    }
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        (**self).put(key, value)
+    }
+    fn delete(&self, key: &str) -> Result<bool, StoreError> {
+        (**self).delete(key)
+    }
+    fn exists(&self, key: &str) -> Result<bool, StoreError> {
+        (**self).exists(key)
+    }
+    fn rename(&self, from: &str, to: &str) -> Result<(), StoreError> {
+        (**self).rename(from, to)
+    }
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        (**self).list()
+    }
+    fn list_prefix(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        (**self).list_prefix(prefix)
+    }
+    fn len(&self) -> Result<usize, StoreError> {
+        (**self).len()
+    }
+    fn is_empty(&self) -> Result<bool, StoreError> {
+        (**self).is_empty()
+    }
+    fn total_bytes(&self) -> Result<u64, StoreError> {
+        (**self).total_bytes()
+    }
+}

@@ -1,0 +1,168 @@
+//! In-memory object store.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::{ObjectStore, StoreError};
+
+/// A thread-safe in-memory object store, the default substrate for tests
+/// and benchmarks.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    objects: RwLock<HashMap<String, Vec<u8>>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// Deep-copies the entire store (used by whole-file-system rollback
+    /// attacks in tests, §V-E).
+    #[must_use]
+    pub fn snapshot(&self) -> HashMap<String, Vec<u8>> {
+        self.objects.read().clone()
+    }
+
+    /// Replaces the entire contents with `snapshot`.
+    pub fn restore(&self, snapshot: HashMap<String, Vec<u8>>) {
+        *self.objects.write() = snapshot;
+    }
+}
+
+impl ObjectStore for MemStore {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.objects.read().get(key).cloned())
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        self.objects.write().insert(key.to_string(), value.to_vec());
+        Ok(())
+    }
+
+    fn delete(&self, key: &str) -> Result<bool, StoreError> {
+        Ok(self.objects.write().remove(key).is_some())
+    }
+
+    fn exists(&self, key: &str) -> Result<bool, StoreError> {
+        Ok(self.objects.read().contains_key(key))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), StoreError> {
+        let mut map = self.objects.write();
+        match map.remove(from) {
+            Some(v) => {
+                map.insert(to.to_string(), v);
+                Ok(())
+            }
+            None => Err(StoreError::NotFound(from.to_string())),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        Ok(self.objects.read().keys().cloned().collect())
+    }
+
+    fn len(&self) -> Result<usize, StoreError> {
+        Ok(self.objects.read().len())
+    }
+
+    fn total_bytes(&self) -> Result<u64, StoreError> {
+        Ok(self.objects.read().values().map(|v| v.len() as u64).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let s = MemStore::new();
+        assert_eq!(s.get("a").unwrap(), None);
+        s.put("a", b"1").unwrap();
+        assert_eq!(s.get("a").unwrap(), Some(b"1".to_vec()));
+        assert!(s.exists("a").unwrap());
+        assert!(s.delete("a").unwrap());
+        assert!(!s.delete("a").unwrap());
+        assert!(!s.exists("a").unwrap());
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let s = MemStore::new();
+        s.put("k", b"old").unwrap();
+        s.put("k", b"new").unwrap();
+        assert_eq!(s.get("k").unwrap(), Some(b"new".to_vec()));
+        assert_eq!(s.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn rename_moves_value() {
+        let s = MemStore::new();
+        s.put("from", b"v").unwrap();
+        s.rename("from", "to").unwrap();
+        assert_eq!(s.get("from").unwrap(), None);
+        assert_eq!(s.get("to").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(
+            s.rename("missing", "x").unwrap_err(),
+            StoreError::NotFound("missing".to_string())
+        );
+    }
+
+    #[test]
+    fn list_and_prefix() {
+        let s = MemStore::new();
+        s.put("content/a", b"").unwrap();
+        s.put("content/b", b"").unwrap();
+        s.put("group/g", b"").unwrap();
+        let mut all = s.list().unwrap();
+        all.sort();
+        assert_eq!(all, vec!["content/a", "content/b", "group/g"]);
+        let mut content = s.list_prefix("content/").unwrap();
+        content.sort();
+        assert_eq!(content, vec!["content/a", "content/b"]);
+    }
+
+    #[test]
+    fn total_bytes_counts_values() {
+        let s = MemStore::new();
+        s.put("a", &[0u8; 10]).unwrap();
+        s.put("b", &[0u8; 32]).unwrap();
+        assert_eq!(s.total_bytes().unwrap(), 42);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let s = MemStore::new();
+        s.put("a", b"1").unwrap();
+        let snap = s.snapshot();
+        s.put("a", b"2").unwrap();
+        s.put("b", b"3").unwrap();
+        s.restore(snap);
+        assert_eq!(s.get("a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(s.get("b").unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let s = Arc::new(MemStore::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    s.put(&format!("t{t}/k{i}"), &[t as u8; 16]).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len().unwrap(), 800);
+    }
+}

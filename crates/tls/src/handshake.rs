@@ -1,0 +1,740 @@
+//! The mutually-authenticated ECDHE handshake, as sans-I/O state
+//! machines.
+//!
+//! Frame flow (each frame is opaque to the untrusted pump):
+//!
+//! ```text
+//! client                                server
+//!   | -- M1 ClientHello (random, cert) -->|
+//!   |<-- M2 ServerHello (random, cert,  --|
+//!   |        ecdhe pub, kex signature)    |
+//!   | -- M3 ClientKex (ecdhe pub,      -->|
+//!   |        certificate-verify)          |
+//!   | -- F1 Finished (encrypted)       -->|
+//!   |<-- F2 Finished (encrypted)        --|
+//! ```
+//!
+//! Both finished MACs are keyed with the master secret and bound to the
+//! handshake transcript, so any tampering with M1–M3 aborts the session.
+
+use seg_crypto::ed25519::{PublicKey, SecretKey, Signature};
+use seg_crypto::hkdf;
+use seg_crypto::hmac::Hmac;
+use seg_crypto::rng::SecureRandom;
+use seg_crypto::sha256::Sha256;
+use seg_crypto::x25519::EphemeralKeyPair;
+use seg_pki::{Certificate, Identity};
+
+use crate::channel::{DirectionKeys, TlsChannel};
+use crate::msg::{ClientHello, ClientKex, ServerHello};
+use crate::TlsError;
+
+const KEX_LABEL: &[u8] = b"segtls-server-kex";
+const VERIFY_LABEL: &[u8] = b"segtls-client-verify";
+
+/// Output of feeding one frame into a handshake state machine.
+#[derive(Debug, Default)]
+pub struct HandshakeStep {
+    /// Frames to transmit to the peer, in order.
+    pub replies: Vec<Vec<u8>>,
+    /// Whether the handshake just completed.
+    pub done: bool,
+}
+
+/// Key material both sides derive identically.
+struct SessionKeys {
+    master: [u8; 32],
+    client: DirectionKeys,
+    server: DirectionKeys,
+    transcript_hash: [u8; 32],
+}
+
+fn derive_keys(
+    shared: &[u8; 32],
+    client_random: &[u8; 32],
+    server_random: &[u8; 32],
+    transcript_hash: [u8; 32],
+) -> SessionKeys {
+    let mut salt = Vec::with_capacity(9 + 64);
+    salt.extend_from_slice(b"segtls-v1");
+    salt.extend_from_slice(client_random);
+    salt.extend_from_slice(server_random);
+    let master_vec = hkdf::extract::<Sha256>(&salt, shared);
+    let master: [u8; 32] = master_vec.as_slice().try_into().expect("32 bytes");
+
+    let mut info = Vec::with_capacity(20 + 32);
+    info.extend_from_slice(b"segtls key expansion");
+    info.extend_from_slice(&transcript_hash);
+    let okm = hkdf::expand::<Sha256>(&master, &info, 56);
+    SessionKeys {
+        master,
+        client: DirectionKeys {
+            key: okm[0..16].try_into().expect("16 bytes"),
+            iv_base: okm[32..44].try_into().expect("12 bytes"),
+        },
+        server: DirectionKeys {
+            key: okm[16..32].try_into().expect("16 bytes"),
+            iv_base: okm[44..56].try_into().expect("12 bytes"),
+        },
+        transcript_hash,
+    }
+}
+
+fn finished_mac(master: &[u8; 32], role: &str, transcript_hash: &[u8; 32]) -> Vec<u8> {
+    let mut h = Hmac::<Sha256>::new(master);
+    h.update(role.as_bytes());
+    h.update(b" finished");
+    h.update(transcript_hash);
+    h.finalize()
+}
+
+fn kex_signed_bytes(
+    client_random: &[u8; 32],
+    server_random: &[u8; 32],
+    server_pub: &[u8; 32],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(KEX_LABEL.len() + 96);
+    out.extend_from_slice(KEX_LABEL);
+    out.extend_from_slice(client_random);
+    out.extend_from_slice(server_random);
+    out.extend_from_slice(server_pub);
+    out
+}
+
+fn verify_signed_bytes(
+    client_random: &[u8; 32],
+    server_random: &[u8; 32],
+    client_pub: &[u8; 32],
+    server_pub: &[u8; 32],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(VERIFY_LABEL.len() + 128);
+    out.extend_from_slice(VERIFY_LABEL);
+    out.extend_from_slice(client_random);
+    out.extend_from_slice(server_random);
+    out.extend_from_slice(client_pub);
+    out.extend_from_slice(server_pub);
+    out
+}
+
+// ---------------------------------------------------------------- client
+
+enum ClientState {
+    AwaitServerHello,
+    AwaitServerFinished {
+        channel: TlsChannel,
+        master: [u8; 32],
+        transcript_hash: [u8; 32],
+        server_cert: Certificate,
+    },
+    Done {
+        channel: TlsChannel,
+        server_cert: Certificate,
+    },
+    Failed,
+}
+
+/// The client (user application) side of the handshake.
+pub struct ClientHandshake {
+    certificate: Certificate,
+    key: SecretKey,
+    ca_key: PublicKey,
+    now: u64,
+    random: [u8; 32],
+    ephemeral: EphemeralKeyPair,
+    transcript: Sha256,
+    state: ClientState,
+}
+
+impl std::fmt::Debug for ClientHandshake {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ClientHandshake(..)")
+    }
+}
+
+impl ClientHandshake {
+    /// Starts a handshake; returns the state machine and the first frame
+    /// (M1) to send.
+    #[must_use]
+    pub fn start<R: SecureRandom>(
+        certificate: Certificate,
+        key: SecretKey,
+        ca_key: PublicKey,
+        now: u64,
+        rng: &mut R,
+    ) -> (ClientHandshake, Vec<u8>) {
+        let random: [u8; 32] = rng.array();
+        let hello = ClientHello {
+            random,
+            certificate: certificate.clone(),
+        }
+        .encode();
+        let mut transcript = Sha256::new();
+        transcript.update(&hello);
+        (
+            ClientHandshake {
+                certificate,
+                key,
+                ca_key,
+                now,
+                random,
+                ephemeral: EphemeralKeyPair::generate(rng),
+                transcript,
+                state: ClientState::AwaitServerHello,
+            },
+            hello,
+        )
+    }
+
+    /// Feeds one frame from the server.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TlsError`] aborts the handshake permanently.
+    pub fn process(&mut self, frame: &[u8]) -> Result<HandshakeStep, TlsError> {
+        let state = std::mem::replace(&mut self.state, ClientState::Failed);
+        match state {
+            ClientState::AwaitServerHello => self.on_server_hello(frame),
+            ClientState::AwaitServerFinished {
+                mut channel,
+                master,
+                transcript_hash,
+                server_cert,
+            } => {
+                let mac = channel.open(frame)?;
+                let expected = finished_mac(&master, "server", &transcript_hash);
+                if !seg_crypto::ct::ct_eq(&mac, &expected) {
+                    return Err(TlsError::HandshakeFailed(
+                        "server finished mac mismatch".to_string(),
+                    ));
+                }
+                self.state = ClientState::Done {
+                    channel,
+                    server_cert,
+                };
+                Ok(HandshakeStep {
+                    replies: Vec::new(),
+                    done: true,
+                })
+            }
+            ClientState::Done { .. } | ClientState::Failed => Err(TlsError::UnexpectedMessage),
+        }
+    }
+
+    fn on_server_hello(&mut self, frame: &[u8]) -> Result<HandshakeStep, TlsError> {
+        let hello = ServerHello::decode(frame)?;
+        hello
+            .certificate
+            .validate(&self.ca_key, self.now)
+            .map_err(|e| TlsError::CertificateInvalid(e.to_string()))?;
+        if !matches!(hello.certificate.subject(), Identity::Server { .. }) {
+            return Err(TlsError::CertificateInvalid(
+                "peer presented a non-server certificate".to_string(),
+            ));
+        }
+        // Verify the server's key-exchange signature.
+        let signed = kex_signed_bytes(&self.random, &hello.random, &hello.ecdhe_public);
+        hello
+            .certificate
+            .public_key()
+            .verify(&signed, &Signature(hello.signature))
+            .map_err(|_| TlsError::HandshakeFailed("bad server kex signature".to_string()))?;
+
+        self.transcript.update(frame);
+
+        // Build and sign M3.
+        let client_pub = *self.ephemeral.public();
+        let verify_sig = self.key.sign(&verify_signed_bytes(
+            &self.random,
+            &hello.random,
+            &client_pub,
+            &hello.ecdhe_public,
+        ));
+        let kex = ClientKex {
+            ecdhe_public: client_pub,
+            signature: verify_sig.to_bytes(),
+        }
+        .encode();
+        self.transcript.update(&kex);
+
+        let shared = self.ephemeral.diffie_hellman(&hello.ecdhe_public)?;
+        let transcript_hash = self.transcript.clone().finalize();
+        let keys = derive_keys(&shared, &self.random, &hello.random, transcript_hash);
+        let mut channel = TlsChannel::new(keys.client.clone(), keys.server.clone());
+        let finished = channel.seal(&finished_mac(&keys.master, "client", &keys.transcript_hash));
+
+        self.state = ClientState::AwaitServerFinished {
+            channel,
+            master: keys.master,
+            transcript_hash: keys.transcript_hash,
+            server_cert: hello.certificate,
+        };
+        Ok(HandshakeStep {
+            replies: vec![kex, finished],
+            done: false,
+        })
+    }
+
+    /// Consumes a completed handshake, yielding the channel and the
+    /// validated server certificate.
+    #[must_use]
+    pub fn into_established(self) -> Option<(TlsChannel, Certificate)> {
+        match self.state {
+            ClientState::Done {
+                channel,
+                server_cert,
+            } => Some((channel, server_cert)),
+            _ => None,
+        }
+    }
+
+    /// The client certificate this handshake authenticates with.
+    #[must_use]
+    pub fn certificate(&self) -> &Certificate {
+        &self.certificate
+    }
+}
+
+// ---------------------------------------------------------------- server
+
+enum ServerState {
+    AwaitClientHello,
+    AwaitClientKex {
+        client_hello: ClientHello,
+        server_random: [u8; 32],
+    },
+    AwaitClientFinished {
+        channel: TlsChannel,
+        master: [u8; 32],
+        transcript_hash: [u8; 32],
+        client_cert: Certificate,
+    },
+    Done {
+        channel: TlsChannel,
+        client_cert: Certificate,
+    },
+    Failed,
+}
+
+/// The server (trusted TLS interface) side of the handshake.
+///
+/// Runs *inside the enclave*; the untrusted host only shuttles the opaque
+/// frames (§IV-B).
+pub struct ServerHandshake {
+    certificate: Certificate,
+    key: SecretKey,
+    ca_key: PublicKey,
+    now: u64,
+    ephemeral: EphemeralKeyPair,
+    transcript: Sha256,
+    state: ServerState,
+}
+
+impl std::fmt::Debug for ServerHandshake {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ServerHandshake(..)")
+    }
+}
+
+impl ServerHandshake {
+    /// Creates the server side with its (CA-issued) certificate.
+    #[must_use]
+    pub fn new<R: SecureRandom>(
+        certificate: Certificate,
+        key: SecretKey,
+        ca_key: PublicKey,
+        now: u64,
+        rng: &mut R,
+    ) -> ServerHandshake {
+        ServerHandshake {
+            certificate,
+            key,
+            ca_key,
+            now,
+            ephemeral: EphemeralKeyPair::generate(rng),
+            transcript: Sha256::new(),
+            state: ServerState::AwaitClientHello,
+        }
+    }
+
+    /// Feeds one frame from the client.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TlsError`] aborts the handshake permanently.
+    pub fn process<R: SecureRandom>(
+        &mut self,
+        frame: &[u8],
+        rng: &mut R,
+    ) -> Result<HandshakeStep, TlsError> {
+        let state = std::mem::replace(&mut self.state, ServerState::Failed);
+        match state {
+            ServerState::AwaitClientHello => self.on_client_hello(frame, rng),
+            ServerState::AwaitClientKex {
+                client_hello,
+                server_random,
+            } => self.on_client_kex(frame, client_hello, server_random),
+            ServerState::AwaitClientFinished {
+                mut channel,
+                master,
+                transcript_hash,
+                client_cert,
+            } => {
+                let mac = channel.open(frame)?;
+                let expected = finished_mac(&master, "client", &transcript_hash);
+                if !seg_crypto::ct::ct_eq(&mac, &expected) {
+                    return Err(TlsError::HandshakeFailed(
+                        "client finished mac mismatch".to_string(),
+                    ));
+                }
+                let reply = channel.seal(&finished_mac(&master, "server", &transcript_hash));
+                self.state = ServerState::Done {
+                    channel,
+                    client_cert,
+                };
+                Ok(HandshakeStep {
+                    replies: vec![reply],
+                    done: true,
+                })
+            }
+            ServerState::Done { .. } | ServerState::Failed => Err(TlsError::UnexpectedMessage),
+        }
+    }
+
+    fn on_client_hello<R: SecureRandom>(
+        &mut self,
+        frame: &[u8],
+        rng: &mut R,
+    ) -> Result<HandshakeStep, TlsError> {
+        let hello = ClientHello::decode(frame)?;
+        // "the enclave ... validates the certificate using the CA's
+        // public key" (§IV-A).
+        hello
+            .certificate
+            .validate(&self.ca_key, self.now)
+            .map_err(|e| TlsError::CertificateInvalid(e.to_string()))?;
+        if hello.certificate.subject().user_id().is_none() {
+            return Err(TlsError::CertificateInvalid(
+                "peer presented a non-user certificate".to_string(),
+            ));
+        }
+        self.transcript.update(frame);
+
+        let server_random: [u8; 32] = rng.array();
+        let signed = kex_signed_bytes(&hello.random, &server_random, self.ephemeral.public());
+        let reply = ServerHello {
+            random: server_random,
+            certificate: self.certificate.clone(),
+            ecdhe_public: *self.ephemeral.public(),
+            signature: self.key.sign(&signed).to_bytes(),
+        }
+        .encode();
+        self.transcript.update(&reply);
+        self.state = ServerState::AwaitClientKex {
+            client_hello: hello,
+            server_random,
+        };
+        Ok(HandshakeStep {
+            replies: vec![reply],
+            done: false,
+        })
+    }
+
+    fn on_client_kex(
+        &mut self,
+        frame: &[u8],
+        client_hello: ClientHello,
+        server_random: [u8; 32],
+    ) -> Result<HandshakeStep, TlsError> {
+        let kex = ClientKex::decode(frame)?;
+        // CertificateVerify: proof that the TLS client controls the
+        // certified key.
+        let signed = verify_signed_bytes(
+            &client_hello.random,
+            &server_random,
+            &kex.ecdhe_public,
+            self.ephemeral.public(),
+        );
+        client_hello
+            .certificate
+            .public_key()
+            .verify(&signed, &Signature(kex.signature))
+            .map_err(|_| {
+                TlsError::HandshakeFailed("bad client certificate-verify signature".to_string())
+            })?;
+        self.transcript.update(frame);
+
+        let shared = self.ephemeral.diffie_hellman(&kex.ecdhe_public)?;
+        let transcript_hash = self.transcript.clone().finalize();
+        let keys = derive_keys(
+            &shared,
+            &client_hello.random,
+            &server_random,
+            transcript_hash,
+        );
+        // Server sends with server keys, receives with client keys.
+        let channel = TlsChannel::new(keys.server.clone(), keys.client.clone());
+        self.state = ServerState::AwaitClientFinished {
+            channel,
+            master: keys.master,
+            transcript_hash: keys.transcript_hash,
+            client_cert: client_hello.certificate,
+        };
+        Ok(HandshakeStep::default())
+    }
+
+    /// Consumes a completed handshake, yielding the channel and the
+    /// validated client certificate (whose identity information the
+    /// request handler uses for authorization, §IV-B).
+    #[must_use]
+    pub fn into_established(self) -> Option<(TlsChannel, Certificate)> {
+        match self.state {
+            ServerState::Done {
+                channel,
+                client_cert,
+            } => Some((channel, client_cert)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seg_crypto::rng::DeterministicRng;
+    use seg_pki::CertificateAuthority;
+
+    struct Setup {
+        ca_key: PublicKey,
+        client_cert: Certificate,
+        client_key: SecretKey,
+        server_cert: Certificate,
+        server_key: SecretKey,
+    }
+
+    fn setup(seed: u64) -> Setup {
+        let mut rng = DeterministicRng::seeded(seed);
+        let ca = CertificateAuthority::new("ca", &mut rng);
+        let (client_cert, client_key) = ca.issue_user(
+            Identity::user("alice", "a@example.com", "Alice").unwrap(),
+            0,
+            1_000_000,
+            &mut rng,
+        );
+        let server_key = SecretKey::generate(&mut rng);
+        let csr = seg_pki::Csr::new(Identity::server("segshare"), &server_key);
+        let server_cert = ca.issue_server_from_csr(&csr, 0, 1_000_000).unwrap();
+        Setup {
+            ca_key: ca.public_key(),
+            client_cert,
+            client_key,
+            server_cert,
+            server_key,
+        }
+    }
+
+    /// Drives a full handshake in memory, returning both channels and the
+    /// certificates each side saw.
+    fn run_handshake(s: &Setup) -> (TlsChannel, TlsChannel, Certificate, Certificate) {
+        let mut crng = DeterministicRng::seeded(100);
+        let mut srng = DeterministicRng::seeded(200);
+        let (mut client, m1) = ClientHandshake::start(
+            s.client_cert.clone(),
+            s.client_key.clone(),
+            s.ca_key,
+            500,
+            &mut crng,
+        );
+        let mut server = ServerHandshake::new(
+            s.server_cert.clone(),
+            s.server_key.clone(),
+            s.ca_key,
+            500,
+            &mut srng,
+        );
+
+        let step = server.process(&m1, &mut srng).unwrap();
+        assert_eq!(step.replies.len(), 1);
+        let m2 = &step.replies[0];
+
+        let step = client.process(m2).unwrap();
+        assert_eq!(step.replies.len(), 2);
+        let (m3, f1) = (&step.replies[0], &step.replies[1]);
+
+        let step = server.process(m3, &mut srng).unwrap();
+        assert!(step.replies.is_empty() && !step.done);
+        let step = server.process(f1, &mut srng).unwrap();
+        assert!(step.done);
+        let f2 = &step.replies[0];
+
+        let step = client.process(f2).unwrap();
+        assert!(step.done);
+
+        let (c_chan, server_cert_seen) = client.into_established().unwrap();
+        let (s_chan, client_cert_seen) = server.into_established().unwrap();
+        (c_chan, s_chan, server_cert_seen, client_cert_seen)
+    }
+
+    #[test]
+    fn full_handshake_and_data_flow() {
+        let s = setup(1);
+        let (mut c, mut srv, server_cert_seen, client_cert_seen) = run_handshake(&s);
+        assert_eq!(server_cert_seen, s.server_cert);
+        assert_eq!(client_cert_seen, s.client_cert);
+        assert_eq!(
+            client_cert_seen.subject().user_id().unwrap().as_str(),
+            "alice"
+        );
+        // Application data both ways.
+        let rec = c.seal(b"PUT /file");
+        assert_eq!(srv.open(&rec).unwrap(), b"PUT /file");
+        let rec = srv.seal(b"201 Created");
+        assert_eq!(c.open(&rec).unwrap(), b"201 Created");
+    }
+
+    #[test]
+    fn expired_client_cert_rejected() {
+        let s = setup(2);
+        let mut crng = DeterministicRng::seeded(100);
+        let mut srng = DeterministicRng::seeded(200);
+        let (_client, m1) = ClientHandshake::start(
+            s.client_cert.clone(),
+            s.client_key.clone(),
+            s.ca_key,
+            500,
+            &mut crng,
+        );
+        // Server clock far in the future: client certificate expired.
+        let mut server = ServerHandshake::new(
+            s.server_cert.clone(),
+            s.server_key.clone(),
+            s.ca_key,
+            2_000_000,
+            &mut srng,
+        );
+        assert!(matches!(
+            server.process(&m1, &mut srng),
+            Err(TlsError::CertificateInvalid(_))
+        ));
+    }
+
+    #[test]
+    fn client_rejects_untrusted_server() {
+        let s = setup(3);
+        let mut rng = DeterministicRng::seeded(9);
+        // A different CA signs the server's certificate.
+        let rogue_ca = CertificateAuthority::new("rogue", &mut rng);
+        let rogue_key = SecretKey::generate(&mut rng);
+        let csr = seg_pki::Csr::new(Identity::server("fake"), &rogue_key);
+        let rogue_cert = rogue_ca.issue_server_from_csr(&csr, 0, 1_000_000).unwrap();
+
+        let mut crng = DeterministicRng::seeded(100);
+        let mut srng = DeterministicRng::seeded(200);
+        let (mut client, m1) = ClientHandshake::start(
+            s.client_cert.clone(),
+            s.client_key.clone(),
+            s.ca_key,
+            500,
+            &mut crng,
+        );
+        let mut rogue_server =
+            ServerHandshake::new(rogue_cert, rogue_key, rogue_ca.public_key(), 500, &mut srng);
+        // The rogue server accepts the hello (it validates against its
+        // own CA)...
+        let step = rogue_server.process(&m1, &mut srng);
+        // ...but whatever it replies, the honest client rejects it.
+        if let Ok(step) = step {
+            assert!(matches!(
+                client.process(&step.replies[0]),
+                Err(TlsError::CertificateInvalid(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn user_cert_cannot_impersonate_server() {
+        let s = setup(4);
+        let mut crng = DeterministicRng::seeded(100);
+        let mut srng = DeterministicRng::seeded(200);
+        let (mut client, m1) = ClientHandshake::start(
+            s.client_cert.clone(),
+            s.client_key.clone(),
+            s.ca_key,
+            500,
+            &mut crng,
+        );
+        // An attacker with a *valid user* certificate tries to act as the
+        // server.
+        let mut mitm = ServerHandshake::new(
+            s.client_cert.clone(),
+            s.client_key.clone(),
+            s.ca_key,
+            500,
+            &mut srng,
+        );
+        let step = mitm.process(&m1, &mut srng).unwrap();
+        assert!(matches!(
+            client.process(&step.replies[0]),
+            Err(TlsError::CertificateInvalid(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_handshake_frames_abort() {
+        let s = setup(5);
+        let mut crng = DeterministicRng::seeded(100);
+        let mut srng = DeterministicRng::seeded(200);
+        let (mut client, m1) = ClientHandshake::start(
+            s.client_cert.clone(),
+            s.client_key.clone(),
+            s.ca_key,
+            500,
+            &mut crng,
+        );
+        let mut server = ServerHandshake::new(
+            s.server_cert.clone(),
+            s.server_key.clone(),
+            s.ca_key,
+            500,
+            &mut srng,
+        );
+        let m2 = server.process(&m1, &mut srng).unwrap().replies.remove(0);
+        // Tamper with the server's ephemeral key inside M2.
+        let mut bad = m2.clone();
+        let idx = bad.len() - 70; // inside ecdhe_public/signature region
+        bad[idx] ^= 1;
+        assert!(client.process(&bad).is_err());
+        // The state machine is poisoned afterwards.
+        assert!(client.process(&m2).is_err());
+    }
+
+    #[test]
+    fn wrong_client_key_fails_certificate_verify() {
+        let s = setup(6);
+        let mut crng = DeterministicRng::seeded(100);
+        let mut srng = DeterministicRng::seeded(200);
+        // Client presents alice's certificate but signs with a different
+        // key (stolen certificate without the private key).
+        let mut wrong_rng = DeterministicRng::seeded(42);
+        let wrong_key = SecretKey::generate(&mut wrong_rng);
+        let (mut client, m1) = ClientHandshake::start(
+            s.client_cert.clone(),
+            wrong_key,
+            s.ca_key,
+            500,
+            &mut crng,
+        );
+        let mut server = ServerHandshake::new(
+            s.server_cert.clone(),
+            s.server_key.clone(),
+            s.ca_key,
+            500,
+            &mut srng,
+        );
+        let m2 = server.process(&m1, &mut srng).unwrap().replies.remove(0);
+        let step = client.process(&m2).unwrap();
+        assert!(matches!(
+            server.process(&step.replies[0], &mut srng),
+            Err(TlsError::HandshakeFailed(_))
+        ));
+    }
+}

@@ -1,0 +1,170 @@
+//! Handshake message encodings.
+
+use seg_fs::codec::{Decoder, Encoder};
+use seg_pki::Certificate;
+
+use crate::TlsError;
+
+fn codec_err(e: seg_fs::FsError) -> TlsError {
+    TlsError::Malformed(e.to_string())
+}
+
+/// M1: ClientHello — client random and client certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ClientHello {
+    pub random: [u8; 32],
+    pub certificate: Certificate,
+}
+
+impl ClientHello {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.tag(b"TLH1");
+        e.raw(&self.random);
+        e.bytes(&self.certificate.encode());
+        e.finish()
+    }
+
+    pub fn decode(data: &[u8]) -> Result<ClientHello, TlsError> {
+        let mut d = Decoder::new(data);
+        d.tag(b"TLH1").map_err(codec_err)?;
+        let random: [u8; 32] = d.raw(32).map_err(codec_err)?.try_into().expect("32 bytes");
+        let cert_bytes = d.bytes().map_err(codec_err)?;
+        d.finish().map_err(codec_err)?;
+        let certificate = Certificate::decode(&cert_bytes)
+            .map_err(|e| TlsError::Malformed(format!("client certificate: {e}")))?;
+        Ok(ClientHello {
+            random,
+            certificate,
+        })
+    }
+}
+
+/// M2: ServerHello — server random, certificate, ephemeral ECDHE key,
+/// and a signature binding them to the client random.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ServerHello {
+    pub random: [u8; 32],
+    pub certificate: Certificate,
+    pub ecdhe_public: [u8; 32],
+    pub signature: [u8; 64],
+}
+
+impl ServerHello {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.tag(b"TLH2");
+        e.raw(&self.random);
+        e.bytes(&self.certificate.encode());
+        e.raw(&self.ecdhe_public);
+        e.raw(&self.signature);
+        e.finish()
+    }
+
+    pub fn decode(data: &[u8]) -> Result<ServerHello, TlsError> {
+        let mut d = Decoder::new(data);
+        d.tag(b"TLH2").map_err(codec_err)?;
+        let random: [u8; 32] = d.raw(32).map_err(codec_err)?.try_into().expect("32 bytes");
+        let cert_bytes = d.bytes().map_err(codec_err)?;
+        let ecdhe_public: [u8; 32] = d.raw(32).map_err(codec_err)?.try_into().expect("32 bytes");
+        let signature: [u8; 64] = d.raw(64).map_err(codec_err)?.try_into().expect("64 bytes");
+        d.finish().map_err(codec_err)?;
+        let certificate = Certificate::decode(&cert_bytes)
+            .map_err(|e| TlsError::Malformed(format!("server certificate: {e}")))?;
+        Ok(ServerHello {
+            random,
+            certificate,
+            ecdhe_public,
+            signature,
+        })
+    }
+}
+
+/// M3: ClientKeyExchange — client ephemeral key plus CertificateVerify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ClientKex {
+    pub ecdhe_public: [u8; 32],
+    pub signature: [u8; 64],
+}
+
+impl ClientKex {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.tag(b"TLH3");
+        e.raw(&self.ecdhe_public);
+        e.raw(&self.signature);
+        e.finish()
+    }
+
+    pub fn decode(data: &[u8]) -> Result<ClientKex, TlsError> {
+        let mut d = Decoder::new(data);
+        d.tag(b"TLH3").map_err(codec_err)?;
+        let ecdhe_public: [u8; 32] = d.raw(32).map_err(codec_err)?.try_into().expect("32 bytes");
+        let signature: [u8; 64] = d.raw(64).map_err(codec_err)?.try_into().expect("64 bytes");
+        d.finish().map_err(codec_err)?;
+        Ok(ClientKex {
+            ecdhe_public,
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seg_crypto::rng::DeterministicRng;
+    use seg_pki::{CertificateAuthority, Identity};
+
+    fn cert() -> Certificate {
+        let mut rng = DeterministicRng::seeded(5);
+        let ca = CertificateAuthority::new("ca", &mut rng);
+        ca.issue_user(
+            Identity::user("u", "u@example.com", "U").unwrap(),
+            0,
+            100,
+            &mut rng,
+        )
+        .0
+    }
+
+    #[test]
+    fn hello_roundtrips() {
+        let m = ClientHello {
+            random: [9u8; 32],
+            certificate: cert(),
+        };
+        assert_eq!(ClientHello::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn server_hello_roundtrips() {
+        let m = ServerHello {
+            random: [1u8; 32],
+            certificate: cert(),
+            ecdhe_public: [2u8; 32],
+            signature: [3u8; 64],
+        };
+        assert_eq!(ServerHello::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn kex_roundtrips() {
+        let m = ClientKex {
+            ecdhe_public: [4u8; 32],
+            signature: [5u8; 64],
+        };
+        assert_eq!(ClientKex::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let m = ClientHello {
+            random: [9u8; 32],
+            certificate: cert(),
+        }
+        .encode();
+        for cut in [0, 1, 4, 20, m.len() - 1] {
+            assert!(ClientHello::decode(&m[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Blocking convenience wrapper: a [`TlsChannel`] bound to a transport.
+//!
+//! The *client* side owns both halves (user applications have no
+//! trusted/untrusted split). The server host instead pumps frames
+//! between its transport and the enclave's sans-I/O state machines.
+
+use seg_crypto::ed25519::{PublicKey, SecretKey};
+use seg_crypto::rng::SecureRandom;
+use seg_net::FrameTransport;
+use seg_pki::Certificate;
+
+use crate::channel::TlsChannel;
+use crate::handshake::ClientHandshake;
+use crate::TlsError;
+
+/// An established secure connection over a frame transport.
+pub struct SecureStream<T: FrameTransport> {
+    transport: T,
+    channel: TlsChannel,
+    peer_certificate: Certificate,
+}
+
+impl<T: FrameTransport> std::fmt::Debug for SecureStream<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureStream")
+            .field("channel", &self.channel)
+            .finish()
+    }
+}
+
+impl<T: FrameTransport> SecureStream<T> {
+    /// Performs the client side of the handshake over `transport`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`TlsError`] from the handshake or transport.
+    pub fn connect<R: SecureRandom>(
+        mut transport: T,
+        certificate: Certificate,
+        key: SecretKey,
+        ca_key: PublicKey,
+        now: u64,
+        rng: &mut R,
+    ) -> Result<SecureStream<T>, TlsError> {
+        let (mut hs, first) = ClientHandshake::start(certificate, key, ca_key, now, rng);
+        transport.send_frame(&first)?;
+        loop {
+            let frame = transport.recv_frame()?;
+            let step = hs.process(&frame)?;
+            for reply in &step.replies {
+                transport.send_frame(reply)?;
+            }
+            if step.done {
+                break;
+            }
+        }
+        let (channel, peer_certificate) = hs
+            .into_established()
+            .expect("handshake reported done");
+        Ok(SecureStream {
+            transport,
+            channel,
+            peer_certificate,
+        })
+    }
+
+    /// Wraps an already-established channel (server-side helper for
+    /// tests and the baselines).
+    #[must_use]
+    pub fn from_parts(transport: T, channel: TlsChannel, peer_certificate: Certificate) -> Self {
+        SecureStream {
+            transport,
+            channel,
+            peer_certificate,
+        }
+    }
+
+    /// The peer's validated certificate.
+    #[must_use]
+    pub fn peer_certificate(&self) -> &Certificate {
+        &self.peer_certificate
+    }
+
+    /// Encrypts and sends one message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TlsError::Net`] on transport failure.
+    pub fn send(&mut self, plaintext: &[u8]) -> Result<(), TlsError> {
+        let record = self.channel.seal(plaintext);
+        self.transport.send_frame(&record)?;
+        Ok(())
+    }
+
+    /// Receives and decrypts one message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TlsError::Net`] / [`TlsError::RecordRejected`].
+    pub fn recv(&mut self) -> Result<Vec<u8>, TlsError> {
+        let record = self.transport.recv_frame()?;
+        self.channel.open(&record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handshake::ServerHandshake;
+    use seg_crypto::rng::DeterministicRng;
+    use seg_pki::{CertificateAuthority, Csr, Identity};
+
+    #[test]
+    fn stream_over_duplex_with_threaded_server() {
+        let mut rng = DeterministicRng::seeded(11);
+        let ca = CertificateAuthority::new("ca", &mut rng);
+        let (client_cert, client_key) = ca.issue_user(
+            Identity::user("bob", "b@example.com", "Bob").unwrap(),
+            0,
+            1000,
+            &mut rng,
+        );
+        let server_key = SecretKey::generate(&mut rng);
+        let csr = Csr::new(Identity::server("s"), &server_key);
+        let server_cert = ca.issue_server_from_csr(&csr, 0, 1000).unwrap();
+        let ca_key = ca.public_key();
+
+        let (client_t, mut server_t) = seg_net::duplex();
+
+        let server_cert2 = server_cert.clone();
+        let server = std::thread::spawn(move || {
+            let mut srng = DeterministicRng::seeded(12);
+            let mut hs = ServerHandshake::new(server_cert2, server_key, ca_key, 500, &mut srng);
+            let (channel, client_cert) = loop {
+                let frame = server_t.recv_frame().unwrap();
+                let step = hs.process(&frame, &mut srng).unwrap();
+                for reply in &step.replies {
+                    server_t.send_frame(reply).unwrap();
+                }
+                if step.done {
+                    break hs.into_established().unwrap();
+                }
+            };
+            let mut stream = SecureStream::from_parts(server_t, channel, client_cert);
+            // Echo until close.
+            while let Ok(msg) = stream.recv() {
+                stream.send(&msg).unwrap();
+            }
+        });
+
+        let mut crng = DeterministicRng::seeded(13);
+        let mut stream =
+            SecureStream::connect(client_t, client_cert, client_key, ca_key, 500, &mut crng)
+                .unwrap();
+        assert!(matches!(
+            stream.peer_certificate().subject(),
+            Identity::Server { .. }
+        ));
+        for size in [0usize, 1, 1000, 100_000] {
+            let msg: Vec<u8> = (0..size).map(|i| (i % 256) as u8).collect();
+            stream.send(&msg).unwrap();
+            assert_eq!(stream.recv().unwrap(), msg);
+        }
+        drop(stream);
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,152 @@
+//! Model-based property tests: random operation sequences against the
+//! real server, compared with a trivial in-memory reference model.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use seg_proto::ErrorCode;
+use segshare::{EnclaveConfig, FsoSetup, SegShareError};
+
+/// Operations the single-user model covers.
+#[derive(Debug, Clone)]
+enum Op {
+    MkDir(u8),
+    Put { dir: u8, file: u8, content: Vec<u8> },
+    Get { dir: u8, file: u8 },
+    Remove { dir: u8, file: u8 },
+    List(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4).prop_map(Op::MkDir),
+        (0u8..4, 0u8..4, proptest::collection::vec(any::<u8>(), 0..2000))
+            .prop_map(|(dir, file, content)| Op::Put { dir, file, content }),
+        (0u8..4, 0u8..4).prop_map(|(dir, file)| Op::Get { dir, file }),
+        (0u8..4, 0u8..4).prop_map(|(dir, file)| Op::Remove { dir, file }),
+        (0u8..4).prop_map(Op::List),
+    ]
+}
+
+fn dir_path(dir: u8) -> String {
+    format!("/d{dir}/")
+}
+
+fn file_path(dir: u8, file: u8) -> String {
+    format!("/d{dir}/f{file}")
+}
+
+/// Reference model: which directories exist, and path -> content.
+#[derive(Default)]
+struct Model {
+    dirs: Vec<u8>,
+    files: BTreeMap<String, Vec<u8>>,
+}
+
+fn not_found(e: &SegShareError) -> bool {
+    matches!(
+        e,
+        SegShareError::Request {
+            code: ErrorCode::NotFound,
+            ..
+        }
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn server_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let setup = FsoSetup::new_in_memory("ca", EnclaveConfig::default());
+        let server = setup.server().unwrap();
+        let alice = setup.enroll_user("alice", "a@x", "Alice").unwrap();
+        let mut client = server.connect_local(&alice).unwrap();
+        let mut model = Model::default();
+
+        for op in &ops {
+            match op {
+                Op::MkDir(d) => {
+                    let result = client.mkdir(&dir_path(*d));
+                    if model.dirs.contains(d) {
+                        prop_assert!(result.is_err(), "mkdir over existing dir must fail");
+                    } else {
+                        prop_assert!(result.is_ok(), "mkdir failed: {result:?}");
+                        model.dirs.push(*d);
+                    }
+                }
+                Op::Put { dir, file, content } => {
+                    let path = file_path(*dir, *file);
+                    let result = client.put(&path, content);
+                    if model.dirs.contains(dir) {
+                        prop_assert!(result.is_ok(), "put failed: {result:?}");
+                        model.files.insert(path, content.clone());
+                    } else {
+                        prop_assert!(
+                            result.as_ref().err().map(not_found).unwrap_or(false),
+                            "put into missing dir: {result:?}"
+                        );
+                    }
+                }
+                Op::Get { dir, file } => {
+                    let path = file_path(*dir, *file);
+                    let result = client.get(&path);
+                    match model.files.get(&path) {
+                        Some(expected) => {
+                            prop_assert_eq!(&result.unwrap(), expected);
+                        }
+                        None => {
+                            prop_assert!(
+                                result.as_ref().err().map(not_found).unwrap_or(false),
+                                "get of missing file: {result:?}"
+                            );
+                        }
+                    }
+                }
+                Op::Remove { dir, file } => {
+                    let path = file_path(*dir, *file);
+                    let result = client.remove(&path);
+                    if model.files.remove(&path).is_some() {
+                        prop_assert!(result.is_ok(), "remove failed: {result:?}");
+                    } else {
+                        prop_assert!(result.is_err(), "remove of missing file succeeded");
+                    }
+                }
+                Op::List(d) => {
+                    let result = client.list(&dir_path(*d));
+                    if model.dirs.contains(d) {
+                        let listing = result.unwrap();
+                        let got: Vec<String> =
+                            listing.iter().map(|e| e.name.clone()).collect();
+                        let prefix = dir_path(*d);
+                        let mut expected: Vec<String> = model
+                            .files
+                            .keys()
+                            .filter(|p| p.starts_with(&prefix))
+                            .map(|p| p[prefix.len()..].to_string())
+                            .collect();
+                        expected.sort();
+                        prop_assert_eq!(got, expected);
+                    } else {
+                        prop_assert!(result.is_err());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uploads_of_any_size_roundtrip(len in 0usize..600_000) {
+        let setup = FsoSetup::new_in_memory("ca", EnclaveConfig::default());
+        let server = setup.server().unwrap();
+        let alice = setup.enroll_user("alice", "a@x", "Alice").unwrap();
+        let mut client = server.connect_local(&alice).unwrap();
+        let content: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+        client.put("/blob", &content).unwrap();
+        prop_assert_eq!(client.get("/blob").unwrap(), content);
+    }
+}
