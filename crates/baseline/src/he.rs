@@ -71,7 +71,11 @@ fn wrap_key(file_key: &[u8; 16], recipient_public: &[u8; 32]) -> Result<WrappedK
     let iv = SystemRng::new().array();
     Ok(WrappedKey {
         ephemeral_public: *ephemeral.public(),
-        sealed: gcm.seal(&iv, b"he-wrap", file_key).into_iter().chain(iv).collect(),
+        sealed: gcm
+            .seal(&iv, b"he-wrap", file_key)
+            .into_iter()
+            .chain(iv)
+            .collect(),
     })
 }
 
@@ -218,7 +222,10 @@ impl HeFileShare {
     ) -> Result<RevocationCost, CryptoError> {
         // Decrypt with the old key.
         let plaintext = self.get(path, revoker)?;
-        let file = self.files.get_mut(path).ok_or(CryptoError::InvalidEncoding)?;
+        let file = self
+            .files
+            .get_mut(path)
+            .ok_or(CryptoError::InvalidEncoding)?;
         file.wrapped.remove(revoked);
 
         // New key, full re-encryption.
@@ -232,9 +239,7 @@ impl HeFileShare {
         let remaining: Vec<String> = file.wrapped.keys().cloned().collect();
         let mut rewraps = 0;
         for name in remaining {
-            let public = directory
-                .get(&name)
-                .ok_or(CryptoError::InvalidEncoding)?;
+            let public = directory.get(&name).ok_or(CryptoError::InvalidEncoding)?;
             file.wrapped.insert(name, wrap_key(&new_key, public)?);
             rewraps += 1;
         }
@@ -335,7 +340,10 @@ mod tests {
         }
         let dir = directory(&[&alice, &bob]);
         let cost = share.revoke_everywhere(&alice, "bob", &dir).unwrap();
-        assert_eq!(cost.bytes_reencrypted, 100_000, "every shared file re-encrypted");
+        assert_eq!(
+            cost.bytes_reencrypted, 100_000,
+            "every shared file re-encrypted"
+        );
         for i in 0..10 {
             assert!(share.get(&format!("/f{i}"), &bob).is_err());
             assert!(share.get(&format!("/f{i}"), &alice).is_ok());

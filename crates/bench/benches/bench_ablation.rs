@@ -20,7 +20,9 @@ fn bench_pfs_vs_pae(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(size as u64));
     group.bench_function("pfs_encrypt/1MiB", |b| {
         let mut rng = DeterministicRng::seeded(1);
-        b.iter(|| black_box(pfs::pfs_encrypt(&[7u8; 16], black_box(&data), &mut rng).expect("pfs")));
+        b.iter(|| {
+            black_box(pfs::pfs_encrypt(&[7u8; 16], black_box(&data), &mut rng).expect("pfs"))
+        });
     });
     group.bench_function("pae_encrypt/1MiB", |b| {
         let key = PaeKey::from_bytes(&[7u8; 16]);
@@ -91,7 +93,9 @@ fn bench_he_revocation(c: &mut Criterion) {
     let mut client = rig.client();
     client.add_user("bob", "team").expect("add");
     for i in 0..20 {
-        client.put(&format!("/f{i}"), &vec![0u8; 100_000]).expect("put");
+        client
+            .put(&format!("/f{i}"), &vec![0u8; 100_000])
+            .expect("put");
         client
             .set_perm(&format!("/f{i}"), "team", seg_fs::Perm::Read)
             .expect("perm");

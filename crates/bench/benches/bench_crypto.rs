@@ -57,7 +57,11 @@ fn bench_signatures(c: &mut Criterion) {
         b.iter(|| black_box(sk.sign(black_box(&msg))));
     });
     c.bench_function("ed25519/verify", |b| {
-        b.iter(|| sk.public_key().verify(black_box(&msg), &sig).expect("valid"));
+        b.iter(|| {
+            sk.public_key()
+                .verify(black_box(&msg), &sig)
+                .expect("valid")
+        });
     });
     c.bench_function("x25519/diffie_hellman", |b| {
         let alice = EphemeralKeyPair::generate(&mut rng);

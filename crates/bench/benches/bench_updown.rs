@@ -24,7 +24,9 @@ fn bench_updown(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("segshare_put", size), &size, |b, _| {
             b.iter(|| {
                 i += 1;
-                client.put(&format!("/up-{i}"), black_box(&payload)).expect("put");
+                client
+                    .put(&format!("/up-{i}"), black_box(&payload))
+                    .expect("put");
             });
         });
         client.put("/down", &payload).expect("put");

@@ -32,7 +32,11 @@ fn switchless(quick: bool) {
     let mut results = Vec::new();
     for switchless in [true, false] {
         let rig = Rig::new(EnclaveConfig::paper_prototype());
-        rig.server.enclave().sgx().boundary().set_switchless(switchless);
+        rig.server
+            .enclave()
+            .sgx()
+            .boundary()
+            .set_switchless(switchless);
         rig.server.enclave().sgx().boundary().reset();
         let mut client = rig.client();
         for i in 0..files {
@@ -72,7 +76,9 @@ fn buckets(quick: bool) {
         let rig = Rig::new(config);
         let mut client = rig.client();
         for i in 0..files {
-            client.put(&format!("/flat-{i:05}"), &vec![2u8; 10_000]).unwrap();
+            client
+                .put(&format!("/flat-{i:05}"), &vec![2u8; 10_000])
+                .unwrap();
         }
         let down = measure(runs, || {
             let _ = client.get("/flat-00000").unwrap();
@@ -80,7 +86,9 @@ fn buckets(quick: bool) {
         let mut i = 0;
         let up = measure(runs, || {
             i += 1;
-            client.put(&format!("/extra-{i}"), &vec![3u8; 10_000]).unwrap();
+            client
+                .put(&format!("/extra-{i}"), &vec![3u8; 10_000])
+                .unwrap();
         });
         println!(
             "  buckets={bucket_count:>3}: download {} | upload {}  ({files} flat siblings)",
@@ -159,7 +167,9 @@ fn he_revocation(quick: bool) {
         let mut client = rig.client();
         client.add_user("bob", "team").unwrap();
         for i in 0..files {
-            client.put(&format!("/f{i}"), &vec![0u8; file_size]).unwrap();
+            client
+                .put(&format!("/f{i}"), &vec![0u8; file_size])
+                .unwrap();
             client
                 .set_perm(&format!("/f{i}"), "team", seg_fs::Perm::Read)
                 .unwrap();

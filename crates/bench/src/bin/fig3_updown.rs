@@ -14,13 +14,16 @@
 
 use seg_baseline::{PlainFileServer, ServerProfile};
 use seg_bench::harness::{
-    arg_flag, arg_value, fmt_s, local_gcm_mbps, measure, normalize_processing, wan, Rig,
+    arg_flag, arg_value, fmt_s, local_gcm_mbps, measure, normalize_processing,
+    print_metrics_sidecar, wan, Rig,
 };
 use segshare::EnclaveConfig;
 
 fn main() {
     let sizes_mb: Vec<u64> = if let Some(list) = arg_value("--sizes") {
-        list.split(',').map(|s| s.parse().expect("size in MB")).collect()
+        list.split(',')
+            .map(|s| s.parse().expect("size in MB"))
+            .collect()
     } else if arg_flag("--quick") {
         vec![1, 10]
     } else {
@@ -80,19 +83,20 @@ fn main() {
             64,
             plain_up.mean_s + apache.request_cost_s(bytes, 0),
         );
-        let nginx_up =
-            wan.request_s(bytes, 64, plain_up.mean_s + nginx.request_cost_s(bytes, 0));
+        let nginx_up = wan.request_s(bytes, 64, plain_up.mean_s + nginx.request_cost_s(bytes, 0));
 
         let seg_down_measured = wan.request_s(64, bytes, down.mean_s);
-        let seg_down_norm =
-            wan.request_s(64, bytes, normalize_processing(down.mean_s, local_mbps));
+        let seg_down_norm = wan.request_s(64, bytes, normalize_processing(down.mean_s, local_mbps));
         let apache_down = wan.request_store_forward_s(
             64,
             bytes,
             plain_down.mean_s + apache.request_cost_s(0, bytes),
         );
-        let nginx_down =
-            wan.request_s(64, bytes, plain_down.mean_s + nginx.request_cost_s(0, bytes));
+        let nginx_down = wan.request_s(
+            64,
+            bytes,
+            plain_down.mean_s + nginx.request_cost_s(0, bytes),
+        );
 
         println!(
             "{:>4}MB {:>5} | {:>10} {:>10} | {:>10} {:>10} | {:>10}",
@@ -114,6 +118,8 @@ fn main() {
             fmt_s(nginx_down),
             fmt_s(down.mean_s),
         );
+
+        print_metrics_sidecar(&rig.server);
 
         // The paper's ordering claims, checked on the normalized
         // column. At small sizes everyone is wire-bound and the curves

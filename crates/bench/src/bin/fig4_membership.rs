@@ -49,9 +49,7 @@ fn main() {
         let mut j = 0usize;
         let revoke = measure(runs, || {
             j += 1;
-            admin
-                .remove_user("bob", &format!("extra-{j:05}"))
-                .unwrap();
+            admin.remove_user("bob", &format!("extra-{j:05}")).unwrap();
         });
         println!(
             "{:>18} mbr | {:>12} {:>12} | {:>12} {:>12}",

@@ -31,9 +31,7 @@ fn build_tree(client: &mut Client<seg_net::ChannelTransport>, count: usize, payl
                 }
                 let sub = format!("{dir}{side}/");
                 client.mkdir(&sub).unwrap();
-                client
-                    .put(&format!("{sub}file.bin"), payload)
-                    .unwrap();
+                client.put(&format!("{sub}file.bin"), payload).unwrap();
                 made += 1;
                 next.push(sub);
             }
@@ -63,7 +61,14 @@ fn main() {
     println!();
     println!(
         "{:>7} {:>6} | {:>11} {:>11} | {:>11} {:>11} | {:>11} {:>11}",
-        "files", "layout", "up (proc)", "up (WAN)", "down (proc)", "down (WAN)", "up-noRB", "down-noRB"
+        "files",
+        "layout",
+        "up (proc)",
+        "up (WAN)",
+        "down (proc)",
+        "down (WAN)",
+        "up-noRB",
+        "down-noRB"
     );
 
     for x in (0..=max_x).step_by(2) {
@@ -111,5 +116,8 @@ fn main() {
         }
     }
     println!();
-    println!("(WAN floor for a 10 kB request is ~{}; the paper's 111.65 ms)", fmt_s(wan.request_s(64, 10_016, 0.0)));
+    println!(
+        "(WAN floor for a 10 kB request is ~{}; the paper's 111.65 ms)",
+        fmt_s(wan.request_s(64, 10_016, 0.0))
+    );
 }

@@ -54,7 +54,8 @@ fn main() {
     let hal = HeUser::new("alice");
     let hbob = HeUser::new("bob");
     let mut he = HeFileShare::new();
-    he.put("/f", &vec![0u8; 1_000_000], &[&hal, &hbob]).expect("he put");
+    he.put("/f", &vec![0u8; 1_000_000], &[&hal, &hbob])
+        .expect("he put");
     let dir: HashMap<String, [u8; 32]> = [
         ("alice".to_string(), hal.public()),
         ("bob".to_string(), hbob.public()),
@@ -65,26 +66,126 @@ fn main() {
     println!("== Table III, SeGShare row (live evidence) ==");
     println!();
     let rows = [
-        Row { objective: "F1", description: "sharing with users / groups", status: "full/full", evidence: "tests: f1_sharing_with_users_and_groups" },
-        Row { objective: "F2", description: "dynamic permissions / memberships", status: "full/full", evidence: "tests: f2_f3_dynamic_permissions" },
-        Row { objective: "F3", description: "users set permissions", status: "full", evidence: "set_perm requires file ownership only" },
-        Row { objective: "F4", description: "separate read / write permissions", status: "full/full", evidence: "tests: f4_separate_read_and_write" },
-        Row { objective: "F5", description: "no special client hardware", status: "full", evidence: "client = cert + key over TCP (examples/tcp_server)" },
-        Row { objective: "F6", description: "non-interactive updates", status: "full", evidence: "tests: f6_non_interactive_updates" },
-        Row { objective: "F7", description: "multiple file / group owners", status: "full/full", evidence: "tests: multiple_owners_and_group_owned_groups" },
-        Row { objective: "F8", description: "authn/authz separation", status: "full", evidence: "tests: f8_separation (two certs, one principal)" },
-        Row { objective: "F9", description: "dedup of encrypted files", status: "full", evidence: "live check above; tests: f9_deduplication" },
-        Row { objective: "F10", description: "inherited permissions", status: "full", evidence: "tests: f10_permission_inheritance" },
-        Row { objective: "P1", description: "constant client storage", status: "full", evidence: "tests: f5_p1 (enrollment < 1 KiB)" },
-        Row { objective: "P2", description: "group-based permissions", status: "full", evidence: "tests: p2_group_based_permission_definition" },
-        Row { objective: "P3", description: "revocation w/o re-encryption", status: "full/full", evidence: "tests: p3 (<100 kB written revoking a 2 MB file)" },
-        Row { objective: "P4", description: "constant ciphertexts per file", status: "full", evidence: "tests: p4 (object count flat over 50 grants)" },
-        Row { objective: "P5", description: "groups share one encrypted file", status: "full", evidence: "tests: p5 (10 groups, one blob)" },
-        Row { objective: "S1", description: "confidentiality incl. structure", status: "full", evidence: "threat tests: provider_sees_no_plaintext" },
-        Row { objective: "S2", description: "integrity incl. management files", status: "full", evidence: "threat tests: tampering_with_any_stored_object" },
-        Row { objective: "S3", description: "end-to-end file protection", status: "full", evidence: "objective tests: s3 (wire records opaque)" },
-        Row { objective: "S4", description: "immediate revocation", status: "full", evidence: "live check above; threat tests: member_list_rollback" },
-        Row { objective: "S5", description: "rollback protection file / FS", status: "full/full", evidence: "threat tests: individual + whole-FS (counter)" },
+        Row {
+            objective: "F1",
+            description: "sharing with users / groups",
+            status: "full/full",
+            evidence: "tests: f1_sharing_with_users_and_groups",
+        },
+        Row {
+            objective: "F2",
+            description: "dynamic permissions / memberships",
+            status: "full/full",
+            evidence: "tests: f2_f3_dynamic_permissions",
+        },
+        Row {
+            objective: "F3",
+            description: "users set permissions",
+            status: "full",
+            evidence: "set_perm requires file ownership only",
+        },
+        Row {
+            objective: "F4",
+            description: "separate read / write permissions",
+            status: "full/full",
+            evidence: "tests: f4_separate_read_and_write",
+        },
+        Row {
+            objective: "F5",
+            description: "no special client hardware",
+            status: "full",
+            evidence: "client = cert + key over TCP (examples/tcp_server)",
+        },
+        Row {
+            objective: "F6",
+            description: "non-interactive updates",
+            status: "full",
+            evidence: "tests: f6_non_interactive_updates",
+        },
+        Row {
+            objective: "F7",
+            description: "multiple file / group owners",
+            status: "full/full",
+            evidence: "tests: multiple_owners_and_group_owned_groups",
+        },
+        Row {
+            objective: "F8",
+            description: "authn/authz separation",
+            status: "full",
+            evidence: "tests: f8_separation (two certs, one principal)",
+        },
+        Row {
+            objective: "F9",
+            description: "dedup of encrypted files",
+            status: "full",
+            evidence: "live check above; tests: f9_deduplication",
+        },
+        Row {
+            objective: "F10",
+            description: "inherited permissions",
+            status: "full",
+            evidence: "tests: f10_permission_inheritance",
+        },
+        Row {
+            objective: "P1",
+            description: "constant client storage",
+            status: "full",
+            evidence: "tests: f5_p1 (enrollment < 1 KiB)",
+        },
+        Row {
+            objective: "P2",
+            description: "group-based permissions",
+            status: "full",
+            evidence: "tests: p2_group_based_permission_definition",
+        },
+        Row {
+            objective: "P3",
+            description: "revocation w/o re-encryption",
+            status: "full/full",
+            evidence: "tests: p3 (<100 kB written revoking a 2 MB file)",
+        },
+        Row {
+            objective: "P4",
+            description: "constant ciphertexts per file",
+            status: "full",
+            evidence: "tests: p4 (object count flat over 50 grants)",
+        },
+        Row {
+            objective: "P5",
+            description: "groups share one encrypted file",
+            status: "full",
+            evidence: "tests: p5 (10 groups, one blob)",
+        },
+        Row {
+            objective: "S1",
+            description: "confidentiality incl. structure",
+            status: "full",
+            evidence: "threat tests: provider_sees_no_plaintext",
+        },
+        Row {
+            objective: "S2",
+            description: "integrity incl. management files",
+            status: "full",
+            evidence: "threat tests: tampering_with_any_stored_object",
+        },
+        Row {
+            objective: "S3",
+            description: "end-to-end file protection",
+            status: "full",
+            evidence: "objective tests: s3 (wire records opaque)",
+        },
+        Row {
+            objective: "S4",
+            description: "immediate revocation",
+            status: "full",
+            evidence: "live check above; threat tests: member_list_rollback",
+        },
+        Row {
+            objective: "S5",
+            description: "rollback protection file / FS",
+            status: "full/full",
+            evidence: "threat tests: individual + whole-FS (counter)",
+        },
     ];
     for row in &rows {
         println!(
@@ -101,9 +202,7 @@ fn main() {
     );
     println!("SeGShare revocation of the same shape: one ACL/member-list rewrite (~8 KiB), zero content bytes");
     let mut fresh = HeFileShare::new();
-    fresh
-        .put("/fresh", b"x", &[&hal, &hbob])
-        .expect("he put");
+    fresh.put("/fresh", b"x", &[&hal, &hbob]).expect("he put");
     println!(
         "HE ciphertexts per file with 2 readers: {} (grows per reader); SeGShare: constant 2 (+hash records)",
         fresh.ciphertext_count("/fresh")

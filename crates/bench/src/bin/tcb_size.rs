@@ -30,9 +30,7 @@ fn count_loc(path: &Path) -> usize {
                 in_block_comment = !trimmed.contains("*/");
                 return false;
             }
-            !trimmed.is_empty()
-                && !trimmed.starts_with("//")
-                && !trimmed.starts_with("#![doc")
+            !trimmed.is_empty() && !trimmed.starts_with("//") && !trimmed.starts_with("#![doc")
         })
         .count()
 }

@@ -114,6 +114,46 @@ impl Rig {
     }
 }
 
+/// Prints the telemetry sidecar for a server run: per-operation latency
+/// quantiles, enclave-boundary crossings, and per-store byte totals
+/// from the server's [`SegShareServer::metrics_snapshot`].
+pub fn print_metrics_sidecar(server: &SegShareServer) {
+    let snap = server.metrics_snapshot();
+    println!("  -- metrics sidecar --");
+    for (id, h) in &snap.histograms {
+        if id.name() != "seg_request_latency_ns" {
+            continue;
+        }
+        let op = id.labels().first().map(|&(_, v)| v).unwrap_or("?");
+        println!(
+            "  {:<14} n={:<7} p50={:<12} p95={:<12} p99={}",
+            op,
+            h.count,
+            fmt_s(h.p50 as f64 * 1e-9),
+            fmt_s(h.p95 as f64 * 1e-9),
+            fmt_s(h.p99 as f64 * 1e-9),
+        );
+    }
+    println!(
+        "  boundary: {} ecalls, {} ocalls",
+        snap.counter("seg_boundary_ecalls_total").unwrap_or(0),
+        snap.counter("seg_boundary_ocalls_total").unwrap_or(0),
+    );
+    for store in ["content", "group", "dedup"] {
+        let read = snap
+            .counter(&format!("seg_store_bytes_read_total{{store=\"{store}\"}}"))
+            .unwrap_or(0);
+        let written = snap
+            .counter(&format!(
+                "seg_store_bytes_written_total{{store=\"{store}\"}}"
+            ))
+            .unwrap_or(0);
+        if read > 0 || written > 0 {
+            println!("  store {store}: {read} B read, {written} B written");
+        }
+    }
+}
+
 /// The WAN used by every figure (the paper's two-region testbed).
 #[must_use]
 pub fn wan() -> WanProfile {

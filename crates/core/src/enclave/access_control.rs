@@ -91,7 +91,8 @@ impl AccessControl {
 
     /// Persists the ACL of the entry at `path`.
     pub fn save_acl(&self, path: &SegPath, acl: &AclFile) -> Result<(), SegShareError> {
-        self.store.write(&ObjectId::Acl(path.clone()), &acl.encode())
+        self.store
+            .write(&ObjectId::Acl(path.clone()), &acl.encode())
     }
 
     // ------------------------------------------------------------- auth
@@ -335,8 +336,8 @@ impl AccessControl {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::enclave::testutil::components;
     use crate::config::EnclaveConfig;
+    use crate::enclave::testutil::components;
     use seg_fs::Perm;
 
     fn u(name: &str) -> UserId {
@@ -359,7 +360,11 @@ mod tests {
         let mut ml = ml;
         ml.add_membership(g("eng"));
         f.access.save_member_list(&u("bob"), &ml).unwrap();
-        assert!(f.access.member_list(&u("bob")).unwrap().is_member(&g("eng")));
+        assert!(f
+            .access
+            .member_list(&u("bob"))
+            .unwrap()
+            .is_member(&g("eng")));
     }
 
     #[test]
@@ -373,10 +378,20 @@ mod tests {
     #[test]
     fn add_user_creates_group_with_creator_as_owner_and_member() {
         let f = components(EnclaveConfig::default());
-        f.access.add_user(&u("alice"), &u("bob"), &g("eng")).unwrap();
+        f.access
+            .add_user(&u("alice"), &u("bob"), &g("eng"))
+            .unwrap();
         // Creator joined (Algorithm 1's updateRel(r_G, r_G ∪ (u1, g))).
-        assert!(f.access.member_list(&u("alice")).unwrap().is_member(&g("eng")));
-        assert!(f.access.member_list(&u("bob")).unwrap().is_member(&g("eng")));
+        assert!(f
+            .access
+            .member_list(&u("alice"))
+            .unwrap()
+            .is_member(&g("eng")));
+        assert!(f
+            .access
+            .member_list(&u("bob"))
+            .unwrap()
+            .is_member(&g("eng")));
         assert!(f.access.auth_group(&u("alice"), &g("eng")).unwrap());
         assert!(!f.access.auth_group(&u("bob"), &g("eng")).unwrap());
     }
@@ -384,7 +399,9 @@ mod tests {
     #[test]
     fn non_owner_cannot_mutate_group() {
         let f = components(EnclaveConfig::default());
-        f.access.add_user(&u("alice"), &u("bob"), &g("eng")).unwrap();
+        f.access
+            .add_user(&u("alice"), &u("bob"), &g("eng"))
+            .unwrap();
         let err = f.access.add_user(&u("bob"), &u("carol"), &g("eng"));
         assert!(matches!(
             err,
@@ -400,8 +417,12 @@ mod tests {
     #[test]
     fn group_ownership_extension() {
         let f = components(EnclaveConfig::default());
-        f.access.add_user(&u("alice"), &u("alice"), &g("eng")).unwrap();
-        f.access.add_user(&u("alice"), &u("bob"), &g("leads")).unwrap();
+        f.access
+            .add_user(&u("alice"), &u("alice"), &g("eng"))
+            .unwrap();
+        f.access
+            .add_user(&u("alice"), &u("bob"), &g("leads"))
+            .unwrap();
         f.access
             .add_group_owner(&u("alice"), &g("leads"), &g("eng"))
             .unwrap();
@@ -425,14 +446,22 @@ mod tests {
         f.access.save_acl(&path, &acl).unwrap();
 
         // Owner: everything.
-        assert!(f.access.auth_file(&u("alice"), Access::Write, &path).unwrap());
+        assert!(f
+            .access
+            .auth_file(&u("alice"), Access::Write, &path)
+            .unwrap());
         assert!(f.access.is_file_owner(&u("alice"), &path).unwrap());
         // Member of readers: read only.
-        f.access.add_user(&u("alice"), &u("bob"), &g("readers")).unwrap();
+        f.access
+            .add_user(&u("alice"), &u("bob"), &g("readers"))
+            .unwrap();
         assert!(f.access.auth_file(&u("bob"), Access::Read, &path).unwrap());
         assert!(!f.access.auth_file(&u("bob"), Access::Write, &path).unwrap());
         // Stranger: nothing; missing file: nothing.
-        assert!(!f.access.auth_file(&u("carol"), Access::Read, &path).unwrap());
+        assert!(!f
+            .access
+            .auth_file(&u("carol"), Access::Read, &path)
+            .unwrap());
         assert!(!f
             .access
             .auth_file(&u("alice"), Access::Read, &p("/missing"))

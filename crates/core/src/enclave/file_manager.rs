@@ -49,8 +49,10 @@ impl FileManager {
     pub fn init_file_system(&self) -> Result<(), SegShareError> {
         let root = SegPath::root();
         if !self.store.exists(&ObjectId::DirData(root.clone()))? {
-            self.store
-                .write(&ObjectId::DirData(root.clone()), &DirFile::new(root.clone()).encode())?;
+            self.store.write(
+                &ObjectId::DirData(root.clone()),
+                &DirFile::new(root.clone()).encode(),
+            )?;
             self.store
                 .write(&ObjectId::Acl(root), &AclFile::new().encode())?;
         }
@@ -59,10 +61,8 @@ impl FileManager {
                 &ObjectId::GroupRoot,
                 &super::trusted_store::GroupRootFile::new().encode(),
             )?;
-            self.store.write(
-                &ObjectId::GroupList,
-                &seg_fs::GroupListFile::new().encode(),
-            )?;
+            self.store
+                .write(&ObjectId::GroupList, &seg_fs::GroupListFile::new().encode())?;
         }
         Ok(())
     }
@@ -113,10 +113,14 @@ impl FileManager {
     /// Creates a directory owned by `owner` (Algorithm 1 `put_fD`; the
     /// caller has already authorized the request).
     pub fn create_dir(&self, path: &SegPath, owner: GroupId) -> Result<(), SegShareError> {
-        self.store
-            .write(&ObjectId::Acl(path.clone()), &AclFile::with_owner(owner).encode())?;
-        self.store
-            .write(&ObjectId::DirData(path.clone()), &DirFile::new(path.clone()).encode())?;
+        self.store.write(
+            &ObjectId::Acl(path.clone()),
+            &AclFile::with_owner(owner).encode(),
+        )?;
+        self.store.write(
+            &ObjectId::DirData(path.clone()),
+            &DirFile::new(path.clone()).encode(),
+        )?;
         self.add_child_to_parent(path, ChildKind::Directory)
     }
 
@@ -154,7 +158,9 @@ impl FileManager {
             (temp_key, Some(hmac))
         } else {
             (
-                self.store.keys().file_key(&ObjectId::FileData(path.clone())),
+                self.store
+                    .keys()
+                    .file_key(&ObjectId::FileData(path.clone())),
                 None,
             )
         };
@@ -184,10 +190,7 @@ impl FileManager {
         chunk: &[u8],
     ) -> Result<(), SegShareError> {
         if chunk.len() as u64 > upload.remaining {
-            return Err(bad(
-                ErrorCode::BadRequest,
-                "upload exceeds announced size",
-            ));
+            return Err(bad(ErrorCode::BadRequest, "upload exceeds announced size"));
         }
         upload.remaining -= chunk.len() as u64;
         if let Some(hmac) = upload.hmac.as_mut() {
@@ -253,8 +256,10 @@ impl FileManager {
         }
 
         if let Some(owner) = new_owner {
-            self.store
-                .write(&ObjectId::Acl(path.clone()), &AclFile::with_owner(owner).encode())?;
+            self.store.write(
+                &ObjectId::Acl(path.clone()),
+                &AclFile::with_owner(owner).encode(),
+            )?;
             self.add_child_to_parent(&path, ChildKind::File)?;
         }
         Ok(())
@@ -410,12 +415,11 @@ impl FileManager {
             new_dir.add_child(name, kind);
         }
         self.store.write(&ObjectId::Acl(to.clone()), &acl)?;
-        self.store.write(&ObjectId::DirData(to.clone()), &new_dir.encode())?;
+        self.store
+            .write(&ObjectId::DirData(to.clone()), &new_dir.encode())?;
         self.add_child_to_parent(to, ChildKind::Directory)?;
-        let children: Vec<(String, ChildKind)> = dir
-            .children()
-            .map(|(n, k)| (n.to_string(), k))
-            .collect();
+        let children: Vec<(String, ChildKind)> =
+            dir.children().map(|(n, k)| (n.to_string(), k)).collect();
         for (name, kind) in children {
             let from_child = dir.child_path(&name, kind)?;
             let to_child = new_dir.child_path(&name, kind)?;
@@ -594,7 +598,11 @@ mod tests {
             let path = format!("/f{i}");
             let content: Vec<u8> = (0..*size).map(|b| (b % 251) as u8).collect();
             upload(&f, &path, &content);
-            assert_eq!(f.files.read_file(&p(&path)).unwrap(), content, "size {size}");
+            assert_eq!(
+                f.files.read_file(&p(&path)).unwrap(),
+                content,
+                "size {size}"
+            );
             // Download context reports the exact size.
             if *size > 0 {
                 let dl = f.files.open_download(&p(&path)).unwrap();

@@ -87,7 +87,10 @@ impl KeyHierarchy {
     pub fn storage_key(&self, id: &ObjectId, hide: bool) -> String {
         let canonical = id.canonical();
         if hide {
-            hex(&hmac_sha256(&self.hide_key(id.store()), canonical.as_bytes()))
+            hex(&hmac_sha256(
+                &self.hide_key(id.store()),
+                canonical.as_bytes(),
+            ))
         } else {
             canonical
         }
@@ -98,7 +101,10 @@ impl KeyHierarchy {
     pub fn hash_record_storage_key(&self, id: &ObjectId, hide: bool) -> String {
         let canonical = format!("h!{}", id.canonical());
         if hide {
-            hex(&hmac_sha256(&self.hide_key(id.store()), canonical.as_bytes()))
+            hex(&hmac_sha256(
+                &self.hide_key(id.store()),
+                canonical.as_bytes(),
+            ))
         } else {
             canonical
         }
@@ -150,7 +156,10 @@ mod tests {
         let a = KeyHierarchy::new([7u8; 32]);
         let b = KeyHierarchy::new([7u8; 32]);
         assert_eq!(a.file_key(&id("/x")), b.file_key(&id("/x")));
-        assert_eq!(a.storage_key(&id("/x"), true), b.storage_key(&id("/x"), true));
+        assert_eq!(
+            a.storage_key(&id("/x"), true),
+            b.storage_key(&id("/x"), true)
+        );
     }
 
     #[test]
@@ -163,7 +172,10 @@ mod tests {
         assert!(!hidden.contains('/'));
         assert_eq!(hidden.len(), 64);
         // Data and hash-record keys never collide.
-        assert_ne!(hidden, k.hash_record_storage_key(&id("/secret-project/plan"), true));
+        assert_ne!(
+            hidden,
+            k.hash_record_storage_key(&id("/secret-project/plan"), true)
+        );
     }
 
     #[test]

@@ -22,9 +22,10 @@ use parking_lot::RwLock;
 use seg_crypto::ed25519::{PublicKey, SecretKey};
 use seg_crypto::rng::{SecureRandom, SystemRng};
 use seg_crypto::sha256::Sha256;
+use seg_obs::Registry;
 use seg_pki::{Certificate, Csr, Identity};
 use seg_sgx::{Enclave, EnclaveImage, Platform, Quote};
-use seg_store::ObjectStore;
+use seg_store::{CountingStore, ObjectStore};
 
 use crate::config::EnclaveConfig;
 use crate::error::SegShareError;
@@ -64,7 +65,14 @@ pub struct SegShareEnclave {
     files: FileManager,
     fs_lock: RwLock<()>,
     clock: AtomicU64,
+    obs: Arc<Registry>,
+    /// The counting wrappers around the untrusted stores, kept for
+    /// per-store attribution in [`SegShareEnclave::metrics_snapshot`].
+    counted_stores: Vec<(&'static str, CountedStore)>,
 }
+
+/// A counting wrapper around one of the untrusted object stores.
+type CountedStore = Arc<CountingStore<Arc<dyn ObjectStore>>>;
 
 impl std::fmt::Debug for SegShareEnclave {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -147,6 +155,17 @@ impl SegShareEnclave {
     ) -> Result<Arc<SegShareEnclave>, SegShareError> {
         config.assert_valid();
         let sgx = Arc::new(platform.launch(&Self::image(&config, &ca_key)));
+        let obs = Arc::new(Registry::new());
+
+        // Every untrusted store is wrapped in a counting layer so the
+        // telemetry snapshot can attribute I/O per store (including the
+        // sealed-key traffic below).
+        let content_counted = Arc::new(CountingStore::new(content));
+        let group_counted = Arc::new(CountingStore::new(group));
+        let dedup_counted = Arc::new(CountingStore::new(dedup));
+        let content: Arc<dyn ObjectStore> = Arc::clone(&content_counted) as Arc<dyn ObjectStore>;
+        let group: Arc<dyn ObjectStore> = Arc::clone(&group_counted) as Arc<dyn ObjectStore>;
+        let dedup: Arc<dyn ObjectStore> = Arc::clone(&dedup_counted) as Arc<dyn ObjectStore>;
 
         // Root key: imported (replication), unsealed (restart), or
         // generated-and-sealed (first start).
@@ -198,6 +217,7 @@ impl SegShareEnclave {
             content,
             group,
             dedup,
+            Arc::clone(&obs),
         ));
         let enclave = Arc::new(SegShareEnclave {
             sgx,
@@ -210,6 +230,12 @@ impl SegShareEnclave {
             store,
             fs_lock: RwLock::new(()),
             clock: AtomicU64::new(1_000),
+            obs,
+            counted_stores: vec![
+                ("content", content_counted),
+                ("group", group_counted),
+                ("dedup", dedup_counted),
+            ],
         });
         enclave.files.init_file_system()?;
         Ok(enclave)
@@ -309,6 +335,75 @@ impl SegShareEnclave {
         &self.sgx
     }
 
+    /// The telemetry registry. Labels are compiled-in operation names
+    /// and error codes only; request content (paths, user ids, key
+    /// material) is unrepresentable by construction (`seg-obs` charset
+    /// checks).
+    #[must_use]
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
+    }
+
+    /// Captures a telemetry snapshot after folding in the externally
+    /// sourced totals: boundary crossings, EPC usage, and the per-store
+    /// I/O counters.
+    ///
+    /// This is the system's **declassification point** (paper §III):
+    /// the only way aggregate telemetry leaves the trusted boundary.
+    /// Everything in the snapshot is an aggregate keyed by compiled-in
+    /// names — nothing request-derived crosses here.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> seg_obs::Snapshot {
+        let sync = |name: &'static str, labels: Vec<(&'static str, &'static str)>, total: u64| {
+            // External counters are monotonic; advance ours to match so
+            // repeated snapshots never double-count.
+            let c = self.obs.counter_with(name, labels);
+            c.add(total.saturating_sub(c.get()));
+        };
+
+        let b = self.sgx.boundary().stats();
+        sync("seg_boundary_ecalls_total", vec![], b.ecalls);
+        sync("seg_boundary_ocalls_total", vec![], b.ocalls);
+        self.obs
+            .gauge("seg_boundary_simulated_ns")
+            .set(b.simulated_ns);
+
+        let epc = self.sgx.epc();
+        self.obs.gauge("seg_epc_bytes").set(epc.current_bytes());
+        self.obs.gauge("seg_epc_peak_bytes").set(epc.peak_bytes());
+        self.obs.gauge("seg_epc_paged_pages").set(epc.paged_pages());
+
+        for (store, counted) in &self.counted_stores {
+            let s = counted.stats();
+            for (op, total) in [
+                ("get", s.gets),
+                ("put", s.puts),
+                ("delete", s.deletes),
+                ("exists", s.exists),
+                ("rename", s.renames),
+                ("list", s.lists),
+            ] {
+                sync(
+                    "seg_store_ops_total",
+                    vec![("store", store), ("op", op)],
+                    total,
+                );
+            }
+            sync(
+                "seg_store_bytes_read_total",
+                vec![("store", store)],
+                s.bytes_read,
+            );
+            sync(
+                "seg_store_bytes_written_total",
+                vec![("store", store)],
+                s.bytes_written,
+            );
+        }
+
+        self.obs.snapshot()
+    }
+
     /// The enclave configuration.
     #[must_use]
     pub fn config(&self) -> &EnclaveConfig {
@@ -381,6 +476,7 @@ pub(crate) mod testutil {
             Arc::new(MemStore::new()),
             Arc::new(MemStore::new()),
             Arc::new(MemStore::new()),
+            Arc::new(seg_obs::Registry::new()),
         ));
         let access = AccessControl::new(Arc::clone(&store));
         let files = FileManager::new(Arc::clone(&store));

@@ -58,9 +58,7 @@ impl ObjectId {
     pub fn store(&self) -> StoreKind {
         match self {
             ObjectId::DirData(_) | ObjectId::FileData(_) | ObjectId::Acl(_) => StoreKind::Content,
-            ObjectId::GroupRoot | ObjectId::GroupList | ObjectId::MemberList(_) => {
-                StoreKind::Group
-            }
+            ObjectId::GroupRoot | ObjectId::GroupList | ObjectId::MemberList(_) => StoreKind::Group,
             ObjectId::DedupBlob(_) => StoreKind::Dedup,
         }
     }
@@ -94,9 +92,9 @@ impl ObjectId {
     pub fn tree_parent(&self) -> Option<ObjectId> {
         match self {
             ObjectId::DirData(p) => p.parent().map(ObjectId::DirData),
-            ObjectId::FileData(p) => {
-                Some(ObjectId::DirData(p.parent().expect("files are never the root")))
-            }
+            ObjectId::FileData(p) => Some(ObjectId::DirData(
+                p.parent().expect("files are never the root"),
+            )),
             ObjectId::Acl(p) => match p.parent() {
                 Some(parent) => Some(ObjectId::DirData(parent)),
                 // The root directory's ACL is a child of the root itself.
@@ -162,10 +160,7 @@ mod tests {
             ObjectId::Acl(p("/")).tree_parent(),
             Some(ObjectId::DirData(p("/")))
         );
-        assert_eq!(
-            ObjectId::GroupList.tree_parent(),
-            Some(ObjectId::GroupRoot)
-        );
+        assert_eq!(ObjectId::GroupList.tree_parent(), Some(ObjectId::GroupRoot));
         assert_eq!(ObjectId::GroupRoot.tree_parent(), None);
         assert_eq!(ObjectId::DedupBlob("x".to_string()).tree_parent(), None);
     }

@@ -55,7 +55,9 @@ impl std::fmt::Debug for EnclaveSession {
             SessionState::Established { .. } => "established",
             SessionState::Failed => "failed",
         };
-        f.debug_struct("EnclaveSession").field("state", &state).finish()
+        f.debug_struct("EnclaveSession")
+            .field("state", &state)
+            .finish()
     }
 }
 
@@ -140,9 +142,7 @@ impl EnclaveSession {
                     self.out.push_back(reply);
                 }
                 if step.done {
-                    let (channel, cert) = hs
-                        .into_established()
-                        .expect("handshake reported done");
+                    let (channel, cert) = hs.into_established().expect("handshake reported done");
                     let user = cert
                         .subject()
                         .user_id()
@@ -239,21 +239,34 @@ impl EnclaveSession {
         user: &UserId,
         request: Request,
     ) -> Result<Vec<Response>, SegShareError> {
+        // The span label is the compiled-in operation name — never the
+        // request's operands (seg-obs trust-boundary rule).
+        let span = enclave.obs().start_op(request.op_name());
         // Data chunks are the streaming fast path.
         if let Request::Data { bytes } = request {
-            return self.handle_data(enclave, bytes);
+            let result = self.handle_data(enclave, bytes);
+            match &result {
+                Ok(_) => span.finish_ok(),
+                Err(err) => span.finish_err(error_code(err).name()),
+            }
+            return result;
         }
         if self.upload.is_some() {
             // A non-Data request aborts an in-flight upload.
             self.upload = None;
+            span.finish_err(ErrorCode::BadRequest.name());
             return Ok(vec![error_response(bad_request(
                 "upload interrupted by another request",
             ))]);
         }
         let result = self.dispatch(enclave, user, &request);
         match result {
-            Ok(responses) => Ok(responses),
+            Ok(responses) => {
+                span.finish_ok();
+                Ok(responses)
+            }
             Err(err) => {
+                span.finish_err(error_code(&err).name());
                 if is_fatal(&err) {
                     Err(err)
                 } else {
@@ -344,14 +357,20 @@ impl EnclaveSession {
                 let _guard = enclave.fs_lock().write();
                 self.do_add_owner(enclave, user, path, group)
             }
-            Request::AddUser { user: member, group } => {
+            Request::AddUser {
+                user: member,
+                group,
+            } => {
                 let _guard = enclave.fs_lock().write();
                 let member = UserId::new(member.clone()).map_err(|e| bad_request(e.to_string()))?;
                 let group = GroupId::new(group.clone()).map_err(|e| bad_request(e.to_string()))?;
                 enclave.access().add_user(user, &member, &group)?;
                 Ok(vec![Response::Ok])
             }
-            Request::RemoveUser { user: member, group } => {
+            Request::RemoveUser {
+                user: member,
+                group,
+            } => {
                 let _guard = enclave.fs_lock().write();
                 let member = UserId::new(member.clone()).map_err(|e| bad_request(e.to_string()))?;
                 let group = GroupId::new(group.clone()).map_err(|e| bad_request(e.to_string()))?;
@@ -362,7 +381,9 @@ impl EnclaveSession {
                 let _guard = enclave.fs_lock().write();
                 let owner_group = parse_perm_group(owner_group)?;
                 let group = GroupId::new(group.clone()).map_err(|e| bad_request(e.to_string()))?;
-                enclave.access().add_group_owner(user, &owner_group, &group)?;
+                enclave
+                    .access()
+                    .add_group_owner(user, &owner_group, &group)?;
                 Ok(vec![Response::Ok])
             }
             Request::DeleteGroup { group } => {
@@ -414,9 +435,7 @@ impl EnclaveSession {
         if !(parent.is_root() || enclave.access().auth_file(user, Access::Write, &parent)?) {
             return Err(deny(format!("no write permission on {parent}")));
         }
-        enclave
-            .files()
-            .create_dir(&path, user.default_group())?;
+        enclave.files().create_dir(&path, user.default_group())?;
         Ok(vec![Response::Ok])
     }
 
@@ -551,12 +570,19 @@ impl EnclaveSession {
         {
             return Err(deny(format!("no write permission on {from}")));
         }
-        let to_parent = to.parent().ok_or_else(|| bad_request("cannot move to root"))?;
+        let to_parent = to
+            .parent()
+            .ok_or_else(|| bad_request("cannot move to root"))?;
         if !to_parent.is_root() {
             if !enclave.files().dir_exists(&to_parent)? {
-                return Err(not_found(format!("destination directory {to_parent} missing")));
+                return Err(not_found(format!(
+                    "destination directory {to_parent} missing"
+                )));
             }
-            if !enclave.access().auth_file(user, Access::Write, &to_parent)? {
+            if !enclave
+                .access()
+                .auth_file(user, Access::Write, &to_parent)?
+            {
                 return Err(deny(format!("no write permission on {to_parent}")));
             }
         }
@@ -590,7 +616,9 @@ impl EnclaveSession {
         let path = resolve_path(enclave, path)?;
         let group = parse_perm_group(group)?;
         if !enclave.access().is_file_owner(user, &path)? {
-            return Err(deny(format!("only file owners may change permissions on {path}")));
+            return Err(deny(format!(
+                "only file owners may change permissions on {path}"
+            )));
         }
         let mut acl = enclave
             .access()
@@ -616,7 +644,9 @@ impl EnclaveSession {
     ) -> Result<Vec<Response>, SegShareError> {
         let path = resolve_path(enclave, path)?;
         if !enclave.access().is_file_owner(user, &path)? {
-            return Err(deny(format!("only file owners may change inheritance on {path}")));
+            return Err(deny(format!(
+                "only file owners may change inheritance on {path}"
+            )));
         }
         let mut acl = enclave
             .access()
@@ -638,7 +668,9 @@ impl EnclaveSession {
         let path = resolve_path(enclave, path)?;
         let group = parse_perm_group(group)?;
         if !enclave.access().is_file_owner(user, &path)? {
-            return Err(deny(format!("only file owners may shrink ownership of {path}")));
+            return Err(deny(format!(
+                "only file owners may shrink ownership of {path}"
+            )));
         }
         let mut acl = enclave
             .access()
@@ -664,7 +696,9 @@ impl EnclaveSession {
         let path = resolve_path(enclave, path)?;
         let group = parse_perm_group(group)?;
         if !enclave.access().is_file_owner(user, &path)? {
-            return Err(deny(format!("only file owners may extend ownership of {path}")));
+            return Err(deny(format!(
+                "only file owners may extend ownership of {path}"
+            )));
         }
         let mut acl = enclave
             .access()
@@ -683,10 +717,7 @@ fn parse_path(s: &str) -> Result<SegPath, SegShareError> {
 /// Resolves a client-supplied path against the file system: a path
 /// without a trailing slash that names no content file but does name a
 /// directory resolves to that directory (WebDAV-style convenience).
-fn resolve_path(
-    enclave: &SegShareEnclave,
-    s: &str,
-) -> Result<SegPath, SegShareError> {
+fn resolve_path(enclave: &SegShareEnclave, s: &str) -> Result<SegPath, SegShareError> {
     let path = parse_path(s)?;
     if path.is_dir() || enclave.files().file_exists(&path)? {
         return Ok(path);
@@ -701,10 +732,7 @@ fn resolve_path(
 
 /// Rejects creating `path` when a sibling of the other kind (file vs.
 /// directory) already holds the same name.
-fn check_sibling_collision(
-    enclave: &SegShareEnclave,
-    path: &SegPath,
-) -> Result<(), SegShareError> {
+fn check_sibling_collision(enclave: &SegShareEnclave, path: &SegPath) -> Result<(), SegShareError> {
     let parent = path.parent().expect("non-root");
     if let Some(dir) = enclave.files().dir_file(&parent)? {
         if let Some(kind) = dir.child(path.name()) {
@@ -724,24 +752,27 @@ fn check_sibling_collision(
     Ok(())
 }
 
-fn error_response(err: SegShareError) -> Response {
+/// The wire error code an error maps to (also its telemetry label).
+fn error_code(err: &SegShareError) -> ErrorCode {
     match err {
-        SegShareError::Request { code, message } => Response::Error { code, message },
-        SegShareError::Integrity(message) => Response::Error {
-            code: ErrorCode::IntegrityViolation,
-            message,
-        },
-        SegShareError::Sgx(seg_sgx::SgxError::ProtectedFileCorrupted(message)) => {
-            Response::Error {
-                code: ErrorCode::IntegrityViolation,
-                message,
-            }
+        SegShareError::Request { code, .. } => *code,
+        SegShareError::Integrity(_)
+        | SegShareError::Sgx(seg_sgx::SgxError::ProtectedFileCorrupted(_)) => {
+            ErrorCode::IntegrityViolation
         }
-        other => Response::Error {
-            code: ErrorCode::Internal,
-            message: other.to_string(),
-        },
+        _ => ErrorCode::Internal,
     }
+}
+
+fn error_response(err: SegShareError) -> Response {
+    let code = error_code(&err);
+    let message = match err {
+        SegShareError::Request { message, .. } => message,
+        SegShareError::Integrity(message)
+        | SegShareError::Sgx(seg_sgx::SgxError::ProtectedFileCorrupted(message)) => message,
+        other => other.to_string(),
+    };
+    Response::Error { code, message }
 }
 
 /// Whether an error must tear down the session rather than being

@@ -146,16 +146,13 @@ impl HashRecord {
     fn decode(data: &[u8]) -> Result<HashRecord, SegShareError> {
         let mut d = Decoder::new(data);
         d.tag(b"HRC1")?;
-        let main_bytes: [u8; MSET_HASH_LEN] = d
-            .raw(MSET_HASH_LEN)?
-            .try_into()
-            .expect("fixed length");
+        let main_bytes: [u8; MSET_HASH_LEN] =
+            d.raw(MSET_HASH_LEN)?.try_into().expect("fixed length");
         let counter = d.u64()?;
         let count = d.u32()?;
         let mut buckets = Vec::with_capacity(count as usize);
         for _ in 0..count {
-            let b: [u8; MSET_HASH_LEN] =
-                d.raw(MSET_HASH_LEN)?.try_into().expect("fixed length");
+            let b: [u8; MSET_HASH_LEN] = d.raw(MSET_HASH_LEN)?.try_into().expect("fixed length");
             buckets.push(MsetHash::from_bytes(&b));
         }
         d.finish()?;
@@ -183,6 +180,11 @@ pub struct TrustedStore {
     content: Arc<dyn ObjectStore>,
     group: Arc<dyn ObjectStore>,
     dedup: Arc<dyn ObjectStore>,
+    // Cached telemetry handles (hot path: one atomic add per record).
+    pfs_encrypt_ns: Arc<seg_obs::Histogram>,
+    pfs_decrypt_ns: Arc<seg_obs::Histogram>,
+    tree_update_ns: Arc<seg_obs::Histogram>,
+    tree_verify_ns: Arc<seg_obs::Histogram>,
 }
 
 impl std::fmt::Debug for TrustedStore {
@@ -202,6 +204,7 @@ impl TrustedStore {
         content: Arc<dyn ObjectStore>,
         group: Arc<dyn ObjectStore>,
         dedup: Arc<dyn ObjectStore>,
+        obs: Arc<seg_obs::Registry>,
     ) -> TrustedStore {
         TrustedStore {
             keys,
@@ -210,6 +213,10 @@ impl TrustedStore {
             content,
             group,
             dedup,
+            pfs_encrypt_ns: obs.histogram("seg_pfs_encrypt_ns"),
+            pfs_decrypt_ns: obs.histogram("seg_pfs_decrypt_ns"),
+            tree_update_ns: obs.histogram("seg_rollback_tree_update_ns"),
+            tree_verify_ns: obs.histogram("seg_rollback_tree_verify_ns"),
         }
     }
 
@@ -370,6 +377,17 @@ impl TrustedStore {
     /// Walks ancestors applying an incremental child-hash change —
     /// O(depth) hash-record updates, no sibling reads (§V-D).
     fn apply_tree_change(&self, id: &ObjectId, change: TreeChange) -> Result<(), SegShareError> {
+        let start = std::time::Instant::now();
+        let result = self.apply_tree_change_inner(id, change);
+        self.tree_update_ns.record_duration(start.elapsed());
+        result
+    }
+
+    fn apply_tree_change_inner(
+        &self,
+        id: &ObjectId,
+        change: TreeChange,
+    ) -> Result<(), SegShareError> {
         let mut cur = id.clone();
         let mut cur_change = change;
         while let Some(parent) = cur.tree_parent() {
@@ -467,6 +485,13 @@ impl TrustedStore {
     /// check its own hash record, then one bucket per ancestor level,
     /// then the root counter.
     fn verify_tree(&self, id: &ObjectId, header: &[u8]) -> Result<(), SegShareError> {
+        let start = std::time::Instant::now();
+        let result = self.verify_tree_inner(id, header);
+        self.tree_verify_ns.record_duration(start.elapsed());
+        result
+    }
+
+    fn verify_tree_inner(&self, id: &ObjectId, header: &[u8]) -> Result<(), SegShareError> {
         let rec = self
             .read_hash_record(id)?
             .ok_or_else(|| integrity(id, "missing hash record (rollback or tamper)"))?;
@@ -519,7 +544,10 @@ impl TrustedStore {
                 return Err(integrity(&cur, "not listed in parent (rollback or tamper)"));
             }
             if recomputed != parent_rec.buckets[b] {
-                return Err(integrity(&parent, "bucket hash mismatch (rollback or tamper)"));
+                return Err(integrity(
+                    &parent,
+                    "bucket hash mismatch (rollback or tamper)",
+                ));
             }
             cur_main = parent_rec.main;
             cur = parent;
@@ -548,7 +576,9 @@ impl TrustedStore {
     ///
     /// Propagates storage, crypto, and tree failures.
     pub fn write(&self, id: &ObjectId, body: &[u8]) -> Result<(), SegShareError> {
+        let start = std::time::Instant::now();
         let blob = pfs_encrypt(&self.data_key(id), body, &mut SystemRng::new())?;
+        self.pfs_encrypt_ns.record_duration(start.elapsed());
         self.commit_blob(id, &blob)
     }
 
@@ -605,7 +635,10 @@ impl TrustedStore {
         if self.tree_enabled_for(id) {
             self.verify_tree(id, &blob[..NODE_LEN])?;
         }
-        Ok(Some(pfs_decrypt(&self.data_key(id), &blob)?))
+        let start = std::time::Instant::now();
+        let body = pfs_decrypt(&self.data_key(id), &blob)?;
+        self.pfs_decrypt_ns.record_duration(start.elapsed());
+        Ok(Some(body))
     }
 
     /// Opens an object for streamed (chunk-at-a-time) reading, verifying
@@ -723,6 +756,7 @@ mod tests {
             Arc::clone(&content) as Arc<dyn ObjectStore>,
             group,
             dedup,
+            Arc::new(seg_obs::Registry::new()),
         );
         Fixture { store, content }
     }
@@ -765,10 +799,7 @@ mod tests {
         f.store.write(&root_id(), &dir.encode()).unwrap();
         let child_path = dir.child_path(name, kind).unwrap();
         f.store
-            .write(
-                &ObjectId::Acl(child_path),
-                &seg_fs::AclFile::new().encode(),
-            )
+            .write(&ObjectId::Acl(child_path), &seg_fs::AclFile::new().encode())
             .unwrap();
     }
 
@@ -796,10 +827,7 @@ mod tests {
         let snapshot = f.content.snapshot();
         f.store.write(&file_id("/a"), b"version 2").unwrap();
         f.content.restore(snapshot);
-        assert_eq!(
-            f.store.read(&file_id("/a")).unwrap().unwrap(),
-            b"version 1"
-        );
+        assert_eq!(f.store.read(&file_id("/a")).unwrap().unwrap(), b"version 1");
     }
 
     #[test]
@@ -811,10 +839,7 @@ mod tests {
         f.store.write(&file_id("/a"), b"version 1").unwrap();
         // Capture exactly the leaf's two objects.
         let data_key = f.store.keys.storage_key(&file_id("/a"), true);
-        let hrec_key = f
-            .store
-            .keys
-            .hash_record_storage_key(&file_id("/a"), true);
+        let hrec_key = f.store.keys.hash_record_storage_key(&file_id("/a"), true);
         let old_data = f.content.get(&data_key).unwrap().unwrap();
         let old_hrec = f.content.get(&hrec_key).unwrap().unwrap();
 
@@ -858,10 +883,7 @@ mod tests {
 
         // Destroy the leaf's hash record (simulating a backup restored
         // onto a fresh platform, §V-G).
-        let hrec_key = f
-            .store
-            .keys
-            .hash_record_storage_key(&file_id("/a"), true);
+        let hrec_key = f.store.keys.hash_record_storage_key(&file_id("/a"), true);
         f.content.delete(&hrec_key).unwrap();
         assert!(f.store.read(&file_id("/a")).is_err());
 
@@ -874,7 +896,10 @@ mod tests {
         let f = fixture(EnclaveConfig::minimal());
         init_root(&f);
         f.store.write(&file_id("/a"), b"plain mode").unwrap();
-        assert_eq!(f.store.read(&file_id("/a")).unwrap().unwrap(), b"plain mode");
+        assert_eq!(
+            f.store.read(&file_id("/a")).unwrap().unwrap(),
+            b"plain mode"
+        );
         // Only data objects, no hash records: root dir, root ACL, and
         // the file itself.
         assert_eq!(f.content.len().unwrap(), 3);
@@ -918,7 +943,10 @@ mod tests {
         let decoded = HashRecord::decode(&rec.encode()).unwrap();
         assert_eq!(decoded, rec);
         for cut in 0..rec.encode().len() {
-            assert!(HashRecord::decode(&rec.encode()[..cut]).is_err(), "cut {cut}");
+            assert!(
+                HashRecord::decode(&rec.encode()[..cut]).is_err(),
+                "cut {cut}"
+            );
         }
     }
 

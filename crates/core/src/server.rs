@@ -251,6 +251,15 @@ impl SegShareServer {
         &self.enclave
     }
 
+    /// A unified telemetry snapshot: per-operation request counts and
+    /// latency quantiles, boundary crossings, EPC usage, and per-store
+    /// I/O — the enclave's declassification point for aggregates (see
+    /// [`SegShareEnclave::metrics_snapshot`]).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> seg_obs::Snapshot {
+        self.enclave.metrics_snapshot()
+    }
+
     /// Serves one connection to completion (run this per accepted
     /// transport, typically on its own thread).
     ///

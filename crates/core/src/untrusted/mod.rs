@@ -21,6 +21,13 @@ pub fn serve_connection<T: FrameTransport>(
     enclave: &SegShareEnclave,
     mut transport: T,
 ) -> Result<(), SegShareError> {
+    let obs = enclave.obs();
+    obs.counter("seg_connections_total").inc();
+    let frames_out = obs.counter_with("seg_connection_frames_total", vec![("dir", "out")]);
+    let bytes_out = obs.counter_with("seg_connection_bytes_total", vec![("dir", "out")]);
+    let frames_in = obs.counter_with("seg_connection_frames_total", vec![("dir", "in")]);
+    let bytes_in = obs.counter_with("seg_connection_bytes_total", vec![("dir", "in")]);
+
     let mut session = enclave.new_session()?;
     loop {
         // Drain everything the enclave wants sent (handshake replies,
@@ -31,7 +38,11 @@ pub fn serve_connection<T: FrameTransport>(
                 .boundary()
                 .ecall(|| session.next_outgoing(enclave))?;
             match frame {
-                Some(frame) => transport.send_frame(&frame)?,
+                Some(frame) => {
+                    frames_out.inc();
+                    bytes_out.add(frame.len() as u64);
+                    transport.send_frame(&frame)?;
+                }
                 None => break,
             }
         }
@@ -40,6 +51,8 @@ pub fn serve_connection<T: FrameTransport>(
             Err(NetError::Closed) => return Ok(()),
             Err(e) => return Err(e.into()),
         };
+        frames_in.inc();
+        bytes_in.add(frame.len() as u64);
         enclave
             .sgx()
             .boundary()

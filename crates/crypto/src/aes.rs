@@ -186,8 +186,8 @@ impl Aes {
         let rk = &self.round_keys;
         let mut s = [0u32; 4];
         for (j, word) in s.iter_mut().enumerate() {
-            *word = u32::from_be_bytes(block[4 * j..4 * j + 4].try_into().expect("4 bytes"))
-                ^ rk[j];
+            *word =
+                u32::from_be_bytes(block[4 * j..4 * j + 4].try_into().expect("4 bytes")) ^ rk[j];
         }
         let te = &t.te;
         for round in 1..self.rounds {

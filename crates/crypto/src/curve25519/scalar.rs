@@ -122,9 +122,7 @@ impl Scalar {
         for i in 0..4 {
             let mut carry = 0u128;
             for j in 0..4 {
-                let v = wide[i + j] as u128
-                    + (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + carry;
+                let v = wide[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 wide[i + j] = v as u64;
                 carry = v >> 64;
             }
@@ -141,7 +139,9 @@ impl Scalar {
 
     /// Iterates the scalar's bits from most significant (bit 255) to least.
     pub fn bits_msb_first(&self) -> impl Iterator<Item = bool> + '_ {
-        (0..256).rev().map(move |i| (self.0[i / 64] >> (i % 64)) & 1 == 1)
+        (0..256)
+            .rev()
+            .map(move |i| (self.0[i / 64] >> (i % 64)) & 1 == 1)
     }
 }
 

@@ -31,8 +31,7 @@ impl Signature {
     ///
     /// Returns [`CryptoError::InvalidLength`] if `bytes` is not 64 bytes.
     pub fn from_slice(bytes: &[u8]) -> Result<Signature, CryptoError> {
-        let arr: [u8; SIGNATURE_LEN] =
-            bytes.try_into().map_err(|_| CryptoError::InvalidLength)?;
+        let arr: [u8; SIGNATURE_LEN] = bytes.try_into().map_err(|_| CryptoError::InvalidLength)?;
         Ok(Signature(arr))
     }
 
@@ -61,8 +60,7 @@ impl PublicKey {
     /// Returns [`CryptoError::InvalidLength`] / [`CryptoError::InvalidEncoding`]
     /// for malformed input.
     pub fn from_slice(bytes: &[u8]) -> Result<PublicKey, CryptoError> {
-        let arr: [u8; PUBLIC_KEY_LEN] =
-            bytes.try_into().map_err(|_| CryptoError::InvalidLength)?;
+        let arr: [u8; PUBLIC_KEY_LEN] = bytes.try_into().map_err(|_| CryptoError::InvalidLength)?;
         EdwardsPoint::decompress(&arr)?;
         Ok(PublicKey(arr))
     }
@@ -203,8 +201,7 @@ mod tests {
     // RFC 8032 §7.1 TEST 1: empty message.
     #[test]
     fn rfc8032_test1() {
-        let seed =
-            unhex32("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+        let seed = unhex32("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
         let sk = SecretKey::from_seed(&seed);
         assert_eq!(
             hex(&sk.public_key().to_bytes()),
@@ -223,8 +220,7 @@ mod tests {
     // RFC 8032 §7.1 TEST 2: one-byte message 0x72.
     #[test]
     fn rfc8032_test2() {
-        let seed =
-            unhex32("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+        let seed = unhex32("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
         let sk = SecretKey::from_seed(&seed);
         assert_eq!(
             hex(&sk.public_key().to_bytes()),
@@ -237,7 +233,9 @@ mod tests {
              085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
                 .replace(char::is_whitespace, "")
         );
-        sk.public_key().verify(&[0x72], &sig).expect("valid signature");
+        sk.public_key()
+            .verify(&[0x72], &sig)
+            .expect("valid signature");
     }
 
     #[test]
@@ -294,10 +292,7 @@ mod tests {
         let mut sig = sk.sign(b"msg").to_bytes();
         // Make S >= l by setting its top byte to 0xff.
         sig[63] = 0xff;
-        assert!(sk
-            .public_key()
-            .verify(b"msg", &Signature(sig))
-            .is_err());
+        assert!(sk.public_key().verify(b"msg", &Signature(sig)).is_err());
     }
 
     #[test]

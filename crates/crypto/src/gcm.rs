@@ -108,8 +108,7 @@ impl Gcm {
                 y = self.mul_h(y ^ u128::from_be_bytes(block));
             }
         }
-        let lengths =
-            ((aad.len() as u128 * 8) << 64) | (ciphertext.len() as u128 * 8);
+        let lengths = ((aad.len() as u128 * 8) << 64) | (ciphertext.len() as u128 * 8);
         y = self.mul_h(y ^ lengths);
         y.to_be_bytes()
     }
@@ -133,12 +132,7 @@ impl Gcm {
     }
 
     /// Encrypts `plaintext` in place and returns the authentication tag.
-    pub fn seal_in_place(
-        &self,
-        iv: &[u8; IV_LEN],
-        aad: &[u8],
-        data: &mut [u8],
-    ) -> [u8; TAG_LEN] {
+    pub fn seal_in_place(&self, iv: &[u8; IV_LEN], aad: &[u8], data: &mut [u8]) -> [u8; TAG_LEN] {
         let j0 = Self::j0(iv);
         self.ctr_xor(j0, data);
         let s = self.ghash(aad, data);
@@ -323,10 +317,7 @@ mod tests {
         let b = 0xfedcba98765432100aa0bb0cc0dd0ee0u128;
         let c = 0xdeadbeefcafebabe1234567890abcdefu128;
         assert_eq!(gf_mul_slow(a, b), gf_mul_slow(b, a));
-        assert_eq!(
-            gf_mul_slow(a ^ b, c),
-            gf_mul_slow(a, c) ^ gf_mul_slow(b, c)
-        );
+        assert_eq!(gf_mul_slow(a ^ b, c), gf_mul_slow(a, c) ^ gf_mul_slow(b, c));
         // 1 (the GCM "reflected one": MSB set) is the identity.
         let one = 1u128 << 127;
         assert_eq!(gf_mul_slow(a, one), a);

@@ -36,7 +36,9 @@ pub fn expand<D: Digest>(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
         previous = h.finalize();
         let take = (len - okm.len()).min(previous.len());
         okm.extend_from_slice(&previous[..take]);
-        counter = counter.checked_add(1).expect("counter bounded by len check");
+        counter = counter
+            .checked_add(1)
+            .expect("counter bounded by len check");
     }
     okm
 }

@@ -124,7 +124,10 @@ mod tests {
     #[test]
     fn rfc4231_case2_sha256() {
         assert_eq!(
-            hex(&Hmac::<Sha256>::mac(b"Jefe", b"what do ya want for nothing?")),
+            hex(&Hmac::<Sha256>::mac(
+                b"Jefe",
+                b"what do ya want for nothing?"
+            )),
             "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
         );
     }

@@ -79,7 +79,10 @@ mod tests {
         let mut rng = DeterministicRng::seeded(1);
         let c = pae_enc(&key(), b"value", b"path:/a", &mut rng);
         assert_eq!(c.len(), 5 + PAE_OVERHEAD);
-        assert_eq!(pae_dec(&key(), &c, b"path:/a").expect("authentic"), b"value");
+        assert_eq!(
+            pae_dec(&key(), &c, b"path:/a").expect("authentic"),
+            b"value"
+        );
     }
 
     #[test]

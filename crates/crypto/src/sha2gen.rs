@@ -125,10 +125,7 @@ mod tests {
 
     #[test]
     fn primes_are_correct() {
-        assert_eq!(
-            first_primes(10),
-            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
-        );
+        assert_eq!(first_primes(10), vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
         let p80 = first_primes(80);
         assert_eq!(p80.len(), 80);
         assert_eq!(p80[63], 311);

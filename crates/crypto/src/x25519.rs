@@ -111,7 +111,10 @@ impl EphemeralKeyPair {
     ///
     /// Returns [`CryptoError::WeakSharedSecret`] if the result is all
     /// zeros (the peer sent a low-order point), per RFC 7748 §6.1.
-    pub fn diffie_hellman(&self, peer_public: &[u8; KEY_LEN]) -> Result<[u8; KEY_LEN], CryptoError> {
+    pub fn diffie_hellman(
+        &self,
+        peer_public: &[u8; KEY_LEN],
+    ) -> Result<[u8; KEY_LEN], CryptoError> {
         let shared = scalar_mult(&self.secret, peer_public);
         if shared == [0u8; KEY_LEN] {
             return Err(CryptoError::WeakSharedSecret);
@@ -140,8 +143,7 @@ mod tests {
     // RFC 7748 §5.2 test vector 1.
     #[test]
     fn rfc7748_vector1() {
-        let scalar =
-            unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let scalar = unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
         let u = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
         assert_eq!(
             hex(&scalar_mult(&scalar, &u)),

@@ -120,7 +120,9 @@ impl<'a> Decoder<'a> {
     ///
     /// Returns [`FsError::Codec`] on truncation.
     pub fn u32(&mut self) -> Result<u32, FsError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a little-endian `u64`.
@@ -129,7 +131,9 @@ impl<'a> Decoder<'a> {
     ///
     /// Returns [`FsError::Codec`] on truncation.
     pub fn u64(&mut self) -> Result<u64, FsError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a length-prefixed UTF-8 string.

@@ -171,10 +171,7 @@ mod tests {
         assert_eq!(d.child("missing"), None);
         assert_eq!(d.len(), 2);
         // Replacing a child records the old kind.
-        assert_eq!(
-            d.add_child("a.txt", ChildKind::File),
-            Some(ChildKind::File)
-        );
+        assert_eq!(d.add_child("a.txt", ChildKind::File), Some(ChildKind::File));
         assert_eq!(d.remove_child("a.txt"), Some(ChildKind::File));
         assert_eq!(d.remove_child("a.txt"), None);
     }

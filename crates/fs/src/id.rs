@@ -150,6 +150,9 @@ mod tests {
         assert!(GroupId::new("engineering").is_ok());
         assert!(GroupId::new("").is_err());
         assert!(GroupId::new("x\ny").is_err());
-        assert!(GroupId::new("regular").unwrap().default_group_user().is_none());
+        assert!(GroupId::new("regular")
+            .unwrap()
+            .default_group_user()
+            .is_none());
     }
 }

@@ -52,7 +52,9 @@ impl SegPath {
     /// The root directory `/`.
     #[must_use]
     pub fn root() -> SegPath {
-        SegPath { raw: "/".to_string() }
+        SegPath {
+            raw: "/".to_string(),
+        }
     }
 
     /// Parses and validates a path string.

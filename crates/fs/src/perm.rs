@@ -50,9 +50,9 @@ impl Perm {
         match (self, access) {
             (Perm::Deny, Access::Read) | (Perm::Read, Access::Read) => Perm::Read,
             (Perm::Deny, Access::Write) | (Perm::Write, Access::Write) => Perm::Write,
-            (Perm::Read, Access::Write)
-            | (Perm::Write, Access::Read)
-            | (Perm::ReadWrite, _) => Perm::ReadWrite,
+            (Perm::Read, Access::Write) | (Perm::Write, Access::Read) | (Perm::ReadWrite, _) => {
+                Perm::ReadWrite
+            }
         }
     }
 

@@ -2,8 +2,9 @@
 //! management-file codecs.
 
 use proptest::prelude::*;
-use seg_fs::{AclFile, ChildKind, DirFile, GroupId, GroupListFile, MemberListFile, Perm, SegPath,
-             UserId};
+use seg_fs::{
+    AclFile, ChildKind, DirFile, GroupId, GroupListFile, MemberListFile, Perm, SegPath, UserId,
+};
 
 /// Valid path-segment strategy (no '/', no NUL, not "." / "..").
 fn segment() -> impl Strategy<Value = String> {

@@ -89,9 +89,7 @@ mod tests {
         let server = std::thread::spawn(move || {
             let (mut stream, _) = listener.accept().unwrap();
             // Claim a 1 GiB frame.
-            stream
-                .write_all(&(1_073_741_824u32).to_le_bytes())
-                .unwrap();
+            stream.write_all(&(1_073_741_824u32).to_le_bytes()).unwrap();
         });
         let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
         assert!(matches!(

@@ -1,0 +1,636 @@
+//! `seg-obs`: zero-dependency telemetry for the SeGShare reproduction.
+//!
+//! A process-wide [`Registry`] of atomic counters, gauges, and
+//! log-bucketed latency [`Histogram`]s, plus a request-scoped span API
+//! ([`ObsContext`]) and two hand-rolled text encoders (JSON and
+//! Prometheus exposition) over a deterministic [`Snapshot`].
+//!
+//! # Trust-boundary rule
+//!
+//! Telemetry crosses the enclave boundary, so it must carry **no
+//! confidential request content** (paper §III threat model: the cloud
+//! provider observes everything outside the enclave). Concretely:
+//!
+//! - Metric names and label *keys* are `&'static str` — compiled into
+//!   the binary, never derived from requests.
+//! - Label *values* are also `&'static str` and restricted to the
+//!   charset `[a-z0-9_.]` (checked at registration). File paths
+//!   (contain `/`), user ids (arbitrary), and key material (binary)
+//!   are unrepresentable by construction.
+//! - Aggregates (counts, latencies) leave the enclave **only** through
+//!   an explicit snapshot call — a deliberate, documented
+//!   declassification point — never as a side effect of request
+//!   handling.
+//!
+//! # Naming scheme
+//!
+//! `seg_<layer>_<quantity>_<unit-or-total>{label=...}`, e.g.
+//! `seg_requests_total{op="put_file"}`,
+//! `seg_request_latency_ns{op="get"}`,
+//! `seg_store_bytes_read_total{store="content"}`.
+
+mod hist;
+
+pub use hist::{Histogram, HistogramSummary};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A metric's identity: compiled-in name plus compiled-in label pairs.
+///
+/// Both halves are `&'static str` on purpose — see the crate docs'
+/// trust-boundary rule. Labels are kept sorted by key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    name: &'static str,
+    labels: Vec<(&'static str, &'static str)>,
+}
+
+impl MetricId {
+    fn new(name: &'static str, mut labels: Vec<(&'static str, &'static str)>) -> MetricId {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (k, v) in &labels {
+            assert!(valid_name(k), "invalid label key {k:?} on {name:?}");
+            assert!(
+                valid_label_value(v),
+                "invalid label value {v:?} for {k:?} on {name:?} \
+                 (allowed charset: [a-z0-9_.])"
+            );
+        }
+        labels.sort_unstable();
+        MetricId { name, labels }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Sorted label pairs.
+    pub fn labels(&self) -> &[(&'static str, &'static str)] {
+        &self.labels
+    }
+
+    /// `name{k="v",...}` rendering (Prometheus-style).
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.to_string();
+        }
+        let body: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        format!("{}{{{}}}", self.name, body.join(","))
+    }
+}
+
+/// `[a-z_][a-z0-9_]*`: metric names and label keys.
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.starts_with(|c: char| c.is_ascii_lowercase() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// `[a-z0-9_.]+`: label values. Deliberately excludes `/` (paths),
+/// uppercase and `@` (user ids/emails), and anything that could render
+/// binary key material.
+fn valid_label_value(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.')
+}
+
+/// A monotonically increasing counter handle (cheaply cloneable).
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle (cheaply cloneable).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<MetricId, Arc<AtomicU64>>,
+    gauges: BTreeMap<MetricId, Arc<AtomicU64>>,
+    histograms: BTreeMap<MetricId, Arc<Histogram>>,
+}
+
+/// The metric registry: owns every counter/gauge/histogram and
+/// produces deterministic [`Snapshot`]s.
+///
+/// Handles returned by the `counter`/`gauge`/`histogram` methods are
+/// interned: asking twice for the same id yields handles backed by the
+/// same atomic, so call sites may either cache handles (hot paths) or
+/// re-resolve by name (cold paths).
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Unlabeled counter.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.counter_with(name, vec![])
+    }
+
+    /// Labeled counter.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        labels: Vec<(&'static str, &'static str)>,
+    ) -> Counter {
+        let id = MetricId::new(name, labels);
+        let mut inner = self.inner.lock().unwrap();
+        Counter(Arc::clone(inner.counters.entry(id).or_default()))
+    }
+
+    /// Unlabeled gauge.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.gauge_with(name, vec![])
+    }
+
+    /// Labeled gauge.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        labels: Vec<(&'static str, &'static str)>,
+    ) -> Gauge {
+        let id = MetricId::new(name, labels);
+        let mut inner = self.inner.lock().unwrap();
+        Gauge(Arc::clone(inner.gauges.entry(id).or_default()))
+    }
+
+    /// Unlabeled histogram.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        self.histogram_with(name, vec![])
+    }
+
+    /// Labeled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        labels: Vec<(&'static str, &'static str)>,
+    ) -> Arc<Histogram> {
+        let id = MetricId::new(name, labels);
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(inner.histograms.entry(id).or_default())
+    }
+
+    /// Starts a request-scoped span for operation `op`; finishing it
+    /// records latency and outcome under `seg_requests_total`,
+    /// `seg_request_errors_total`, and `seg_request_latency_ns`.
+    pub fn start_op(&self, op: &'static str) -> ObsContext<'_> {
+        ObsContext {
+            registry: self,
+            op,
+            start: Instant::now(),
+        }
+    }
+
+    /// Captures every metric's current value, deterministically
+    /// ordered by metric id.
+    ///
+    /// This is the **declassification point**: the only sanctioned way
+    /// aggregate telemetry leaves the enclave. Callers on the trusted
+    /// side decide when to invoke it and where the text goes.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().unwrap();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(id, v)| (id.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(id, v)| (id.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(id, h)| (id.clone(), h.summarize()))
+                .collect(),
+        }
+    }
+
+    /// Zeroes every registered metric (handles stay valid).
+    pub fn reset(&self) {
+        let inner = self.inner.lock().unwrap();
+        for v in inner.counters.values() {
+            v.store(0, Ordering::Relaxed);
+        }
+        for v in inner.gauges.values() {
+            v.store(0, Ordering::Relaxed);
+        }
+        for h in inner.histograms.values() {
+            h.reset();
+        }
+    }
+}
+
+/// A live span: operation label + start instant, resolved against the
+/// registry when finished. Carries no request content, by design.
+#[derive(Debug)]
+#[must_use = "finish the span with finish_ok/finish_err or it records nothing"]
+pub struct ObsContext<'r> {
+    registry: &'r Registry,
+    op: &'static str,
+    start: Instant,
+}
+
+impl ObsContext<'_> {
+    /// The operation label this span carries.
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// Records a successful completion.
+    pub fn finish_ok(self) {
+        self.finish(None);
+    }
+
+    /// Records a failed completion under error-code label `code`.
+    pub fn finish_err(self, code: &'static str) {
+        self.finish(Some(code));
+    }
+
+    fn finish(self, code: Option<&'static str>) {
+        let elapsed = self.start.elapsed();
+        let r = self.registry;
+        r.counter_with("seg_requests_total", vec![("op", self.op)])
+            .inc();
+        r.histogram_with("seg_request_latency_ns", vec![("op", self.op)])
+            .record_duration(elapsed);
+        if let Some(code) = code {
+            r.counter_with(
+                "seg_request_errors_total",
+                vec![("op", self.op), ("code", code)],
+            )
+            .inc();
+        }
+    }
+}
+
+/// Point-in-time copy of the registry, ordered deterministically.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values.
+    pub counters: Vec<(MetricId, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(MetricId, u64)>,
+    /// Histogram digests.
+    pub histograms: Vec<(MetricId, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// Looks up a counter by rendered id (`name` or `name{k="v"}`).
+    pub fn counter(&self, rendered: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(id, _)| id.render() == rendered)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by rendered id.
+    pub fn gauge(&self, rendered: &str) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|(id, _)| id.render() == rendered)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram digest by rendered id.
+    pub fn histogram(&self, rendered: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(id, _)| id.render() == rendered)
+            .map(|(_, s)| s)
+    }
+
+    /// Hand-rolled JSON encoding (no external serializer).
+    ///
+    /// Names and label values are charset-restricted at registration;
+    /// the only character needing JSON escaping is the `"` that
+    /// `MetricId::render` itself puts around label values.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_scalar_map(&mut out, &self.counters);
+        out.push_str("},\n  \"gauges\": {");
+        push_scalar_map(&mut out, &self.gauges);
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (id, s)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \
+                 \"max_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+                json_key(id),
+                s.count,
+                s.sum,
+                s.min,
+                s.max,
+                s.p50,
+                s.p95,
+                s.p99
+            ));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Prometheus exposition text. Histograms are emitted in summary
+    /// form (`quantile` labels plus `_sum`/`_count` series).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (id, v) in &self.counters {
+            out.push_str(&format!(
+                "# TYPE {} counter\n{} {}\n",
+                id.name(),
+                id.render(),
+                v
+            ));
+        }
+        for (id, v) in &self.gauges {
+            out.push_str(&format!(
+                "# TYPE {} gauge\n{} {}\n",
+                id.name(),
+                id.render(),
+                v
+            ));
+        }
+        for (id, s) in &self.histograms {
+            out.push_str(&format!("# TYPE {} summary\n", id.name()));
+            for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                let mut labels = vec![format!("quantile=\"{q}\"")];
+                labels.extend(id.labels().iter().map(|(k, v)| format!("{k}=\"{v}\"")));
+                out.push_str(&format!("{}{{{}}} {}\n", id.name(), labels.join(","), v));
+            }
+            let suffix = |suffix: &str, v: u64| {
+                let rendered = MetricId {
+                    name: id.name(),
+                    labels: id.labels.clone(),
+                }
+                .render();
+                match rendered.find('{') {
+                    Some(pos) => {
+                        format!("{}{}{} {}\n", &rendered[..pos], suffix, &rendered[pos..], v)
+                    }
+                    None => format!("{rendered}{suffix} {v}\n"),
+                }
+            };
+            out.push_str(&suffix("_sum", s.sum));
+            out.push_str(&suffix("_count", s.count));
+        }
+        out
+    }
+}
+
+fn push_scalar_map(out: &mut String, entries: &[(MetricId, u64)]) {
+    for (i, (id, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\": {}", json_key(id), v));
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+/// Rendered id with the label-value quotes JSON-escaped, e.g.
+/// `seg_requests_total{op=\"get\"}`.
+fn json_key(id: &MetricId) -> String {
+    id.render().replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("seg_frames_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("seg_epc_bytes");
+        g.set(4096);
+        g.set(8192);
+        assert_eq!(g.get(), 8192);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("seg_frames_total"), Some(5));
+        assert_eq!(snap.gauge("seg_epc_bytes"), Some(8192));
+    }
+
+    #[test]
+    fn handles_are_interned() {
+        let r = Registry::new();
+        r.counter_with("seg_requests_total", vec![("op", "get")])
+            .inc();
+        r.counter_with("seg_requests_total", vec![("op", "get")])
+            .inc();
+        r.counter_with("seg_requests_total", vec![("op", "put_file")])
+            .inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("seg_requests_total{op=\"get\"}"), Some(2));
+        assert_eq!(snap.counter("seg_requests_total{op=\"put_file\"}"), Some(1));
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let r = Registry::new();
+        r.counter_with("seg_x_total", vec![("op", "get"), ("code", "denied")])
+            .inc();
+        r.counter_with("seg_x_total", vec![("code", "denied"), ("op", "get")])
+            .inc();
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter("seg_x_total{code=\"denied\",op=\"get\"}"),
+            Some(2)
+        );
+        assert_eq!(snap.counters.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid label value")]
+    fn path_like_label_values_are_rejected() {
+        Registry::new().counter_with("seg_requests_total", vec![("op", "/home/alice/secret")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid label value")]
+    fn userid_like_label_values_are_rejected() {
+        Registry::new().counter_with("seg_requests_total", vec![("user", "alice@example.com")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn uppercase_metric_names_are_rejected() {
+        Registry::new().counter("PutFile");
+    }
+
+    #[test]
+    fn span_records_latency_and_outcome() {
+        let r = Registry::new();
+        r.start_op("put_file").finish_ok();
+        r.start_op("put_file").finish_err("denied");
+        r.start_op("get").finish_ok();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("seg_requests_total{op=\"put_file\"}"), Some(2));
+        assert_eq!(snap.counter("seg_requests_total{op=\"get\"}"), Some(1));
+        assert_eq!(
+            snap.counter("seg_request_errors_total{code=\"denied\",op=\"put_file\"}"),
+            Some(1)
+        );
+        let h = snap
+            .histogram("seg_request_latency_ns{op=\"put_file\"}")
+            .expect("latency histogram");
+        assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let build = || {
+            let r = Registry::new();
+            // Insertion order differs between the two closures' call
+            // sites below; output order must not.
+            r.counter_with("seg_requests_total", vec![("op", "get")])
+                .inc();
+            r.counter("seg_frames_total").add(7);
+            r.gauge("seg_epc_bytes").set(11);
+            r.histogram_with("seg_request_latency_ns", vec![("op", "get")])
+                .record(500);
+            r.snapshot().to_json()
+        };
+        let build_reordered = || {
+            let r = Registry::new();
+            r.histogram_with("seg_request_latency_ns", vec![("op", "get")])
+                .record(500);
+            r.gauge("seg_epc_bytes").set(11);
+            r.counter("seg_frames_total").add(7);
+            r.counter_with("seg_requests_total", vec![("op", "get")])
+                .inc();
+            r.snapshot().to_json()
+        };
+        assert_eq!(build(), build());
+        assert_eq!(build(), build_reordered());
+    }
+
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        let r = std::sync::Arc::new(Registry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let c = r.counter("seg_frames_total");
+                    for _ in 0..10_000 {
+                        c.inc();
+                        r.counter_with("seg_requests_total", vec![("op", "get")])
+                            .inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("seg_frames_total"), Some(80_000));
+        assert_eq!(snap.counter("seg_requests_total{op=\"get\"}"), Some(80_000));
+    }
+
+    #[test]
+    fn json_output_shape() {
+        let r = Registry::new();
+        r.counter_with("seg_requests_total", vec![("op", "get")])
+            .add(3);
+        r.histogram_with("seg_request_latency_ns", vec![("op", "get")])
+            .record(1000);
+        let json = r.snapshot().to_json();
+        assert!(
+            json.contains("\"seg_requests_total{op=\\\"get\\\"}\": 3"),
+            "{json}"
+        );
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"p99_ns\""));
+        // Sanity: balanced braces.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn prometheus_output_shape() {
+        let r = Registry::new();
+        r.counter_with("seg_requests_total", vec![("op", "get")])
+            .add(3);
+        r.gauge("seg_epc_bytes").set(42);
+        r.histogram_with("seg_request_latency_ns", vec![("op", "get")])
+            .record(1000);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE seg_requests_total counter"));
+        assert!(text.contains("seg_requests_total{op=\"get\"} 3"));
+        assert!(text.contains("seg_epc_bytes 42"));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("seg_request_latency_ns_count{op=\"get\"} 1"));
+        assert!(text.contains("seg_request_latency_ns_sum{op=\"get\"} "));
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_live() {
+        let r = Registry::new();
+        let c = r.counter("seg_frames_total");
+        c.add(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(r.snapshot().counter("seg_frames_total"), Some(1));
+    }
+}

@@ -100,8 +100,7 @@ impl Identity {
     /// Returns [`PkiError::InvalidIdentity`] for malformed user ids.
     pub fn user(user_id: &str, email: &str, full_name: &str) -> Result<Identity, PkiError> {
         Ok(Identity::User {
-            user_id: UserId::new(user_id)
-                .map_err(|e| PkiError::InvalidIdentity(e.to_string()))?,
+            user_id: UserId::new(user_id).map_err(|e| PkiError::InvalidIdentity(e.to_string()))?,
             email: email.to_string(),
             full_name: full_name.to_string(),
         })
@@ -159,7 +158,9 @@ impl Identity {
             1 => Ok(Identity::Server {
                 name: d.str().map_err(codec_err)?,
             }),
-            other => Err(PkiError::Malformed(format!("unknown identity kind {other}"))),
+            other => Err(PkiError::Malformed(format!(
+                "unknown identity kind {other}"
+            ))),
         }
     }
 }
@@ -448,7 +449,13 @@ impl CertificateAuthority {
         self.key.sign(message)
     }
 
-    fn sign(&self, subject: Identity, public_key: PublicKey, not_before: u64, not_after: u64) -> Certificate {
+    fn sign(
+        &self,
+        subject: Identity,
+        public_key: PublicKey,
+        not_before: u64,
+        not_after: u64,
+    ) -> Certificate {
         let serial = self
             .next_serial
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -506,7 +513,12 @@ impl CertificateAuthority {
                 "server certificates cannot carry user identities".to_string(),
             ));
         }
-        Ok(self.sign(csr.subject().clone(), csr.public_key(), not_before, not_after))
+        Ok(self.sign(
+            csr.subject().clone(),
+            csr.public_key(),
+            not_before,
+            not_after,
+        ))
     }
 }
 
@@ -529,8 +541,14 @@ mod tests {
         let ca = CertificateAuthority::new("test-ca", &mut rng);
         let (cert, _key) = ca.issue_user(alice(), 100, 200, &mut rng);
         cert.validate(&ca.public_key(), 150).unwrap();
-        assert_eq!(cert.validate(&ca.public_key(), 99).unwrap_err(), PkiError::Expired);
-        assert_eq!(cert.validate(&ca.public_key(), 200).unwrap_err(), PkiError::Expired);
+        assert_eq!(
+            cert.validate(&ca.public_key(), 99).unwrap_err(),
+            PkiError::Expired
+        );
+        assert_eq!(
+            cert.validate(&ca.public_key(), 200).unwrap_err(),
+            PkiError::Expired
+        );
         assert_eq!(cert.subject().user_id().unwrap().as_str(), "alice");
         assert_eq!(cert.issuer(), "test-ca");
     }

@@ -81,6 +81,20 @@ impl ErrorCode {
             other => return Err(ProtoError(format!("unknown error code {other}"))),
         })
     }
+
+    /// Stable snake_case identifier, suitable as a telemetry label
+    /// (charset `[a-z_]`, never request-derived).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Denied => "denied",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::AlreadyExists => "already_exists",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::IntegrityViolation => "integrity_violation",
+            ErrorCode::Internal => "internal",
+        }
+    }
 }
 
 impl fmt::Display for ErrorCode {
@@ -207,6 +221,29 @@ pub enum Request {
 }
 
 impl Request {
+    /// Stable snake_case operation label for telemetry — one per
+    /// variant, carrying no request content (charset `[a-z_]`).
+    #[must_use]
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::MkDir { .. } => "mk_dir",
+            Request::PutFile { .. } => "put_file",
+            Request::Data { .. } => "data",
+            Request::Get { .. } => "get",
+            Request::Remove { .. } => "remove",
+            Request::Move { .. } => "mv",
+            Request::SetPerm { .. } => "set_perm",
+            Request::SetInherit { .. } => "set_inherit",
+            Request::AddOwner { .. } => "add_owner",
+            Request::AddUser { .. } => "add_user",
+            Request::RemoveUser { .. } => "remove_user",
+            Request::AddGroupOwner { .. } => "add_group_owner",
+            Request::DeleteGroup { .. } => "delete_group",
+            Request::RemoveOwner { .. } => "remove_owner",
+            Request::RemoveGroupOwner { .. } => "remove_group_owner",
+        }
+    }
+
     /// Serializes the request.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
@@ -552,7 +589,9 @@ mod tests {
     fn all_responses_roundtrip() {
         roundtrip_resp(Response::Ok);
         roundtrip_resp(Response::FileStart { size: 42 });
-        roundtrip_resp(Response::Data { bytes: vec![0; 1000] });
+        roundtrip_resp(Response::Data {
+            bytes: vec![0; 1000],
+        });
         roundtrip_resp(Response::Listing {
             entries: vec![
                 ListingEntry {

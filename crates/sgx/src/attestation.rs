@@ -25,17 +25,22 @@ pub struct Quote {
 }
 
 impl Quote {
-    pub(crate) fn issue(platform: &Platform, measurement: Measurement, report_data: &[u8]) -> Quote {
+    pub(crate) fn issue(
+        platform: &Platform,
+        measurement: Measurement,
+        report_data: &[u8],
+    ) -> Quote {
         assert!(
             report_data.len() <= REPORT_DATA_LEN,
             "report data exceeds {REPORT_DATA_LEN} bytes"
         );
         let mut padded = [0u8; REPORT_DATA_LEN];
         padded[..report_data.len()].copy_from_slice(report_data);
-        let signature = platform
-            .inner
-            .attestation_key
-            .sign(&Self::signed_bytes(&measurement, &platform.inner.id, &padded));
+        let signature = platform.inner.attestation_key.sign(&Self::signed_bytes(
+            &measurement,
+            &platform.inner.id,
+            &padded,
+        ));
         Quote {
             measurement,
             platform_id: platform.inner.id,

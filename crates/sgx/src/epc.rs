@@ -50,7 +50,9 @@ impl EpcTracker {
         if new_current > self.limit {
             let over = new_current - self.limit.min(new_current);
             let pages = over.div_ceil(PAGE);
-            self.counters.paged_pages.fetch_add(pages, Ordering::Relaxed);
+            self.counters
+                .paged_pages
+                .fetch_add(pages, Ordering::Relaxed);
         }
         EpcAllocation {
             tracker: self.clone(),

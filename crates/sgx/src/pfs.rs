@@ -63,7 +63,13 @@ fn node_aad(level: u8, index: u64) -> [u8; 9] {
 }
 
 /// Encrypts `plaintext` into a padded 4 KiB node.
-fn seal_node(gcm: &Gcm, nonce: &[u8; IV_LEN], level: u8, index: u64, plaintext: &[u8]) -> ([u8; TAG_LEN], Vec<u8>) {
+fn seal_node(
+    gcm: &Gcm,
+    nonce: &[u8; IV_LEN],
+    level: u8,
+    index: u64,
+    plaintext: &[u8],
+) -> ([u8; TAG_LEN], Vec<u8>) {
     debug_assert!(plaintext.len() <= DATA_PER_NODE);
     let iv = node_iv(nonce, level, index);
     let sealed = gcm.seal(&iv, &node_aad(level, index), plaintext);
@@ -97,7 +103,10 @@ fn open_node(
     let stored_tag = &node[IV_LEN + plaintext_len..IV_LEN + plaintext_len + TAG_LEN];
     // Padding is structurally zero; reject any modification so every
     // stored byte is covered by some check.
-    if node[IV_LEN + plaintext_len + TAG_LEN..].iter().any(|&b| b != 0) {
+    if node[IV_LEN + plaintext_len + TAG_LEN..]
+        .iter()
+        .any(|&b| b != 0)
+    {
         return Err(SgxError::ProtectedFileCorrupted(format!(
             "nonzero padding at level {level} index {index}"
         )));
@@ -127,7 +136,10 @@ fn data_node_count(data_len: u64) -> u64 {
 fn level_counts(data_len: u64) -> Vec<u64> {
     let mut counts = vec![data_node_count(data_len)];
     while *counts.last().expect("non-empty") > 1 {
-        let next = counts.last().expect("non-empty").div_ceil(TAGS_PER_NODE as u64);
+        let next = counts
+            .last()
+            .expect("non-empty")
+            .div_ceil(TAGS_PER_NODE as u64);
         counts.push(next);
     }
     counts
@@ -300,9 +312,9 @@ impl<'a> PfsReader<'a> {
         }
         let mut sealed = Vec::with_capacity(HEADER_PT_LEN + TAG_LEN);
         sealed.extend_from_slice(&header_node[IV_LEN..IV_LEN + HEADER_PT_LEN + TAG_LEN]);
-        let header_pt = gcm
-            .open(&iv, &node_aad(0xff, 0), &sealed)
-            .map_err(|_| SgxError::ProtectedFileCorrupted("header authentication failed".to_string()))?;
+        let header_pt = gcm.open(&iv, &node_aad(0xff, 0), &sealed).map_err(|_| {
+            SgxError::ProtectedFileCorrupted("header authentication failed".to_string())
+        })?;
         if &header_pt[..8] != MAGIC {
             return Err(SgxError::ProtectedFileCorrupted("bad magic".to_string()));
         }
@@ -351,8 +363,8 @@ impl<'a> PfsReader<'a> {
             for idx in 0..count {
                 let node_start = ((level_offsets[level] + idx) as usize) * NODE_LEN;
                 let node = &blob[node_start..node_start + NODE_LEN];
-                let children_here = (child_count - idx * TAGS_PER_NODE as u64)
-                    .min(TAGS_PER_NODE as u64) as usize;
+                let children_here =
+                    (child_count - idx * TAGS_PER_NODE as u64).min(TAGS_PER_NODE as u64) as usize;
                 let pt = open_node(
                     &gcm,
                     node,
@@ -574,7 +586,9 @@ mod tests {
 
     #[test]
     fn streaming_write_matches_one_shot_semantics() {
-        let pt: Vec<u8> = (0..3 * DATA_PER_NODE + 100).map(|i| (i % 256) as u8).collect();
+        let pt: Vec<u8> = (0..3 * DATA_PER_NODE + 100)
+            .map(|i| (i % 256) as u8)
+            .collect();
         let mut w = PfsWriter::new(&KEY, &mut rng()).unwrap();
         for chunk in pt.chunks(1000) {
             w.write(chunk);
@@ -585,7 +599,9 @@ mod tests {
 
     #[test]
     fn random_access_reads() {
-        let pt: Vec<u8> = (0..5 * DATA_PER_NODE + 123).map(|i| (i % 201) as u8).collect();
+        let pt: Vec<u8> = (0..5 * DATA_PER_NODE + 123)
+            .map(|i| (i % 201) as u8)
+            .collect();
         let blob = pfs_encrypt(&KEY, &pt, &mut rng()).unwrap();
         let r = PfsReader::open(&KEY, &blob).unwrap();
         assert_eq!(r.node_count(), 6);
@@ -610,7 +626,9 @@ mod tests {
 
     #[test]
     fn every_node_tamper_detected() {
-        let pt: Vec<u8> = (0..2 * DATA_PER_NODE + 50).map(|i| (i % 256) as u8).collect();
+        let pt: Vec<u8> = (0..2 * DATA_PER_NODE + 50)
+            .map(|i| (i % 256) as u8)
+            .collect();
         let blob = pfs_encrypt(&KEY, &pt, &mut rng()).unwrap();
         let nodes = blob.len() / NODE_LEN;
         assert_eq!(nodes, 5); // header + 3 data + 1 meta
@@ -664,10 +682,7 @@ mod tests {
     #[test]
     fn encrypted_size_matches_paper_scale() {
         // ~1.1 % overhead for 10 MB and 200 MB files, matching §VII-B.
-        for (plain, lo, hi) in [
-            (10_000_000u64, 1.0, 1.25),
-            (200_000_000u64, 1.0, 1.15),
-        ] {
+        for (plain, lo, hi) in [(10_000_000u64, 1.0, 1.25), (200_000_000u64, 1.0, 1.15)] {
             let enc = encrypted_size(plain) as f64;
             let overhead = (enc - plain as f64) / plain as f64 * 100.0;
             assert!(

@@ -13,22 +13,41 @@ pub struct StoreStats {
     pub puts: u64,
     /// Number of `delete` calls.
     pub deletes: u64,
+    /// Number of `exists` calls.
+    pub exists: u64,
+    /// Number of `rename` calls.
+    pub renames: u64,
+    /// Number of `list` calls.
+    pub lists: u64,
     /// Total bytes returned by `get`.
     pub bytes_read: u64,
     /// Total bytes passed to `put`.
     pub bytes_written: u64,
 }
 
+impl StoreStats {
+    /// Total operation count across every counted call type.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.gets + self.puts + self.deletes + self.exists + self.renames + self.lists
+    }
+}
+
 /// Wraps any [`ObjectStore`], counting operations and transferred bytes.
 ///
 /// The benchmark harness uses this to report the paper's storage-overhead
-/// table and per-request I/O profiles.
+/// table and per-request I/O profiles; the enclave wraps its content,
+/// group, and dedup stores with it so `seg-obs` snapshots can attribute
+/// I/O per store.
 #[derive(Debug)]
 pub struct CountingStore<S> {
     inner: S,
     gets: AtomicU64,
     puts: AtomicU64,
     deletes: AtomicU64,
+    exists: AtomicU64,
+    renames: AtomicU64,
+    lists: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
 }
@@ -42,6 +61,9 @@ impl<S: ObjectStore> CountingStore<S> {
             gets: AtomicU64::new(0),
             puts: AtomicU64::new(0),
             deletes: AtomicU64::new(0),
+            exists: AtomicU64::new(0),
+            renames: AtomicU64::new(0),
+            lists: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
         }
@@ -54,6 +76,9 @@ impl<S: ObjectStore> CountingStore<S> {
             gets: self.gets.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
+            exists: self.exists.load(Ordering::Relaxed),
+            renames: self.renames.load(Ordering::Relaxed),
+            lists: self.lists.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
         }
@@ -64,6 +89,9 @@ impl<S: ObjectStore> CountingStore<S> {
         self.gets.store(0, Ordering::Relaxed);
         self.puts.store(0, Ordering::Relaxed);
         self.deletes.store(0, Ordering::Relaxed);
+        self.exists.store(0, Ordering::Relaxed);
+        self.renames.store(0, Ordering::Relaxed);
+        self.lists.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
     }
@@ -98,14 +126,17 @@ impl<S: ObjectStore> ObjectStore for CountingStore<S> {
     }
 
     fn exists(&self, key: &str) -> Result<bool, StoreError> {
+        self.exists.fetch_add(1, Ordering::Relaxed);
         self.inner.exists(key)
     }
 
     fn rename(&self, from: &str, to: &str) -> Result<(), StoreError> {
+        self.renames.fetch_add(1, Ordering::Relaxed);
         self.inner.rename(from, to)
     }
 
     fn list(&self) -> Result<Vec<String>, StoreError> {
+        self.lists.fetch_add(1, Ordering::Relaxed);
         self.inner.list()
     }
 
@@ -140,13 +171,32 @@ mod tests {
     }
 
     #[test]
+    fn counts_exists_rename_and_list() {
+        let s = CountingStore::new(MemStore::new());
+        s.put("x", b"v").unwrap();
+        assert!(s.exists("x").unwrap());
+        assert!(!s.exists("missing").unwrap());
+        s.rename("x", "y").unwrap();
+        assert_eq!(s.list().unwrap(), vec!["y".to_string()]);
+        let stats = s.stats();
+        assert_eq!(stats.exists, 2);
+        assert_eq!(stats.renames, 1);
+        assert_eq!(stats.lists, 1);
+        assert_eq!(stats.total_ops(), 1 + 2 + 1 + 1); // put + exists*2 + rename + list
+    }
+
+    #[test]
     fn reset_zeroes_counters() {
         let s = CountingStore::new(MemStore::new());
         s.put("a", &[0u8; 10]).unwrap();
+        s.rename("a", "b").unwrap();
+        assert!(s.exists("b").unwrap());
+        let _ = s.list().unwrap();
         s.reset();
         assert_eq!(s.stats(), StoreStats::default());
-        // Store contents untouched.
-        assert!(s.exists("a").unwrap());
+        // Store contents untouched (this exists call counts afresh).
+        assert!(s.exists("b").unwrap());
+        assert_eq!(s.stats().exists, 1);
     }
 
     #[test]

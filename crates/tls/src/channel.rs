@@ -112,10 +112,7 @@ mod tests {
             key: [3u8; 16],
             iv_base: [4u8; 12],
         };
-        (
-            TlsChannel::new(a.clone(), b.clone()),
-            TlsChannel::new(b, a),
-        )
+        (TlsChannel::new(a.clone(), b.clone()), TlsChannel::new(b, a))
     }
 
     #[test]

@@ -716,13 +716,8 @@ mod tests {
         // key (stolen certificate without the private key).
         let mut wrong_rng = DeterministicRng::seeded(42);
         let wrong_key = SecretKey::generate(&mut wrong_rng);
-        let (mut client, m1) = ClientHandshake::start(
-            s.client_cert.clone(),
-            wrong_key,
-            s.ca_key,
-            500,
-            &mut crng,
-        );
+        let (mut client, m1) =
+            ClientHandshake::start(s.client_cert.clone(), wrong_key, s.ca_key, 500, &mut crng);
         let mut server = ServerHandshake::new(
             s.server_cert.clone(),
             s.server_key.clone(),

@@ -54,9 +54,7 @@ impl<T: FrameTransport> SecureStream<T> {
                 break;
             }
         }
-        let (channel, peer_certificate) = hs
-            .into_established()
-            .expect("handshake reported done");
+        let (channel, peer_certificate) = hs.into_established().expect("handshake reported done");
         Ok(SecureStream {
             transport,
             channel,

@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Peter (as a manager: write access via the directory policy — his
     // uploads inherit the directory ACL when flagged).
-    p.put("/engineering/tps-report.doc", b"TPS report, now with cover sheet")?;
+    p.put(
+        "/engineering/tps-report.doc",
+        b"TPS report, now with cover sheet",
+    )?;
     p.set_inherit("/engineering/tps-report.doc", true)?;
     println!("peter uploaded the TPS report");
 

@@ -1,0 +1,81 @@
+//! Telemetry tour: drive an upload → share → download → revoke flow
+//! and print the server's unified metrics snapshot.
+//!
+//! The snapshot is the enclave's *declassification point*: per-operation
+//! request counts and latency quantiles, enclave-boundary crossings, EPC
+//! usage, and per-store I/O totals — and nothing request-derived (no
+//! paths, no user ids; the `seg-obs` label charset makes them
+//! unrepresentable).
+//!
+//! Run with: `cargo run --release --example metrics`
+
+use seg_fs::Perm;
+use segshare::{EnclaveConfig, FsoSetup};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let setup = FsoSetup::new_in_memory("ca", EnclaveConfig::default());
+    let server = setup.server()?;
+    let alice = setup.enroll_user("alice", "alice@acme.example", "Alice")?;
+    let bob = setup.enroll_user("bob", "bob@acme.example", "Bob")?;
+
+    // Upload → share → download → revoke, the paper's core flow.
+    let mut a = server.connect_local(&alice)?;
+    a.mkdir("/docs/")?;
+    let payload: Vec<u8> = (0..256 * 1024u32).map(|i| (i % 251) as u8).collect();
+    a.put("/docs/report.bin", &payload)?;
+    a.add_user("alice", "eng")?;
+    a.add_user("bob", "eng")?;
+    a.set_perm("/docs/report.bin", "eng", Perm::Read)?;
+
+    let mut b = server.connect_local(&bob)?;
+    assert_eq!(b.get("/docs/report.bin")?, payload);
+
+    a.remove_user("bob", "eng")?;
+    assert!(
+        b.get("/docs/report.bin").is_err(),
+        "revocation is immediate"
+    );
+
+    // ------------------------------------------------------- reporting
+    let snap = server.metrics_snapshot();
+
+    println!("per-operation latency (ns):");
+    println!(
+        "  {:<16} {:>6} {:>12} {:>12} {:>12}",
+        "op", "count", "p50", "p95", "p99"
+    );
+    for (id, h) in &snap.histograms {
+        if id.name() != "seg_request_latency_ns" {
+            continue;
+        }
+        let op = id.labels().first().map(|&(_, v)| v).unwrap_or("?");
+        println!(
+            "  {:<16} {:>6} {:>12} {:>12} {:>12}",
+            op, h.count, h.p50, h.p95, h.p99
+        );
+    }
+
+    println!("\nenclave boundary:");
+    for name in ["seg_boundary_ecalls_total", "seg_boundary_ocalls_total"] {
+        println!("  {name} = {}", snap.counter(name).unwrap_or(0));
+    }
+
+    println!("\nper-store I/O:");
+    for store in ["content", "group", "dedup"] {
+        let read = snap
+            .counter(&format!("seg_store_bytes_read_total{{store=\"{store}\"}}"))
+            .unwrap_or(0);
+        let written = snap
+            .counter(&format!(
+                "seg_store_bytes_written_total{{store=\"{store}\"}}"
+            ))
+            .unwrap_or(0);
+        println!("  {store}: {read} bytes read, {written} bytes written");
+    }
+
+    println!("\n--- full snapshot (JSON) ---");
+    print!("{}", snap.to_json());
+    println!("--- full snapshot (Prometheus) ---");
+    print!("{}", snap.to_prometheus());
+    Ok(())
+}

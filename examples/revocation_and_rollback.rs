@@ -46,12 +46,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .filter(|k| !before.contains(k))
         .collect();
-    touched.sort_by_key(|k| content.inner().get(k).unwrap().map(|v| v.len()).unwrap_or(0));
+    touched.sort_by_key(|k| {
+        content
+            .inner()
+            .get(k)
+            .unwrap()
+            .map(|v| v.len())
+            .unwrap_or(0)
+    });
     let victim_key = touched.pop().expect("upload touched objects");
     content.snapshot_object(&victim_key)?;
     content.tamper(&victim_key, 5000, 1)?;
     println!("[attack 1] flipped one bit of {victim_key:.16}...");
-    println!("           alice's read now fails: {}", a.get("/ledger").unwrap_err());
+    println!(
+        "           alice's read now fails: {}",
+        a.get("/ledger").unwrap_err()
+    );
     content.rollback_object(&victim_key)?; // undo for the next act
     assert!(a.get("/ledger").is_ok());
 
@@ -59,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let before = group.inner().list()?;
     a.add_user("bob", "insiders")?;
     a.set_perm("/ledger", "insiders", Perm::Read)?;
-    println!("[attack 2] bob (insider) reads: {} bytes", b.get("/ledger")?.len());
+    println!(
+        "[attack 2] bob (insider) reads: {} bytes",
+        b.get("/ledger")?.len()
+    );
     // The provider snapshots bob's membership state...
     for key in group.inner().list()? {
         if !before.contains(&key) {
@@ -67,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     a.remove_user("bob", "insiders")?;
-    println!("           bob revoked; read denied: {}", b.get("/ledger").unwrap_err());
+    println!(
+        "           bob revoked; read denied: {}",
+        b.get("/ledger").unwrap_err()
+    );
     // ...and replays it after the revocation.
     for key in group.inner().list()? {
         if !before.contains(&key) {

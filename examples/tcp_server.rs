@@ -4,6 +4,9 @@
 //! the enclave terminating TLS (§IV-B).
 //!
 //! Run with: `cargo run --release --example tcp_server`
+//!
+//! Pass `--metrics` to print the server's telemetry snapshot
+//! (Prometheus exposition text) after the demo traffic completes.
 
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -12,6 +15,7 @@ use seg_net::TcpTransport;
 use segshare::{Client, EnclaveConfig, FsoSetup};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let metrics = std::env::args().any(|a| a == "--metrics");
     let setup = FsoSetup::new_in_memory("ca", EnclaveConfig::default());
     let server = Arc::new(setup.server()?);
     let alice = setup.enroll_user("alice", "a@x", "Alice")?;
@@ -46,10 +50,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let downloaded = c.get("/over-tcp/megabyte.bin")?;
     let down = start.elapsed();
     assert_eq!(downloaded, payload);
-    println!("uploaded 1 MB in {up:?}, downloaded in {down:?} (localhost, full TLS + enclave path)");
+    println!(
+        "uploaded 1 MB in {up:?}, downloaded in {down:?} (localhost, full TLS + enclave path)"
+    );
 
     for entry in c.list("/over-tcp")? {
         println!("  {} {}", if entry.is_dir { "d" } else { "-" }, entry.name);
+    }
+
+    if metrics {
+        println!("\n--- metrics snapshot ---");
+        print!("{}", server.metrics_snapshot().to_prometheus());
     }
     Ok(())
 }

@@ -427,8 +427,8 @@ fn backup_and_restore_with_signed_reset() {
     ));
 
     // An unauthorized reset is rejected.
-    let forged = seg_crypto::ed25519::SecretKey::from_seed(&[9u8; 32])
-        .sign(segshare::server::RESET_MESSAGE);
+    let forged =
+        seg_crypto::ed25519::SecretKey::from_seed(&[9u8; 32]).sign(segshare::server::RESET_MESSAGE);
     assert!(server
         .restore_with_reset(&setup.ca().public_key(), &forged)
         .is_err());
@@ -601,18 +601,15 @@ fn stress_deep_tree_under_full_protection() {
         dir = format!("{dir}level{depth}/");
         a.mkdir(&dir).unwrap();
         for f in 0..4 {
-            let content = vec![(depth * 16 + f) as u8; 3000 + depth * 500 + f as usize];
+            let content = vec![(depth * 16 + f) as u8; 3000 + depth * 500 + f];
             a.put(&format!("{dir}file{f}"), &content).unwrap();
         }
     }
 
     // Rewrite, move, and remove across levels.
     a.put("/level0/file0", b"rewritten at the top").unwrap();
-    a.rename(
-        "/level0/level1/file1",
-        "/level0/level1/level2/moved-up",
-    )
-    .unwrap();
+    a.rename("/level0/level1/file1", "/level0/level1/level2/moved-up")
+        .unwrap();
     a.remove("/level0/level1/file2").unwrap();
 
     // Re-read everything that should exist, fully verified.

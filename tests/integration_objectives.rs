@@ -126,7 +126,10 @@ fn f9_deduplication_of_encrypted_files() {
     let dedup = Arc::new(MemStore::new());
     let setup = FsoSetup::with_stores(
         "ca",
-        EnclaveConfig { dedup: true, ..EnclaveConfig::default() },
+        EnclaveConfig {
+            dedup: true,
+            ..EnclaveConfig::default()
+        },
         seg_sgx::Platform::new_with_seed(42),
         content,
         group,
@@ -141,7 +144,11 @@ fn f9_deduplication_of_encrypted_files() {
     for i in 0..5 {
         a.put(&format!("/copy-{i}"), &payload).unwrap();
     }
-    assert_eq!(dedup.total_bytes().unwrap(), single, "6 logical copies, 1 blob");
+    assert_eq!(
+        dedup.total_bytes().unwrap(),
+        single,
+        "6 logical copies, 1 blob"
+    );
 }
 
 #[test]
@@ -320,8 +327,12 @@ fn s3_end_to_end_protection_over_the_wire() {
         let _ = segshare::untrusted::serve_connection(&enclave, server_t);
     });
     let mut c = segshare::Client::connect(recording, &alice).unwrap();
-    c.put("/wire", b"EXTREMELY SECRET PAYLOAD ON THE WIRE").unwrap();
-    assert_eq!(c.get("/wire").unwrap(), b"EXTREMELY SECRET PAYLOAD ON THE WIRE");
+    c.put("/wire", b"EXTREMELY SECRET PAYLOAD ON THE WIRE")
+        .unwrap();
+    assert_eq!(
+        c.get("/wire").unwrap(),
+        b"EXTREMELY SECRET PAYLOAD ON THE WIRE"
+    );
 
     let frames = log.lock();
     assert!(frames.len() >= 6, "expected handshake plus data frames");
@@ -351,5 +362,8 @@ fn s4_immediate_revocation_no_lazy_window() {
     a.remove_user("bob", "g").unwrap();
     // The file was never rewritten after the grant; bob must be out
     // immediately anyway.
-    assert!(b.get("/f").is_err(), "revocation must not wait for a file update");
+    assert!(
+        b.get("/f").is_err(),
+        "revocation must not wait for a file update"
+    );
 }

@@ -1,0 +1,209 @@
+//! Observability integration: the unified telemetry snapshot over a
+//! full upload → share → download → revoke flow.
+//!
+//! Checks the three contract points of the `seg-obs` layer:
+//!
+//! 1. every operation of the flow shows up with nonzero per-op counts
+//!    and latency quantiles;
+//! 2. the boundary counters folded into the snapshot match the
+//!    simulated-SGX [`seg_sgx`] boundary accounting exactly;
+//! 3. nothing request-derived (paths, user ids, group names, emails)
+//!    appears in either snapshot encoding — the trust-boundary rule
+//!    (paper §III: everything leaving the enclave is adversary-visible).
+
+use seg_fs::Perm;
+use segshare::{EnclaveConfig, FsoSetup, SegShareServer};
+
+/// Distinctive strings used as operands below; none may leak into the
+/// encoded snapshots.
+const SECRETS: &[&str] = &[
+    "alice",
+    "bob",
+    "strategyteam",
+    "plans-secret",
+    "q3-report",
+    "acme.example",
+];
+
+/// Drives the canonical flow and returns the server for inspection.
+fn run_flow() -> SegShareServer {
+    let setup = FsoSetup::new_in_memory("obs-ca", EnclaveConfig::default());
+    let server = setup.server().expect("setup");
+    let alice = setup
+        .enroll_user("alice", "alice@acme.example", "Alice")
+        .expect("enroll alice");
+    let bob = setup
+        .enroll_user("bob", "bob@acme.example", "Bob")
+        .expect("enroll bob");
+
+    let mut a = server.connect_local(&alice).expect("alice connects");
+    a.mkdir("/plans-secret/").expect("mkdir");
+    let payload: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 251) as u8).collect();
+    a.put("/plans-secret/q3-report", &payload).expect("upload");
+    a.add_user("alice", "strategyteam").expect("create group");
+    a.add_user("bob", "strategyteam").expect("share");
+    a.set_perm("/plans-secret/q3-report", "strategyteam", Perm::Read)
+        .expect("grant");
+
+    let mut b = server.connect_local(&bob).expect("bob connects");
+    assert_eq!(b.get("/plans-secret/q3-report").expect("download"), payload);
+
+    a.remove_user("bob", "strategyteam").expect("revoke");
+    assert!(
+        b.get("/plans-secret/q3-report").is_err(),
+        "revocation is immediate"
+    );
+
+    // Let the connection threads settle (they drain their outgoing
+    // queues with ecalls after the last response is delivered).
+    drop(a);
+    drop(b);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    server
+}
+
+#[test]
+fn flow_produces_nonzero_per_op_metrics() {
+    let server = run_flow();
+    let snap = server.metrics_snapshot();
+
+    // Exact request counts: the client drove a known script. Bob's
+    // second (denied) get also counts — requests are counted whether
+    // they succeed or not.
+    for (op, expected) in [
+        ("mk_dir", 1),
+        ("put_file", 1),
+        ("get", 2),
+        ("set_perm", 1),
+        ("add_user", 2),
+        ("remove_user", 1),
+    ] {
+        assert_eq!(
+            snap.counter(&format!("seg_requests_total{{op=\"{op}\"}}")),
+            Some(expected),
+            "request count for {op}"
+        );
+        let h = snap
+            .histogram(&format!("seg_request_latency_ns{{op=\"{op}\"}}"))
+            .unwrap_or_else(|| panic!("latency histogram for {op}"));
+        assert_eq!(h.count, expected, "latency sample count for {op}");
+        assert!(h.p50 > 0 && h.p95 >= h.p50 && h.p99 >= h.p95, "{op}: {h:?}");
+    }
+
+    // The 64 KiB upload streamed at least one data chunk.
+    assert!(
+        snap.counter("seg_requests_total{op=\"data\"}").unwrap_or(0) >= 1,
+        "upload streamed chunks"
+    );
+
+    // The denied download shows up under its error code.
+    assert_eq!(
+        snap.counter("seg_request_errors_total{code=\"denied\",op=\"get\"}"),
+        Some(1)
+    );
+
+    // Store and crypto activity is attributed.
+    assert!(
+        snap.counter("seg_store_bytes_written_total{store=\"content\"}")
+            .unwrap_or(0)
+            > 64 * 1024,
+        "content store saw the upload"
+    );
+    assert!(
+        snap.counter("seg_store_bytes_written_total{store=\"group\"}")
+            .unwrap_or(0)
+            > 0,
+        "group store saw membership updates"
+    );
+    assert!(
+        snap.histogram("seg_pfs_encrypt_ns")
+            .map(|h| h.count)
+            .unwrap_or(0)
+            > 0,
+        "protected-fs encryption was timed"
+    );
+    assert!(
+        snap.histogram("seg_rollback_tree_update_ns")
+            .map(|h| h.count)
+            .unwrap_or(0)
+            > 0,
+        "rollback-tree updates were timed"
+    );
+
+    // Connection-level accounting from the untrusted host.
+    assert_eq!(snap.counter("seg_connections_total"), Some(2));
+    assert!(
+        snap.counter("seg_connection_bytes_total{dir=\"in\"}")
+            .unwrap_or(0)
+            > 64 * 1024,
+        "inbound frames carried the upload"
+    );
+}
+
+#[test]
+fn snapshot_boundary_counts_match_sgx_accounting() {
+    let server = run_flow();
+    let snap = server.metrics_snapshot();
+    // Read the authoritative counters *after* the snapshot: they are
+    // monotonic, so equality proves the snapshot is exact and current.
+    let stats = server.enclave().sgx().boundary().stats();
+    assert_eq!(
+        snap.counter("seg_boundary_ecalls_total"),
+        Some(stats.ecalls)
+    );
+    assert_eq!(
+        snap.counter("seg_boundary_ocalls_total"),
+        Some(stats.ocalls)
+    );
+    assert!(stats.ecalls > 0 && stats.ocalls > 0, "{stats:?}");
+    assert_eq!(
+        snap.gauge("seg_boundary_simulated_ns"),
+        Some(stats.simulated_ns)
+    );
+
+    // Repeated snapshots must not double-count the folded-in totals.
+    let again = server.metrics_snapshot();
+    assert_eq!(
+        again.counter("seg_boundary_ecalls_total"),
+        Some(stats.ecalls)
+    );
+}
+
+#[test]
+fn encoded_snapshots_carry_no_request_content() {
+    let server = run_flow();
+    let snap = server.metrics_snapshot();
+    for (encoding, text) in [
+        ("json", snap.to_json()),
+        ("prometheus", snap.to_prometheus()),
+    ] {
+        for secret in SECRETS {
+            assert!(
+                !text.contains(secret),
+                "{encoding} encoding leaks {secret:?}"
+            );
+        }
+        // No path separators at all: every metric id is compiled in.
+        assert!(
+            !text.contains('/'),
+            "{encoding} encoding contains a path separator"
+        );
+        assert!(
+            !text.contains('@'),
+            "{encoding} encoding contains an email-like token"
+        );
+    }
+}
+
+#[test]
+fn epc_gauges_report_peak_usage() {
+    let server = run_flow();
+    let snap = server.metrics_snapshot();
+    let peak = snap.gauge("seg_epc_peak_bytes").expect("peak gauge");
+    assert!(peak > 0, "the flow registered enclave memory");
+    assert_eq!(
+        Some(peak),
+        Some(server.enclave().sgx().epc().peak_bytes()),
+        "gauge mirrors the tracker"
+    );
+}

@@ -20,7 +20,11 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..4).prop_map(Op::MkDir),
-        (0u8..4, 0u8..4, proptest::collection::vec(any::<u8>(), 0..2000))
+        (
+            0u8..4,
+            0u8..4,
+            proptest::collection::vec(any::<u8>(), 0..2000)
+        )
             .prop_map(|(dir, file, content)| Op::Put { dir, file, content }),
         (0u8..4, 0u8..4).prop_map(|(dir, file)| Op::Get { dir, file }),
         (0u8..4, 0u8..4).prop_map(|(dir, file)| Op::Remove { dir, file }),

@@ -228,8 +228,12 @@ fn provider_sees_no_plaintext() {
     )
     .unwrap();
     a.add_user("bob", "merger-team").unwrap();
-    a.set_perm("/top-secret-project/merger-plan.docx", "merger-team", Perm::Read)
-        .unwrap();
+    a.set_perm(
+        "/top-secret-project/merger-plan.docx",
+        "merger-team",
+        Perm::Read,
+    )
+    .unwrap();
 
     // S1: neither file contents, nor paths, nor group names, nor user
     // names appear anywhere in either store (keys or values).
@@ -279,7 +283,9 @@ fn unauthorized_requests_are_denied_not_crashed() {
     assert!(m.put("/private/data", b"overwritten").is_err());
     assert!(m.remove("/private/data").is_err());
     assert!(m.rename("/private/data", "/stolen").is_err());
-    assert!(m.set_perm("/private/data", "~mallory", Perm::ReadWrite).is_err());
+    assert!(m
+        .set_perm("/private/data", "~mallory", Perm::ReadWrite)
+        .is_err());
     assert!(m.add_owner("/private/data", "~mallory").is_err());
     assert!(m.set_inherit("/private/data", true).is_err());
     assert!(m.list("/private").is_err());
@@ -303,9 +309,11 @@ fn multi_user_adversary_gets_only_the_union_of_permissions() {
     let mut e2 = r.server.connect_local(&eve2).unwrap();
 
     a.put("/readable-by-eve1", b"r1").unwrap();
-    a.set_perm("/readable-by-eve1", "~eve1", Perm::Read).unwrap();
+    a.set_perm("/readable-by-eve1", "~eve1", Perm::Read)
+        .unwrap();
     a.put("/writable-by-eve2", b"w2").unwrap();
-    a.set_perm("/writable-by-eve2", "~eve2", Perm::Write).unwrap();
+    a.set_perm("/writable-by-eve2", "~eve2", Perm::Write)
+        .unwrap();
     a.put("/neither", b"n").unwrap();
 
     // Each controlled user has exactly their own grant...
@@ -381,39 +389,83 @@ fn hostile_protocol_sequences_are_survived() {
     )
     .unwrap();
 
-    let mut send = |req: &Request| stream.send(&req.encode()).unwrap();
+    let send = |stream: &mut SecureStream<_>, req: &Request| stream.send(&req.encode()).unwrap();
 
     // 1. Data chunk with no active upload -> BadRequest, session lives.
-    send(&Request::Data { bytes: vec![1, 2, 3] });
+    send(
+        &mut stream,
+        &Request::Data {
+            bytes: vec![1, 2, 3],
+        },
+    );
     let resp = Response::decode(&stream.recv().unwrap()).unwrap();
     assert!(matches!(
         resp,
-        Response::Error { code: ErrorCode::BadRequest, .. }
+        Response::Error {
+            code: ErrorCode::BadRequest,
+            ..
+        }
     ));
 
     // 2. Announce an upload, then interrupt it with another request:
     //    the upload aborts with an error and the interrupting request
     //    is *not* silently executed.
-    send(&Request::PutFile { path: "/m".to_string(), size: 10 });
-    send(&Request::Get { path: "/".to_string() });
+    send(
+        &mut stream,
+        &Request::PutFile {
+            path: "/m".to_string(),
+            size: 10,
+        },
+    );
+    send(
+        &mut stream,
+        &Request::Get {
+            path: "/".to_string(),
+        },
+    );
     let resp = Response::decode(&stream.recv().unwrap()).unwrap();
     assert!(matches!(
         resp,
-        Response::Error { code: ErrorCode::BadRequest, .. }
+        Response::Error {
+            code: ErrorCode::BadRequest,
+            ..
+        }
     ));
 
     // 3. Oversized chunk against a fresh announcement.
-    send(&Request::PutFile { path: "/m".to_string(), size: 4 });
-    send(&Request::Data { bytes: vec![0u8; 100] });
+    send(
+        &mut stream,
+        &Request::PutFile {
+            path: "/m".to_string(),
+            size: 4,
+        },
+    );
+    send(
+        &mut stream,
+        &Request::Data {
+            bytes: vec![0u8; 100],
+        },
+    );
     let resp = Response::decode(&stream.recv().unwrap()).unwrap();
     assert!(matches!(resp, Response::Error { .. }));
 
     // 4. After all that abuse, an honest request still works.
-    send(&Request::PutFile { path: "/m".to_string(), size: 2 });
-    send(&Request::Data { bytes: vec![7, 7] });
+    send(
+        &mut stream,
+        &Request::PutFile {
+            path: "/m".to_string(),
+            size: 2,
+        },
+    );
+    send(&mut stream, &Request::Data { bytes: vec![7, 7] });
     let resp = Response::decode(&stream.recv().unwrap()).unwrap();
     assert!(matches!(resp, Response::Ok), "{resp:?}");
-    send(&Request::Get { path: "/m".to_string() });
+    send(
+        &mut stream,
+        &Request::Get {
+            path: "/m".to_string(),
+        },
+    );
     let resp = Response::decode(&stream.recv().unwrap()).unwrap();
     assert!(matches!(resp, Response::FileStart { size: 2 }));
     let resp = Response::decode(&stream.recv().unwrap()).unwrap();

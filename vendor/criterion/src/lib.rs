@@ -1,0 +1,385 @@
+//! Vendored stand-in for the `criterion` crate (offline builds).
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::{iter, iter_with_setup}`, `Throughput::Bytes`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!`
+//! macros — backed by a simple wall-clock sampler: per sample, the
+//! routine is run in a timed batch sized to ~10 ms, and the report
+//! prints the median per-iteration time (plus throughput when set).
+//! No statistics beyond median/min/max, no plots, no comparison with
+//! saved baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement configuration and top-level entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            warmup: Duration::from_millis(50),
+            target_sample_time: Duration::from_millis(10),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self, &id.to_string(), None, |b| routine(b));
+        println!("{report}");
+        self
+    }
+}
+
+/// Units for normalizing reported times.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to annotate subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| routine(b));
+        self
+    }
+
+    /// Runs a benchmark receiving a reference to `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; groups have no
+    /// deferred state here).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, routine: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        let mut config = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            config.sample_size = n;
+        }
+        let report = run_bench(&config, &full, self.throughput, routine);
+        println!("{report}");
+    }
+}
+
+/// Hands the measurement loop to benchmark routines.
+pub struct Bencher {
+    mode: BenchMode,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+enum BenchMode {
+    /// Probe pass: run once, record the duration, to size batches.
+    Calibrate(Option<Duration>),
+    /// Timed pass: run `iters_per_sample` iterations per sample.
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine`, batching iterations per configured sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &mut self.mode {
+            BenchMode::Calibrate(slot) => {
+                let start = Instant::now();
+                std::hint::black_box(routine());
+                *slot = Some(start.elapsed());
+            }
+            BenchMode::Measure => {
+                let iters = self.iters_per_sample;
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                self.samples.push(start.elapsed() / iters as u32);
+            }
+        }
+    }
+
+    /// Like [`iter`](Bencher::iter), but runs `setup` outside the
+    /// timed region to produce each iteration's input.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match &mut self.mode {
+            BenchMode::Calibrate(slot) => {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                *slot = Some(start.elapsed());
+            }
+            BenchMode::Measure => {
+                let iters = self.iters_per_sample;
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let input = setup();
+                    let start = Instant::now();
+                    std::hint::black_box(routine(input));
+                    total += start.elapsed();
+                }
+                self.samples.push(total / iters as u32);
+            }
+        }
+    }
+}
+
+fn run_bench(
+    config: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut routine: impl FnMut(&mut Bencher),
+) -> String {
+    // Calibration: run single iterations until the warmup budget is
+    // spent, to learn the per-iteration cost.
+    let warmup_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    loop {
+        let mut b = Bencher {
+            mode: BenchMode::Calibrate(None),
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        routine(&mut b);
+        if let BenchMode::Calibrate(Some(d)) = b.mode {
+            per_iter = d.max(Duration::from_nanos(1));
+        }
+        if warmup_start.elapsed() >= config.warmup {
+            break;
+        }
+    }
+
+    let iters_per_sample =
+        (config.target_sample_time.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut b = Bencher {
+        mode: BenchMode::Measure,
+        samples: Vec::with_capacity(config.sample_size),
+        iters_per_sample,
+    };
+    for _ in 0..config.sample_size {
+        routine(&mut b);
+    }
+
+    let mut samples = b.samples;
+    if samples.is_empty() {
+        return format!("{id:<44} (no samples: routine never called iter)");
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(
+            " {:>10.1} MiB/s",
+            n as f64 / (1 << 20) as f64 / median.as_secs_f64()
+        ),
+        Throughput::Elements(n) => {
+            format!(" {:>10.1} elem/s", n as f64 / median.as_secs_f64())
+        }
+    });
+    format!(
+        "{id:<44} median {} (min {}, max {}, {} samples x {} iters){}",
+        fmt_duration(median),
+        fmt_duration(min),
+        fmt_duration(max),
+        samples.len(),
+        iters_per_sample,
+        rate.unwrap_or_default()
+    )
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner; both criterion forms are
+/// accepted (plain list and `name = ...; config = ...; targets = ...`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_add(std::hint::black_box(i));
+        }
+        acc
+    }
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        // Route through the full pipeline; printing is the only output.
+        c.bench_function("spin/1k", |b| b.iter(|| spin(1_000)));
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(4096));
+        group.bench_with_input(BenchmarkId::new("spin", 4096), &4096u64, |b, &n| {
+            b.iter(|| spin(n / 64))
+        });
+        group.bench_function("setup", |b| {
+            b.iter_with_setup(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_display() {
+        assert_eq!(BenchmarkId::new("put", 65536).to_string(), "put/65536");
+        let label = String::from("d4-f16");
+        assert_eq!(
+            BenchmarkId::new("download", &label).to_string(),
+            "download/d4-f16"
+        );
+    }
+
+    criterion_group!(plain_form, noop_bench);
+    criterion_group!(
+        name = config_form;
+        config = Criterion::default().sample_size(2);
+        targets = noop_bench
+    );
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macros_expand() {
+        plain_form();
+        config_form();
+    }
+}

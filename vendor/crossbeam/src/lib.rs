@@ -1,0 +1,112 @@
+//! Vendored stand-in for the `crossbeam` crate (offline builds).
+//!
+//! Provides `crossbeam::channel`'s bounded MPMC-ish channel API on top
+//! of `std::sync::mpsc::sync_channel`. The workspace only needs MPSC
+//! semantics (one transport end per thread), blocking `send`/`recv`,
+//! and disconnect detection.
+
+pub mod channel {
+    //! Bounded blocking channels.
+
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// The sending half of a bounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Receives the next value, blocking until one is available.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the channel is empty and all
+        /// senders were dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Receives without blocking, `None` if the channel is empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+
+    /// Creates a bounded channel holding at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip_and_disconnect() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drop() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn backpressure_blocks_until_drained() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || tx.send(2).is_ok());
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert!(h.join().unwrap());
+        }
+    }
+}

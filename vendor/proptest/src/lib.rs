@@ -1,0 +1,861 @@
+//! Vendored stand-in for the `proptest` crate (offline builds).
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] / [`prop_assert*`] / [`prop_oneof!`] macros, the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_filter`,
+//! integer-range / tuple / [`strategy::Just`] / `any::<T>()` strategies,
+//! [`collection::vec`], `array::uniform{12,16,32}`, and a regex-subset
+//! string generator ([`string::string_regex`] and bare `&str` patterns).
+//!
+//! Differences from upstream: generation is seeded deterministically
+//! from the test name (every run explores the same cases — good for
+//! reproducible CI), and failing inputs are reported without
+//! shrinking (`max_shrink_iters` is accepted and ignored).
+
+pub mod test_runner {
+    //! Case execution: configuration, pass/fail/reject plumbing.
+
+    use rand::{Rng, RngExt, SeedableRng};
+
+    /// Runner configuration (field-compatible subset of upstream).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+        /// Accepted for compatibility; this runner never shrinks.
+        pub max_shrink_iters: u32,
+        /// Bail out after this many `prop_assume!` rejections.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 1024,
+                max_global_rejects: 65536,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Convenience constructor overriding only the case count.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the property is falsified.
+        Fail(String),
+        /// The case was vetoed by `prop_assume!`; try another input.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection with the given reason.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// The generation RNG handed to strategies.
+    #[derive(Debug)]
+    pub struct TestRng(rand::rngs::StdRng);
+
+    impl TestRng {
+        /// Seeds a generator for one case attempt.
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng(rand::rngs::StdRng::seed_from_u64(seed))
+        }
+
+        /// Uniform `u64`.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.random()
+        }
+
+        /// Fills `out` with random bytes.
+        pub fn fill_bytes(&mut self, out: &mut [u8]) {
+            self.0.fill_bytes(out);
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        ///
+        /// Modulo bias is below 2^-32 for every range this crate's
+        /// strategies produce — irrelevant for test-input generation.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0, "below(0)");
+            self.next_u64() % n
+        }
+
+        /// Uniform `usize` in `[lo, hi)`.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty size range {lo}..{hi}");
+            lo + self.below((hi - lo) as u64) as usize
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drives `case` until `config.cases` inputs pass, panicking on the
+    /// first falsified case. Seeds derive from `name`, so runs are
+    /// reproducible without a persistence file.
+    pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let base = fnv1a(name.as_bytes());
+        let mut passed: u32 = 0;
+        let mut rejects: u32 = 0;
+        let mut attempt: u64 = 0;
+        while passed < config.cases {
+            let seed = base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            attempt += 1;
+            let mut rng = TestRng::from_seed(seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= config.max_global_rejects,
+                        "proptest '{name}': too many prop_assume! rejections \
+                         ({rejects}); last: {why}"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{name}' falsified at case {passed} \
+                         (seed {seed:#x}):\n{msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards values failing `pred`, retrying generation.
+        fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence: whence.into(),
+                pred,
+            }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter '{}' rejected 1000 candidates in a row",
+                self.whence
+            );
+        }
+    }
+
+    /// A type-erased strategy (what [`Strategy::boxed`] returns).
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Builds a union over `arms`; must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union(arms)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(lo < hi, "empty range strategy");
+                    (lo + rng.below((hi - lo) as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// A bare `&str` is a regex pattern generating matching strings.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::string_regex(self)
+                .unwrap_or_else(|e| panic!("bare-str strategy {self:?}: {e}"))
+                .generate(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Samples an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    let mut b = [0u8; std::mem::size_of::<$t>()];
+                    rng.fill_bytes(&mut b);
+                    <$t>::from_le_bytes(b)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`](crate::any).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Any<T> {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Returns the unconstrained strategy for `T` (`any::<u8>()`, ...).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec<S::Value>` with `len` in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start >= self.size.end {
+                self.size.start
+            } else {
+                rng.usize_in(self.size.start, self.size.end)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy generating `[S::Value; N]` from one element strategy.
+    pub struct ArrayStrategy<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    /// 12-element array of `strategy`'s values.
+    pub fn uniform12<S: Strategy>(strategy: S) -> ArrayStrategy<S, 12> {
+        ArrayStrategy(strategy)
+    }
+
+    /// 16-element array of `strategy`'s values.
+    pub fn uniform16<S: Strategy>(strategy: S) -> ArrayStrategy<S, 16> {
+        ArrayStrategy(strategy)
+    }
+
+    /// 32-element array of `strategy`'s values.
+    pub fn uniform32<S: Strategy>(strategy: S) -> ArrayStrategy<S, 32> {
+        ArrayStrategy(strategy)
+    }
+}
+
+pub mod string {
+    //! Strings matching a regex subset.
+    //!
+    //! Supported syntax: literal characters, `\`-escapes, `.` (printable
+    //! chars plus a couple of multibyte code points to exercise UTF-8
+    //! handling), character classes `[...]` with ranges, and `{n}` /
+    //! `{m,n}` repetition. Alternation, groups, and `*`/`+`/`?` are not
+    //! implemented and yield an error.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::fmt;
+
+    /// Regex-pattern rejection reason.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    struct Piece {
+        pool: Vec<char>,
+        min: u32,
+        max: u32,
+    }
+
+    /// Compiled pattern; a [`Strategy`] over matching `String`s.
+    pub struct RegexStrategy(Vec<Piece>);
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.0 {
+                let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+                for _ in 0..n {
+                    let idx = rng.below(piece.pool.len() as u64) as usize;
+                    out.push(piece.pool[idx]);
+                }
+            }
+            out
+        }
+    }
+
+    fn dot_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (' '..='~').collect();
+        pool.extend(['é', 'Ω', '日', '🦀']);
+        pool
+    }
+
+    /// Compiles `pattern` into a string strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on syntax outside the supported subset.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let pool = match chars[i] {
+                '[' => {
+                    let (pool, next) = parse_class(&chars, i + 1)?;
+                    i = next;
+                    pool
+                }
+                '.' => {
+                    i += 1;
+                    dot_pool()
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .ok_or_else(|| Error("trailing backslash".into()))?;
+                    i += 2;
+                    vec![c]
+                }
+                c @ ('(' | ')' | '|' | '*' | '+' | '?') => {
+                    return Err(Error(format!("operator '{c}' not supported")));
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max, next) = parse_repeat(&chars, i)?;
+            i = next;
+            if pool.is_empty() {
+                return Err(Error("empty character class".into()));
+            }
+            pieces.push(Piece { pool, min, max });
+        }
+        Ok(RegexStrategy(pieces))
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), Error> {
+        let mut pool = Vec::new();
+        loop {
+            let c = *chars
+                .get(i)
+                .ok_or_else(|| Error("unterminated character class".into()))?;
+            i += 1;
+            match c {
+                ']' => return Ok((pool, i)),
+                '^' if pool.is_empty() => {
+                    return Err(Error("negated classes not supported".into()));
+                }
+                '\\' => {
+                    let e = *chars
+                        .get(i)
+                        .ok_or_else(|| Error("trailing backslash in class".into()))?;
+                    i += 1;
+                    pool.push(e);
+                }
+                lo => {
+                    // `a-z` is a range unless the '-' is last (literal).
+                    if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+                        let hi = chars[i + 1];
+                        i += 2;
+                        if (lo as u32) > (hi as u32) {
+                            return Err(Error(format!("inverted range {lo}-{hi}")));
+                        }
+                        pool.extend(lo..=hi);
+                    } else {
+                        pool.push(lo);
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_repeat(chars: &[char], i: usize) -> Result<(u32, u32, usize), Error> {
+        if chars.get(i) != Some(&'{') {
+            return Ok((1, 1, i));
+        }
+        let close = chars[i..]
+            .iter()
+            .position(|&c| c == '}')
+            .ok_or_else(|| Error("unterminated repetition".into()))?
+            + i;
+        let body: String = chars[i + 1..close].iter().collect();
+        let parse_n = |s: &str| {
+            s.trim()
+                .parse::<u32>()
+                .map_err(|_| Error(format!("bad repetition count {s:?}")))
+        };
+        let (min, max) = match body.split_once(',') {
+            None => {
+                let n = parse_n(&body)?;
+                (n, n)
+            }
+            Some((lo, hi)) => {
+                let lo = parse_n(lo)?;
+                let hi = parse_n(hi)?;
+                if lo > hi {
+                    return Err(Error(format!("inverted repetition {{{body}}}")));
+                }
+                (lo, hi)
+            }
+        };
+        Ok((min, max, close + 1))
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `use proptest::prelude::*;`.
+
+    pub use crate::any;
+    pub use crate::strategy::{Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` running `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            $crate::test_runner::run_cases(
+                &__config,
+                stringify!($name),
+                |__rng| -> $crate::test_runner::TestCaseResult {
+                    $(let $parm = $crate::strategy::Strategy::generate(&($strategy), __rng);)+
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Fails the current case (with an optional formatted message) if
+/// `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`. Operands are moved,
+/// matching upstream semantics.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = ($left, $right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = ($left, $right);
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = ($left, $right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Rejects the current case (retried with a fresh input) if `cond` is
+/// false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::generate(&(0usize..2048), &mut rng);
+            assert!(w < 2048);
+            let s = Strategy::generate(&(-5i32..5), &mut rng);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn vec_and_array_shapes() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..50 {
+            let v = crate::collection::vec(any::<u8>(), 1..7).generate(&mut rng);
+            assert!((1..7).contains(&v.len()));
+        }
+        let a = crate::array::uniform32(any::<u8>()).generate(&mut rng);
+        assert_eq!(a.len(), 32);
+    }
+
+    #[test]
+    fn string_regex_class_and_repeat() {
+        let mut rng = TestRng::from_seed(3);
+        let s = crate::string::string_regex("[a-z0-9-]{1,16}").unwrap();
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..=16).contains(&v.chars().count()), "{v:?}");
+            assert!(
+                v.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{v:?}"
+            );
+        }
+        let lit = crate::string::string_regex("ab\\.c{2}").unwrap();
+        assert_eq!(lit.generate(&mut rng), "ab.cc");
+        assert!(crate::string::string_regex("(a|b)").is_err());
+        assert!(crate::string::string_regex("[a-").is_err());
+    }
+
+    #[test]
+    fn bare_str_pattern_is_a_strategy() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..50 {
+            let v = Strategy::generate(&".{0,40}", &mut rng);
+            assert!(v.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::from_seed(5);
+        let strat = prop_oneof![Just(0u8), Just(1u8), 2u8..4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn map_and_filter_compose() {
+        let mut rng = TestRng::from_seed(6);
+        let even = (0u32..1000)
+            .prop_map(|n| n * 2)
+            .prop_filter("nonzero", |&n| n != 0);
+        for _ in 0..100 {
+            let v = even.generate(&mut rng);
+            assert!(v % 2 == 0 && v != 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = crate::collection::vec(any::<u64>(), 0..20);
+        let a = strat.generate(&mut TestRng::from_seed(9));
+        let b = strat.generate(&mut TestRng::from_seed(9));
+        assert_eq!(a, b);
+    }
+
+    // The macro surface itself, exercised end-to-end.
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, max_shrink_iters: 0, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_roundtrip(x in 0u8..10, v in crate::collection::vec(any::<u8>(), 0..5)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 5, "len was {}", v.len());
+            prop_assert_eq!(x as usize + v.len(), v.len() + x as usize);
+            prop_assert_ne!(x as i32 - 11, 1);
+        }
+
+        #[test]
+        fn macro_assume_rejects(a in any::<u8>(), b in any::<u8>()) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,242 @@
+//! Vendored stand-in for the `rand` crate (offline builds).
+//!
+//! Implements the small API subset this workspace uses:
+//! [`Rng::fill_bytes`], [`RngExt::random`], [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`], and the [`rng()`] thread-local generator.
+//!
+//! `StdRng` is xoshiro256** (Blackman/Vigna) seeded through SplitMix64 —
+//! a high-quality, fast, non-cryptographic PRNG. The thread RNG seeds
+//! itself from `/dev/urandom` when available; the workspace's
+//! cryptographic key generation additionally passes OS entropy through
+//! its own extract-and-expand step in `seg-crypto`, so PRNG output is
+//! never used raw as key material.
+
+/// A source of random bytes.
+pub trait Rng {
+    /// Fills `out` with random bytes.
+    fn fill_bytes(&mut self, out: &mut [u8]);
+}
+
+/// Typed sampling on top of [`Rng`] (subset of rand's `Rng::random`).
+pub trait RngExt: Rng {
+    /// Returns a random value of type `T`.
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Fills `out` with random bytes (rand's `Rng::fill` for byte
+    /// slices).
+    fn fill(&mut self, out: &mut [u8]) {
+        self.fill_bytes(out);
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Types that can be sampled uniformly from an [`Rng`].
+pub trait Random: Sized {
+    /// Samples a uniform value from `rng`.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl<const N: usize> Random for [u8; N] {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                let mut b = [0u8; std::mem::size_of::<$t>()];
+                rng.fill_bytes(&mut b);
+                <$t>::from_le_bytes(b)
+            }
+        }
+    )*};
+}
+
+impl_random_int!(u8, u16, u32, u64, u128, usize);
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        u8::random(rng) & 1 == 1
+    }
+}
+
+/// RNGs that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generator implementations.
+
+    use super::{Rng, SeedableRng};
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// xoshiro256** generator (the workspace's deterministic PRNG).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Builds a generator directly from raw state words, remixing
+        /// if the state would be all-zero (a fixed point of xoshiro).
+        pub fn from_state(mut s: [u64; 4]) -> StdRng {
+            if s.iter().all(|&w| w == 0) {
+                s = [0xDEAD_BEEF, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng::from_state([
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ])
+        }
+    }
+
+    impl Rng for StdRng {
+        fn fill_bytes(&mut self, out: &mut [u8]) {
+            for chunk in out.chunks_mut(8) {
+                let word = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&word[..chunk.len()]);
+            }
+        }
+    }
+
+    /// OS-seeded generator returned by [`crate::rng()`].
+    ///
+    /// Seeded per call site from `/dev/urandom`; if the OS source is
+    /// unavailable, falls back to clock + address-layout entropy.
+    #[derive(Debug)]
+    pub struct ThreadRng(StdRng);
+
+    impl ThreadRng {
+        pub(crate) fn from_os_entropy() -> ThreadRng {
+            let mut seed = [0u8; 32];
+            if !read_os_entropy(&mut seed) {
+                let nanos = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0x5EED);
+                let stack_probe = 0u8;
+                let aslr = &stack_probe as *const u8 as u64;
+                let pid = std::process::id() as u64;
+                seed[..8].copy_from_slice(&nanos.to_le_bytes());
+                seed[8..16].copy_from_slice(&aslr.to_le_bytes());
+                seed[16..24].copy_from_slice(&pid.to_le_bytes());
+            }
+            let words = [
+                u64::from_le_bytes(seed[0..8].try_into().unwrap()),
+                u64::from_le_bytes(seed[8..16].try_into().unwrap()),
+                u64::from_le_bytes(seed[16..24].try_into().unwrap()),
+                u64::from_le_bytes(seed[24..32].try_into().unwrap()),
+            ];
+            ThreadRng(StdRng::from_state(words))
+        }
+    }
+
+    impl Rng for ThreadRng {
+        fn fill_bytes(&mut self, out: &mut [u8]) {
+            self.0.fill_bytes(out);
+        }
+    }
+
+    fn read_os_entropy(buf: &mut [u8]) -> bool {
+        use std::io::Read;
+        match std::fs::File::open("/dev/urandom") {
+            Ok(mut f) => f.read_exact(buf).is_ok(),
+            Err(_) => false,
+        }
+    }
+}
+
+/// Returns a fresh OS-seeded generator (rand 0.9+ `rand::rng()` shape).
+pub fn rng() -> rngs::ThreadRng {
+    rngs::ThreadRng::from_os_entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stdrng_is_deterministic_per_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        let (x, y, z): ([u8; 32], [u8; 32], [u8; 32]) = (a.random(), b.random(), c.random());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+    }
+
+    #[test]
+    fn thread_rng_outputs_vary() {
+        let a: [u8; 16] = rng().random();
+        let b: [u8; 16] = rng().random();
+        assert_ne!(a, b, "distinct OS-seeded instances must diverge");
+    }
+
+    #[test]
+    fn zero_state_is_remixed() {
+        let mut r = rngs::StdRng::from_state([0; 4]);
+        let x: u64 = r.random();
+        let y: u64 = r.random();
+        assert!(x != 0 || y != 0);
+    }
+
+    #[test]
+    fn int_and_bool_sampling() {
+        let mut r = rngs::StdRng::seed_from_u64(9);
+        let _: (u8, u16, u32, u64, u128, usize, bool) = (
+            r.random(),
+            r.random(),
+            r.random(),
+            r.random(),
+            r.random(),
+            r.random(),
+            r.random(),
+        );
+    }
+}
