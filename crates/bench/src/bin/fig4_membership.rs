@@ -10,7 +10,7 @@
 //!
 //! Usage: `fig4_membership [--quick] [--independence]`
 
-use seg_bench::harness::{arg_flag, fmt_s, measure, wan, Rig};
+use seg_bench::harness::{arg_flag, fmt_s, measure, print_metrics_sidecar, wan, Rig};
 use seg_fs::Perm;
 use segshare::EnclaveConfig;
 
@@ -59,6 +59,7 @@ fn main() {
             fmt_s(revoke.mean_s),
             fmt_s(wan.request_s(96, 16, revoke.mean_s)),
         );
+        print_metrics_sidecar(&rig.server);
     }
 
     // ---- permission operations (ACL file of the target) -------------
@@ -91,6 +92,7 @@ fn main() {
             fmt_s(revoke.mean_s),
             fmt_s(wan.request_s(96, 16, revoke.mean_s)),
         );
+        print_metrics_sidecar(&rig.server);
     }
 
     if arg_flag("--independence") {

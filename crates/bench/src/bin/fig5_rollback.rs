@@ -12,7 +12,7 @@
 //!
 //! Usage: `fig5_rollback [--max-x 14] [--quick] [--no-buckets]`
 
-use seg_bench::harness::{arg_flag, arg_value, fmt_s, measure, wan, Rig};
+use seg_bench::harness::{arg_flag, arg_value, fmt_s, measure, print_metrics_sidecar, wan, Rig};
 use segshare::{Client, EnclaveConfig};
 
 /// Builds the binary-tree directory layout with `count` files in the
@@ -75,6 +75,7 @@ fn main() {
         let count = (1usize << x) - 1;
         for layout in ["tree", "flat"] {
             let mut row = Vec::new();
+            let mut rollback_rig = None;
             for rollback in [true, false] {
                 let config = EnclaveConfig {
                     rollback_individual: rollback,
@@ -99,6 +100,9 @@ fn main() {
                     assert_eq!(got.len(), payload.len());
                 });
                 row.push((up.mean_s, down.mean_s));
+                if rollback {
+                    rollback_rig = Some(rig);
+                }
             }
             let (up_rb, down_rb) = row[0];
             let (up_no, down_no) = row[1];
@@ -113,6 +117,9 @@ fn main() {
                 fmt_s(up_no),
                 fmt_s(down_no),
             );
+            if let Some(rig) = rollback_rig {
+                print_metrics_sidecar(&rig.server);
+            }
         }
     }
     println!();

@@ -152,6 +152,14 @@ pub fn print_metrics_sidecar(server: &SegShareServer) {
             println!("  store {store}: {read} B read, {written} B written");
         }
     }
+    let emitted = snap.counter("seg_trace_events_total").unwrap_or(0);
+    let dropped = snap.counter("seg_trace_dropped_total").unwrap_or(0);
+    let audited = snap.counter("seg_audit_records_total").unwrap_or(0);
+    let audit_bytes = snap.counter("seg_audit_bytes_total").unwrap_or(0);
+    println!(
+        "  trace: {emitted} events ({dropped} dropped), {} slow; audit: {audited} records, {audit_bytes} B",
+        server.slow_requests(usize::MAX).len(),
+    );
 }
 
 /// The WAN used by every figure (the paper's two-region testbed).

@@ -27,6 +27,12 @@ pub struct EnclaveConfig {
     /// Permission inheritance resolution walks ancestors while the
     /// inherit flag stays set (§V-B).
     pub max_inherit_depth: u32,
+    /// Tamper-evident audit trail: every dispatched request is appended
+    /// as a sealed, hash-chained record through the untrusted store.
+    pub audit: bool,
+    /// Requests at least this slow (µs) are copied into the trace
+    /// ring's slow-request log; 0 disables the slow log.
+    pub slow_request_us: u64,
 }
 
 impl Default for EnclaveConfig {
@@ -38,6 +44,8 @@ impl Default for EnclaveConfig {
             rollback_whole_fs: false,
             rollback_buckets: 64,
             max_inherit_depth: 64,
+            audit: true,
+            slow_request_us: 100_000,
         }
     }
 }
@@ -59,6 +67,8 @@ impl EnclaveConfig {
             rollback_whole_fs: false,
             rollback_buckets: 64,
             max_inherit_depth: 64,
+            audit: false,
+            slow_request_us: 0,
         }
     }
 
@@ -72,6 +82,8 @@ impl EnclaveConfig {
             rollback_whole_fs: true,
             rollback_buckets: 64,
             max_inherit_depth: 64,
+            audit: true,
+            slow_request_us: 100_000,
         }
     }
 
@@ -80,13 +92,14 @@ impl EnclaveConfig {
     #[must_use]
     pub fn image_bytes(&self) -> Vec<u8> {
         format!(
-            "segshare-enclave-v1;dedup={};hide={};rb_ind={};rb_fs={};buckets={};inherit={}",
+            "segshare-enclave-v1;dedup={};hide={};rb_ind={};rb_fs={};buckets={};inherit={};audit={}",
             self.dedup,
             self.hide_names,
             self.rollback_individual,
             self.rollback_whole_fs,
             self.rollback_buckets,
-            self.max_inherit_depth
+            self.max_inherit_depth,
+            self.audit
         )
         .into_bytes()
     }
@@ -130,6 +143,18 @@ mod tests {
             ..EnclaveConfig::default()
         };
         assert_ne!(a, cfg.image_bytes());
+        let no_audit = EnclaveConfig {
+            audit: false,
+            ..EnclaveConfig::default()
+        };
+        assert_ne!(a, no_audit.image_bytes());
+        // The slow-log threshold is operational tuning, not a security
+        // toggle: it must NOT change the measurement.
+        let tuned = EnclaveConfig {
+            slow_request_us: 5,
+            ..EnclaveConfig::default()
+        };
+        assert_eq!(a, tuned.image_bytes());
     }
 
     #[test]

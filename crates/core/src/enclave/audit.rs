@@ -1,0 +1,525 @@
+//! Tamper-evident audit trail: sealed, hash-chained records of every
+//! authorization decision and mutation the enclave makes.
+//!
+//! # Record format and chain construction
+//!
+//! Each record is a small codec payload (logical time, request id,
+//! operation label, principal/object fingerprints, decision, error
+//! code) encrypted with AES-128-GCM ([`seg_crypto::pae`]) under an
+//! HKDF-derived audit key ([`super::keys::KeyHierarchy::audit_key`]).
+//! The record's **AAD binds its position in history**: a domain tag,
+//! the record's monotonic sequence number, and the SHA-256 chain hash
+//! of the *previous* record. The chain hash itself evolves as
+//!
+//! ```text
+//! H_0       = SHA-256("segshare-audit-genesis")
+//! H_{n+1}   = SHA-256(H_n || le64(n) || ciphertext_n)
+//! ```
+//!
+//! so every ciphertext is pinned to an exact predecessor. A separate
+//! sealed *head* record stores `(count, H_count, counter-anchor)` and
+//! is rewritten on every append. With whole-file-system rollback
+//! protection enabled, each append also increments a dedicated TEE
+//! monotonic counter and anchors its value in the head, closing the
+//! remaining gap (replaying an old-but-valid head plus chain prefix
+//! against a freshly started enclave).
+//!
+//! All blobs live in the untrusted content store under `!audit-*`
+//! names (like the sealed keys, they are self-protecting, so the
+//! names are not hidden). What the untrusted host can do — and what
+//! [`AuditLog::verify`] detects — maps exactly to the tamper classes:
+//!
+//! * **truncate**: a record named below `count` is gone;
+//! * **reorder / substitute**: AAD binds seq + predecessor hash, so a
+//!   record decrypts only in its original position;
+//! * **bit-flip**: AES-GCM authentication fails;
+//! * **head rewrite / stale head**: the head is sealed, cross-checked
+//!   against the live in-memory chain, and (optionally) against the
+//!   monotonic counter.
+//!
+//! # Declassification
+//!
+//! [`AuditLog::export`] is the audit trail's declassification point:
+//! records decrypt only inside the enclave, and what leaves carries
+//! stable keyed *fingerprints* of principals and objects (see
+//! [`super::keys::KeyHierarchy::fingerprint`]) — never raw user ids,
+//! paths, or key bytes.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use seg_crypto::pae::{pae_dec, pae_enc, PaeKey};
+use seg_crypto::rng::SystemRng;
+use seg_crypto::sha256::Sha256;
+use seg_fs::codec::{Decoder, Encoder};
+use seg_obs::TraceDecision;
+use seg_sgx::Enclave;
+use seg_store::ObjectStore;
+
+use crate::error::SegShareError;
+
+/// Monotonic-counter id anchoring the audit head (content/group/dedup
+/// stores use 1–3).
+const AUDIT_COUNTER_ID: u64 = 4;
+
+/// Untrusted-store name of the sealed chain head.
+const HEAD_NAME: &str = "!audit-head";
+
+/// AAD domain tag for records (completed with seq + previous hash).
+const RECORD_AAD_TAG: &[u8] = b"segshare-audit-v1";
+
+/// AAD for the head record.
+const HEAD_AAD: &[u8] = b"segshare-audit-head-v1";
+
+fn record_name(seq: u64) -> String {
+    format!("!audit-rec-{seq:016x}")
+}
+
+fn genesis() -> [u8; 32] {
+    Sha256::digest(b"segshare-audit-genesis")
+}
+
+fn chain_hash(prev: &[u8; 32], seq: u64, ciphertext: &[u8]) -> [u8; 32] {
+    let mut buf = Vec::with_capacity(32 + 8 + ciphertext.len());
+    buf.extend_from_slice(prev);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(ciphertext);
+    Sha256::digest(&buf)
+}
+
+fn record_aad(seq: u64, prev: &[u8; 32]) -> Vec<u8> {
+    let mut aad = RECORD_AAD_TAG.to_vec();
+    aad.extend_from_slice(&seq.to_le_bytes());
+    aad.extend_from_slice(prev);
+    aad
+}
+
+/// One decrypted audit record, as returned by [`AuditLog::export`].
+///
+/// `principal` and `object` are keyed fingerprints, not identities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Position in the chain.
+    pub seq: u64,
+    /// Enclave logical clock at append time.
+    pub time: u64,
+    /// Request correlation id (matches the trace ring).
+    pub request_id: u64,
+    /// Operation label (`put_file`, `add_user`, ...).
+    pub op: String,
+    /// Keyed principal fingerprint (0 = none).
+    pub principal: u64,
+    /// Keyed object name-hash (0 = none).
+    pub object: u64,
+    /// Outcome class.
+    pub decision: TraceDecision,
+    /// Error-code label (`ok` on success).
+    pub code: String,
+}
+
+/// Borrowed event handed to [`AuditLog::append`] by the dispatcher.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditEvent {
+    /// Enclave logical clock.
+    pub time: u64,
+    /// Request correlation id.
+    pub request_id: u64,
+    /// Operation label.
+    pub op: &'static str,
+    /// Keyed principal fingerprint.
+    pub principal: u64,
+    /// Keyed object name-hash.
+    pub object: u64,
+    /// Outcome class.
+    pub decision: TraceDecision,
+    /// Error-code label (`ok` on success).
+    pub code: &'static str,
+}
+
+fn encode_record(ev: &AuditEvent) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.tag(b"AUD1");
+    e.u64(ev.time);
+    e.u64(ev.request_id);
+    e.str(ev.op);
+    e.u64(ev.principal);
+    e.u64(ev.object);
+    e.u32(match ev.decision {
+        TraceDecision::Allow => 0,
+        TraceDecision::Deny => 1,
+        TraceDecision::Error => 2,
+        TraceDecision::Event => 3,
+    });
+    e.str(ev.code);
+    e.finish()
+}
+
+fn decode_record(seq: u64, data: &[u8]) -> Result<AuditRecord, SegShareError> {
+    let mut d = Decoder::new(data);
+    d.tag(b"AUD1")?;
+    let time = d.u64()?;
+    let request_id = d.u64()?;
+    let op = d.str()?.to_string();
+    let principal = d.u64()?;
+    let object = d.u64()?;
+    let decision = match d.u32()? {
+        0 => TraceDecision::Allow,
+        1 => TraceDecision::Deny,
+        2 => TraceDecision::Error,
+        _ => TraceDecision::Event,
+    };
+    let code = d.str()?.to_string();
+    d.finish()?;
+    Ok(AuditRecord {
+        seq,
+        time,
+        request_id,
+        op,
+        principal,
+        object,
+        decision,
+        code,
+    })
+}
+
+fn encode_head(count: u64, head: &[u8; 32], anchor: u64) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.tag(b"AUH1");
+    e.u64(count);
+    e.raw(head);
+    e.u64(anchor);
+    e.finish()
+}
+
+fn decode_head(data: &[u8]) -> Result<(u64, [u8; 32], u64), SegShareError> {
+    let mut d = Decoder::new(data);
+    d.tag(b"AUH1")?;
+    let count = d.u64()?;
+    let head: [u8; 32] = d.raw(32)?.try_into().expect("fixed length");
+    let anchor = d.u64()?;
+    d.finish()?;
+    Ok((count, head, anchor))
+}
+
+/// Live chain state: how many records exist and the hash they chain to.
+#[derive(Debug, Clone, Copy)]
+struct ChainState {
+    count: u64,
+    head: [u8; 32],
+}
+
+/// The enclave-resident audit log. `append` is serialized by an
+/// internal mutex; `verify`/`export` walk the persisted chain.
+pub struct AuditLog {
+    key: PaeKey,
+    store: Arc<dyn ObjectStore>,
+    sgx: Arc<Enclave>,
+    use_counter: bool,
+    state: Mutex<ChainState>,
+    records_total: seg_obs::Counter,
+    bytes_total: seg_obs::Counter,
+    append_ns: Arc<seg_obs::Histogram>,
+}
+
+impl std::fmt::Debug for AuditLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("AuditLog")
+            .field("count", &st.count)
+            .field("use_counter", &self.use_counter)
+            .finish()
+    }
+}
+
+impl AuditLog {
+    /// Opens (or initializes) the audit log: a fresh store starts the
+    /// chain at genesis; on restart the sealed head restores the chain
+    /// position so the enclave keeps extending the same history.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a persisted head exists but does not authenticate —
+    /// a tampered head is detected at launch, not silently rebuilt.
+    pub(crate) fn load(
+        key: PaeKey,
+        store: Arc<dyn ObjectStore>,
+        sgx: Arc<Enclave>,
+        use_counter: bool,
+        obs: &seg_obs::Registry,
+    ) -> Result<AuditLog, SegShareError> {
+        let state = match sgx.boundary().ocall(|| store.get(HEAD_NAME))? {
+            None => ChainState {
+                count: 0,
+                head: genesis(),
+            },
+            Some(blob) => {
+                let body = pae_dec(&key, &blob, HEAD_AAD)
+                    .map_err(|_| tamper("audit head failed authentication"))?;
+                let (count, head, _anchor) = decode_head(&body)?;
+                ChainState { count, head }
+            }
+        };
+        Ok(AuditLog {
+            key,
+            store,
+            sgx,
+            use_counter,
+            state: Mutex::new(state),
+            records_total: obs.counter("seg_audit_records_total"),
+            bytes_total: obs.counter("seg_audit_bytes_total"),
+            append_ns: obs.histogram("seg_audit_append_ns"),
+        })
+    }
+
+    /// Number of records in the live chain.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.state.lock().count
+    }
+
+    /// Whether the chain is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one sealed record and advances the sealed head.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and counter failures; on error the in-memory
+    /// chain state is left unchanged, so a retry re-seals the same
+    /// position.
+    pub(crate) fn append(&self, ev: &AuditEvent) -> Result<(), SegShareError> {
+        let start = Instant::now();
+        let mut st = self.state.lock();
+        let seq = st.count;
+        let blob = pae_enc(
+            &self.key,
+            &encode_record(ev),
+            &record_aad(seq, &st.head),
+            &mut SystemRng::new(),
+        );
+        let name = record_name(seq);
+        self.sgx.boundary().ocall(|| self.store.put(&name, &blob))?;
+        let new_head = chain_hash(&st.head, seq, &blob);
+        let anchor = if self.use_counter {
+            let ctr = self.sgx.counter(AUDIT_COUNTER_ID);
+            let value = ctr.increment()?;
+            // Real counter increments cost tens of milliseconds; charge
+            // them like the rollback root counter does.
+            self.sgx.boundary().charge(ctr.increment_latency_ns());
+            value
+        } else {
+            0
+        };
+        let head_blob = pae_enc(
+            &self.key,
+            &encode_head(seq + 1, &new_head, anchor),
+            HEAD_AAD,
+            &mut SystemRng::new(),
+        );
+        self.sgx
+            .boundary()
+            .ocall(|| self.store.put(HEAD_NAME, &head_blob))?;
+        st.count = seq + 1;
+        st.head = new_head;
+        drop(st);
+        self.records_total.inc();
+        self.bytes_total.add((blob.len() + head_blob.len()) as u64);
+        self.append_ns.record_duration(start.elapsed());
+        Ok(())
+    }
+
+    /// Walks the persisted chain and proves it intact, returning the
+    /// record count. Detects truncation, reordering, substitution,
+    /// bit-flips, head rewrites, divergence from the live in-memory
+    /// chain, and (with the counter anchor) whole-trail rollback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegShareError::Integrity`] naming the tamper class.
+    pub fn verify(&self) -> Result<u64, SegShareError> {
+        self.walk(false).map(|(count, _)| count)
+    }
+
+    /// Decrypts the full verified chain for declassification. Records
+    /// carry fingerprints only; raw identities were never stored.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`AuditLog::verify`] fails.
+    pub fn export(&self) -> Result<Vec<AuditRecord>, SegShareError> {
+        self.walk(true).map(|(_, records)| records)
+    }
+
+    fn walk(&self, collect: bool) -> Result<(u64, Vec<AuditRecord>), SegShareError> {
+        // Holding the state lock keeps appends out while we compare the
+        // persisted chain against the live one.
+        let st = self.state.lock();
+        let (count, head, anchor) = match self.sgx.boundary().ocall(|| self.store.get(HEAD_NAME))? {
+            Some(blob) => {
+                let body = pae_dec(&self.key, &blob, HEAD_AAD)
+                    .map_err(|_| tamper("audit head failed authentication"))?;
+                decode_head(&body)?
+            }
+            None if st.count == 0 => (0, genesis(), 0),
+            None => return Err(tamper("audit head missing (truncation)")),
+        };
+        if count != st.count || head != st.head {
+            return Err(tamper(
+                "persisted audit head diverges from live chain (rollback or stale head)",
+            ));
+        }
+        let mut prev = genesis();
+        let mut records = Vec::new();
+        for seq in 0..count {
+            let name = record_name(seq);
+            let blob = self
+                .sgx
+                .boundary()
+                .ocall(|| self.store.get(&name))?
+                .ok_or_else(|| tamper(&format!("audit record {seq} missing (truncation)")))?;
+            let body = pae_dec(&self.key, &blob, &record_aad(seq, &prev)).map_err(|_| {
+                tamper(&format!(
+                    "audit record {seq} failed authentication (bit-flip, reorder, or substitution)"
+                ))
+            })?;
+            if collect {
+                records.push(decode_record(seq, &body)?);
+            }
+            prev = chain_hash(&prev, seq, &blob);
+        }
+        if prev != head {
+            return Err(tamper("audit chain head mismatch"));
+        }
+        let next = record_name(count);
+        if self.sgx.boundary().ocall(|| self.store.exists(&next))? {
+            return Err(tamper(
+                "audit record beyond sealed head (forged append or rolled-back head)",
+            ));
+        }
+        if self.use_counter {
+            let hw = self.sgx.counter(AUDIT_COUNTER_ID).read();
+            if hw != anchor {
+                return Err(tamper(
+                    "audit counter anchor mismatch (whole-trail rollback)",
+                ));
+            }
+        }
+        Ok((count, records))
+    }
+}
+
+fn tamper(what: &str) -> SegShareError {
+    SegShareError::Integrity(format!("audit: {what}"))
+}
+
+/// JSON array rendering of exported audit records. Labels are
+/// compiled-in operation/code names; principals and objects are hex
+/// fingerprints — nothing here needs escaping.
+#[must_use]
+pub fn records_json(records: &[AuditRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"seq\": {}, \"time\": {}, \"request_id\": {}, \"op\": \"{}\", \
+             \"principal\": \"{:016x}\", \"object\": \"{:016x}\", \"decision\": \"{}\", \
+             \"code\": \"{}\"}}",
+            r.seq,
+            r.time,
+            r.request_id,
+            r.op,
+            r.principal,
+            r.object,
+            r.decision.label(),
+            r.code
+        ));
+    }
+    if !records.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seg_sgx::{EnclaveImage, Platform};
+    use seg_store::MemStore;
+
+    fn audit_log(store: Arc<MemStore>, use_counter: bool) -> AuditLog {
+        let platform = Platform::new_with_seed(7);
+        let sgx = Arc::new(platform.launch(&EnclaveImage::from_code(b"audit-test")));
+        AuditLog::load(
+            PaeKey::from_bytes(&[9u8; 16]),
+            store as Arc<dyn ObjectStore>,
+            sgx,
+            use_counter,
+            &seg_obs::Registry::new(),
+        )
+        .expect("load")
+    }
+
+    fn event(i: u64) -> AuditEvent {
+        AuditEvent {
+            time: 1_000 + i,
+            request_id: i,
+            op: "put_file",
+            principal: 0xaa00 + i,
+            object: 0xbb00 + i,
+            decision: TraceDecision::Allow,
+            code: "ok",
+        }
+    }
+
+    #[test]
+    fn append_verify_export_roundtrip() {
+        let store = Arc::new(MemStore::new());
+        let log = audit_log(Arc::clone(&store), false);
+        assert_eq!(log.verify().unwrap(), 0);
+        for i in 0..5 {
+            log.append(&event(i)).unwrap();
+        }
+        assert_eq!(log.verify().unwrap(), 5);
+        let records = log.export().unwrap();
+        assert_eq!(records.len(), 5);
+        assert_eq!(records[3].request_id, 3);
+        assert_eq!(records[3].op, "put_file");
+        assert_eq!(records[3].decision, TraceDecision::Allow);
+        let json = records_json(&records);
+        assert!(json.contains("\"op\": \"put_file\""), "{json}");
+        assert_eq!(records_json(&[]), "[]\n");
+    }
+
+    #[test]
+    fn restart_resumes_the_same_chain() {
+        let store = Arc::new(MemStore::new());
+        let log = audit_log(Arc::clone(&store), false);
+        log.append(&event(0)).unwrap();
+        log.append(&event(1)).unwrap();
+        drop(log);
+        let log = audit_log(Arc::clone(&store), false);
+        assert_eq!(log.len(), 2);
+        log.append(&event(2)).unwrap();
+        assert_eq!(log.verify().unwrap(), 3);
+    }
+
+    #[test]
+    fn record_codec_rejects_truncation() {
+        let ev = event(1);
+        let encoded = encode_record(&ev);
+        let decoded = decode_record(1, &encoded).unwrap();
+        assert_eq!(decoded.op, "put_file");
+        assert_eq!(decoded.code, "ok");
+        for cut in 0..encoded.len() {
+            assert!(decode_record(1, &encoded[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -110,6 +110,28 @@ impl KeyHierarchy {
         }
     }
 
+    /// The PAE key sealing audit-trail records. Derived from `SK_r`
+    /// with its own label so replicas sharing the root key can verify
+    /// and extend the same chain, and so compromise of a file key
+    /// never exposes history.
+    #[must_use]
+    pub fn audit_key(&self) -> PaeKey {
+        PaeKey::from_bytes(&hkdf::derive_key_128(&self.root, "audit", b""))
+    }
+
+    /// A stable, keyed, non-invertible 64-bit fingerprint of an
+    /// identity or object name, domain-separated by `domain` (e.g.
+    /// `"user"` vs `"object"` so a user named like a path never
+    /// collides). Fingerprints are what trace events and audit exports
+    /// carry instead of raw ids: equal inputs correlate, but the cloud
+    /// cannot reverse them without the enclave-resident key.
+    #[must_use]
+    pub fn fingerprint(&self, domain: &str, data: &[u8]) -> u64 {
+        let key = hkdf::derive_key_256(&self.root, "fingerprint", domain.as_bytes());
+        let mac = hmac_sha256(&key, data);
+        u64::from_le_bytes(mac[..8].try_into().expect("8 bytes"))
+    }
+
     /// The HMAC key for deduplication names (§V-A: "calculate an HMAC
     /// over the file's content using the root key SK_r").
     #[must_use]
@@ -182,5 +204,28 @@ mod tests {
     fn dedup_keys_depend_on_name() {
         let k = kh();
         assert_ne!(k.dedup_blob_key("aa"), k.dedup_blob_key("bb"));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_keyed_and_domain_separated() {
+        let k = kh();
+        assert_eq!(
+            k.fingerprint("user", b"alice"),
+            k.fingerprint("user", b"alice")
+        );
+        assert_ne!(
+            k.fingerprint("user", b"alice"),
+            k.fingerprint("user", b"bob")
+        );
+        // Same bytes, different domain: no cross-domain correlation.
+        assert_ne!(
+            k.fingerprint("user", b"alice"),
+            k.fingerprint("object", b"alice")
+        );
+        // Different root key: the cloud can't precompute fingerprints.
+        assert_ne!(
+            k.fingerprint("user", b"alice"),
+            KeyHierarchy::new([1u8; 32]).fingerprint("user", b"alice")
+        );
     }
 }

@@ -8,6 +8,7 @@
 //! stores.
 
 pub mod access_control;
+pub mod audit;
 pub mod file_manager;
 pub mod keys;
 pub mod names;
@@ -22,7 +23,7 @@ use parking_lot::RwLock;
 use seg_crypto::ed25519::{PublicKey, SecretKey};
 use seg_crypto::rng::{SecureRandom, SystemRng};
 use seg_crypto::sha256::Sha256;
-use seg_obs::Registry;
+use seg_obs::{Registry, TraceEvent, TraceRing};
 use seg_pki::{Certificate, Csr, Identity};
 use seg_sgx::{Enclave, EnclaveImage, Platform, Quote};
 use seg_store::{CountingStore, ObjectStore};
@@ -31,6 +32,7 @@ use crate::config::EnclaveConfig;
 use crate::error::SegShareError;
 
 use access_control::AccessControl;
+use audit::{AuditLog, AuditRecord};
 use file_manager::FileManager;
 use keys::KeyHierarchy;
 use session::EnclaveSession;
@@ -66,6 +68,9 @@ pub struct SegShareEnclave {
     fs_lock: RwLock<()>,
     clock: AtomicU64,
     obs: Arc<Registry>,
+    audit: Option<Arc<AuditLog>>,
+    /// Next request correlation id (shared by every session thread).
+    request_ids: AtomicU64,
     /// The counting wrappers around the untrusted stores, kept for
     /// per-store attribution in [`SegShareEnclave::metrics_snapshot`].
     counted_stores: Vec<(&'static str, CountedStore)>,
@@ -157,6 +162,13 @@ impl SegShareEnclave {
         let sgx = Arc::new(platform.launch(&Self::image(&config, &ca_key)));
         let obs = Arc::new(Registry::new());
 
+        // Trace ring: fixed-capacity, lock-free, enclave-resident. It
+        // is attached to the registry so every span finished against
+        // the registry also lands one structured event here.
+        let ring = Arc::new(TraceRing::default());
+        ring.set_slow_threshold_us(config.slow_request_us);
+        obs.attach_trace(ring);
+
         // Every untrusted store is wrapped in a counting layer so the
         // telemetry snapshot can attribute I/O per store (including the
         // sealed-key traffic below).
@@ -210,6 +222,20 @@ impl SegShareEnclave {
         };
 
         let keys = KeyHierarchy::new(root_key);
+        // The audit trail persists through the (counted) content store
+        // like the sealed keys do; sealed blobs are self-protecting,
+        // so the `!audit-*` names are not hidden.
+        let audit = if config.audit {
+            Some(Arc::new(AuditLog::load(
+                keys.audit_key(),
+                Arc::clone(&content),
+                Arc::clone(&sgx),
+                config.rollback_whole_fs,
+                &obs,
+            )?))
+        } else {
+            None
+        };
         let store = Arc::new(TrustedStore::new(
             keys,
             config,
@@ -231,6 +257,8 @@ impl SegShareEnclave {
             fs_lock: RwLock::new(()),
             clock: AtomicU64::new(1_000),
             obs,
+            audit,
+            request_ids: AtomicU64::new(0),
             counted_stores: vec![
                 ("content", content_counted),
                 ("group", group_counted),
@@ -344,6 +372,100 @@ impl SegShareEnclave {
         &self.obs
     }
 
+    // ------------------------------------------------- tracing & audit
+
+    /// Allocates the next request correlation id (1-based; 0 means
+    /// "outside any request" throughout the trace machinery).
+    pub(crate) fn next_request_id(&self) -> u64 {
+        self.request_ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Keyed fingerprint of a user id for trace/audit events.
+    #[must_use]
+    pub fn fingerprint_user(&self, user: &seg_fs::UserId) -> u64 {
+        self.store
+            .keys()
+            .fingerprint("user", user.as_str().as_bytes())
+    }
+
+    /// Keyed fingerprint of an object name (path, group, ...) for
+    /// trace/audit events.
+    #[must_use]
+    pub fn fingerprint_name(&self, name: &str) -> u64 {
+        self.store.keys().fingerprint("object", name.as_bytes())
+    }
+
+    /// Copies out up to `n` of the newest trace events, oldest first —
+    /// the trace ring's declassification point. Events carry interned
+    /// operation/code labels and keyed fingerprints only.
+    #[must_use]
+    pub fn trace_tail(&self, n: usize) -> Vec<TraceEvent> {
+        self.obs.trace().map_or_else(Vec::new, |r| r.tail(n))
+    }
+
+    /// Copies out up to `n` of the newest slow-request events (latency
+    /// at or above `EnclaveConfig::slow_request_us`), oldest first.
+    #[must_use]
+    pub fn slow_requests(&self, n: usize) -> Vec<TraceEvent> {
+        self.obs.trace().map_or_else(Vec::new, |r| r.slow_tail(n))
+    }
+
+    /// The audit log, when `EnclaveConfig::audit` is enabled.
+    #[must_use]
+    pub fn audit(&self) -> Option<&Arc<AuditLog>> {
+        self.audit.as_ref()
+    }
+
+    /// Verifies the persisted audit chain end to end, returning the
+    /// record count (0 when auditing is disabled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegShareError::Integrity`] naming the detected tamper
+    /// class (truncation, reorder/substitution, bit-flip, head
+    /// rollback).
+    pub fn audit_verify(&self) -> Result<u64, SegShareError> {
+        self.audit.as_ref().map_or(Ok(0), |log| log.verify())
+    }
+
+    /// Decrypts and returns the verified audit chain. Records carry
+    /// stable keyed fingerprints instead of principal identities —
+    /// this is the audit trail's declassification point.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`SegShareEnclave::audit_verify`] fails.
+    pub fn audit_export(&self) -> Result<Vec<AuditRecord>, SegShareError> {
+        self.audit
+            .as_ref()
+            .map_or_else(|| Ok(Vec::new()), |log| log.export())
+    }
+
+    /// Appends one audit record for a dispatched request; a no-op when
+    /// auditing is disabled.
+    pub(crate) fn audit_request(
+        &self,
+        request_id: u64,
+        op: &'static str,
+        principal: u64,
+        object: u64,
+        decision: seg_obs::TraceDecision,
+        code: &'static str,
+    ) -> Result<(), SegShareError> {
+        let Some(log) = self.audit.as_ref() else {
+            return Ok(());
+        };
+        log.append(&audit::AuditEvent {
+            time: self.now(),
+            request_id,
+            op,
+            principal,
+            object,
+            decision,
+            code,
+        })
+    }
+
     /// Captures a telemetry snapshot after folding in the externally
     /// sourced totals: boundary crossings, EPC usage, and the per-store
     /// I/O counters.
@@ -367,6 +489,11 @@ impl SegShareEnclave {
         self.obs
             .gauge("seg_boundary_simulated_ns")
             .set(b.simulated_ns);
+
+        if let Some(ring) = self.obs.trace() {
+            sync("seg_trace_events_total", vec![], ring.emitted());
+            sync("seg_trace_dropped_total", vec![], ring.dropped());
+        }
 
         let epc = self.sgx.epc();
         self.obs.gauge("seg_epc_bytes").set(epc.current_bytes());

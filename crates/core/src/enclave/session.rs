@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 use seg_crypto::ed25519::{PublicKey, SecretKey};
 use seg_crypto::rng::SystemRng;
 use seg_fs::{Access, ChildKind, GroupId, Perm, SegPath, UserId};
+use seg_obs::TraceDecision;
 use seg_pki::Certificate;
 use seg_proto::{ErrorCode, Request, Response};
 use seg_tls::{ServerHandshake, TlsChannel};
@@ -240,11 +241,18 @@ impl EnclaveSession {
         request: Request,
     ) -> Result<Vec<Response>, SegShareError> {
         // The span label is the compiled-in operation name — never the
-        // request's operands (seg-obs trust-boundary rule).
-        let span = enclave.obs().start_op(request.op_name());
+        // request's operands (seg-obs trust-boundary rule); operands are
+        // carried only as keyed fingerprints.
+        let request_id = enclave.next_request_id();
+        let principal = enclave.fingerprint_user(user);
+        let object = request_object(&request).map_or(0, |name| enclave.fingerprint_name(name));
+        let span = enclave
+            .obs()
+            .start_op(request.op_name())
+            .with_ids(request_id, principal, object);
         // Data chunks are the streaming fast path.
         if let Request::Data { bytes } = request {
-            let result = self.handle_data(enclave, bytes);
+            let result = self.handle_data(enclave, request_id, principal, bytes);
             match &result {
                 Ok(_) => span.finish_ok(),
                 Err(err) => span.finish_err(error_code(err).name()),
@@ -260,6 +268,21 @@ impl EnclaveSession {
             ))]);
         }
         let result = self.dispatch(enclave, user, &request);
+        // Record the decision before the response leaves the enclave; an
+        // audit-append failure outranks the operation's own outcome so
+        // the trail never silently misses a decision (fail closed).
+        let (decision, code) = audit_outcome(&result);
+        let result = match enclave.audit_request(
+            request_id,
+            request.op_name(),
+            principal,
+            object,
+            decision,
+            code,
+        ) {
+            Ok(()) => result,
+            Err(audit_err) => Err(audit_err),
+        };
         match result {
             Ok(responses) => {
                 span.finish_ok();
@@ -284,6 +307,8 @@ impl EnclaveSession {
     fn handle_data(
         &mut self,
         enclave: &SegShareEnclave,
+        request_id: u64,
+        principal: u64,
         bytes: Vec<u8>,
     ) -> Result<Vec<Response>, SegShareError> {
         if self.discard > 0 {
@@ -302,9 +327,29 @@ impl EnclaveSession {
         }
         if enclave.files().upload_complete(upload) {
             let upload = self.upload.take().expect("upload checked above");
+            // The PutFile header was audited when it was authorized; the
+            // commit is the actual mutation, so it gets its own record
+            // bound to the same upload target.
+            let object = enclave.fingerprint_name(upload.path().as_str());
             let _guard = enclave.fs_lock().write();
-            match enclave.files().commit_upload(upload) {
+            let result = match enclave.files().commit_upload(upload) {
                 Ok(()) => Ok(vec![Response::Ok]),
+                Err(err) => Err(err),
+            };
+            let (decision, code) = audit_outcome(&result);
+            let result = match enclave.audit_request(
+                request_id,
+                "put_commit",
+                principal,
+                object,
+                decision,
+                code,
+            ) {
+                Ok(()) => result,
+                Err(audit_err) => Err(audit_err),
+            };
+            match result {
+                Ok(responses) => Ok(responses),
                 Err(err) if !is_fatal(&err) => Ok(vec![error_response(err)]),
                 Err(err) => Err(err),
             }
@@ -750,6 +795,44 @@ fn check_sibling_collision(enclave: &SegShareEnclave, path: &SegPath) -> Result<
         }
     }
     Ok(())
+}
+
+/// The request operand that identifies what the request acts on — the
+/// value fingerprinted into trace and audit events (never carried raw).
+fn request_object(request: &Request) -> Option<&str> {
+    match request {
+        Request::MkDir { path }
+        | Request::PutFile { path, .. }
+        | Request::Get { path }
+        | Request::Remove { path }
+        | Request::SetPerm { path, .. }
+        | Request::SetInherit { path, .. }
+        | Request::AddOwner { path, .. }
+        | Request::RemoveOwner { path, .. } => Some(path),
+        Request::Move { from, .. } => Some(from),
+        Request::AddUser { group, .. }
+        | Request::RemoveUser { group, .. }
+        | Request::AddGroupOwner { group, .. }
+        | Request::DeleteGroup { group }
+        | Request::RemoveGroupOwner { group, .. } => Some(group),
+        _ => None,
+    }
+}
+
+/// Maps a dispatch outcome onto the audit decision taxonomy: granted,
+/// explicitly denied, or failed for another reason.
+fn audit_outcome(result: &Result<Vec<Response>, SegShareError>) -> (TraceDecision, &'static str) {
+    match result {
+        Ok(_) => (TraceDecision::Allow, "ok"),
+        Err(err) => {
+            let code = error_code(err);
+            if matches!(code, ErrorCode::Denied) {
+                (TraceDecision::Deny, code.name())
+            } else {
+                (TraceDecision::Error, code.name())
+            }
+        }
+    }
 }
 
 /// The wire error code an error maps to (also its telemetry label).

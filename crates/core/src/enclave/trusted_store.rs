@@ -180,6 +180,7 @@ pub struct TrustedStore {
     content: Arc<dyn ObjectStore>,
     group: Arc<dyn ObjectStore>,
     dedup: Arc<dyn ObjectStore>,
+    obs: Arc<seg_obs::Registry>,
     // Cached telemetry handles (hot path: one atomic add per record).
     pfs_encrypt_ns: Arc<seg_obs::Histogram>,
     pfs_decrypt_ns: Arc<seg_obs::Histogram>,
@@ -217,6 +218,7 @@ impl TrustedStore {
             pfs_decrypt_ns: obs.histogram("seg_pfs_decrypt_ns"),
             tree_update_ns: obs.histogram("seg_rollback_tree_update_ns"),
             tree_verify_ns: obs.histogram("seg_rollback_tree_verify_ns"),
+            obs,
         }
     }
 
@@ -224,6 +226,32 @@ impl TrustedStore {
     #[must_use]
     pub fn keys(&self) -> &KeyHierarchy {
         &self.keys
+    }
+
+    /// The telemetry registry this layer reports into.
+    pub(crate) fn obs(&self) -> &Arc<seg_obs::Registry> {
+        &self.obs
+    }
+
+    /// Emits one store-I/O event into the trace ring (if attached),
+    /// correlated to the dispatching request via the thread-local
+    /// request id. Objects appear as keyed fingerprints only.
+    fn trace_store(&self, op: &'static str, id: &ObjectId, ok: bool, start: std::time::Instant) {
+        if let Some(ring) = self.obs.trace() {
+            ring.emit(
+                seg_obs::current_request_id(),
+                op,
+                0,
+                self.keys.fingerprint("object", id.canonical().as_bytes()),
+                if ok {
+                    seg_obs::TraceDecision::Event
+                } else {
+                    seg_obs::TraceDecision::Error
+                },
+                if ok { "ok" } else { "err" },
+                start.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            );
+        }
     }
 
     /// The enclave configuration.
@@ -589,6 +617,13 @@ impl TrustedStore {
     ///
     /// Propagates storage, crypto, and tree failures.
     pub fn commit_blob(&self, id: &ObjectId, blob: &[u8]) -> Result<(), SegShareError> {
+        let start = std::time::Instant::now();
+        let result = self.commit_blob_inner(id, blob);
+        self.trace_store("store_write", id, result.is_ok(), start);
+        result
+    }
+
+    fn commit_blob_inner(&self, id: &ObjectId, blob: &[u8]) -> Result<(), SegShareError> {
         if !self.tree_enabled_for(id) {
             return self.raw_put(id, blob);
         }
@@ -626,6 +661,13 @@ impl TrustedStore {
     ///
     /// Returns [`SegShareError::Integrity`] on any tamper or rollback.
     pub fn read(&self, id: &ObjectId) -> Result<Option<Vec<u8>>, SegShareError> {
+        let start = std::time::Instant::now();
+        let result = self.read_inner(id);
+        self.trace_store("store_read", id, result.is_ok(), start);
+        result
+    }
+
+    fn read_inner(&self, id: &ObjectId) -> Result<Option<Vec<u8>>, SegShareError> {
         let Some(blob) = self.raw_get(id)? else {
             return Ok(None);
         };
@@ -648,6 +690,13 @@ impl TrustedStore {
     ///
     /// Returns [`SegShareError::Integrity`] on any tamper or rollback.
     pub fn open_stream(&self, id: &ObjectId) -> Result<Option<PfsFile>, SegShareError> {
+        let start = std::time::Instant::now();
+        let result = self.open_stream_inner(id);
+        self.trace_store("store_read", id, result.is_ok(), start);
+        result
+    }
+
+    fn open_stream_inner(&self, id: &ObjectId) -> Result<Option<PfsFile>, SegShareError> {
         let Some(blob) = self.raw_get(id)? else {
             return Ok(None);
         };
@@ -666,6 +715,13 @@ impl TrustedStore {
     ///
     /// Propagates storage and tree failures.
     pub fn delete(&self, id: &ObjectId) -> Result<bool, SegShareError> {
+        let start = std::time::Instant::now();
+        let result = self.delete_inner(id);
+        self.trace_store("store_delete", id, result.is_ok(), start);
+        result
+    }
+
+    fn delete_inner(&self, id: &ObjectId) -> Result<bool, SegShareError> {
         let existed = self.raw_delete(id)?;
         if self.tree_enabled_for(id) {
             if let Some(rec) = self.read_hash_record(id)? {

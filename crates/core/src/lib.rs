@@ -84,5 +84,6 @@ pub mod untrusted;
 
 pub use client::Client;
 pub use config::EnclaveConfig;
+pub use enclave::audit::{AuditLog, AuditRecord};
 pub use error::SegShareError;
 pub use server::{EnrolledUser, FsoSetup, SegShareServer};

@@ -260,6 +260,46 @@ impl SegShareServer {
         self.enclave.metrics_snapshot()
     }
 
+    /// Copies out up to `n` of the newest structured trace events,
+    /// oldest first — the trace ring's declassification point. Events
+    /// carry compiled-in operation/code labels and keyed fingerprints;
+    /// paths and user ids never appear (see
+    /// [`SegShareEnclave::trace_tail`]).
+    #[must_use]
+    pub fn trace_tail(&self, n: usize) -> Vec<seg_obs::TraceEvent> {
+        self.enclave.trace_tail(n)
+    }
+
+    /// Copies out up to `n` of the newest slow-request events (latency
+    /// at or above `EnclaveConfig::slow_request_us`), oldest first.
+    #[must_use]
+    pub fn slow_requests(&self, n: usize) -> Vec<seg_obs::TraceEvent> {
+        self.enclave.slow_requests(n)
+    }
+
+    /// Verifies the tamper-evident audit chain end to end, returning
+    /// the record count (0 when auditing is disabled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegShareError::Integrity`] naming the detected tamper
+    /// class (truncation, reorder/substitution, bit-flip, head
+    /// rollback).
+    pub fn audit_verify(&self) -> Result<u64, SegShareError> {
+        self.enclave.audit_verify()
+    }
+
+    /// Decrypts and returns the verified audit chain — the audit
+    /// trail's declassification point. Records carry stable keyed
+    /// fingerprints instead of principal identities.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`SegShareServer::audit_verify`] fails.
+    pub fn audit_export(&self) -> Result<Vec<crate::enclave::audit::AuditRecord>, SegShareError> {
+        self.enclave.audit_export()
+    }
+
     /// Serves one connection to completion (run this per accepted
     /// transport, typically on its own thread).
     ///

@@ -30,12 +30,16 @@
 //! `seg_store_bytes_read_total{store="content"}`.
 
 mod hist;
+pub mod trace;
 
 pub use hist::{Histogram, HistogramSummary};
+pub use trace::{
+    current_request_id, events_json, set_current_request, TraceDecision, TraceEvent, TraceRing,
+};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// A metric's identity: compiled-in name plus compiled-in label pairs.
@@ -158,6 +162,7 @@ struct Inner {
 #[derive(Debug, Default)]
 pub struct Registry {
     inner: Mutex<Inner>,
+    trace: OnceLock<Arc<TraceRing>>,
 }
 
 impl Registry {
@@ -214,14 +219,30 @@ impl Registry {
         Arc::clone(inner.histograms.entry(id).or_default())
     }
 
+    /// Attaches a trace ring; spans finished against this registry
+    /// will additionally emit [`TraceEvent`]s into it. A ring can be
+    /// attached at most once (later calls return the first ring).
+    pub fn attach_trace(&self, ring: Arc<TraceRing>) -> &Arc<TraceRing> {
+        self.trace.get_or_init(|| ring)
+    }
+
+    /// The attached trace ring, if any.
+    pub fn trace(&self) -> Option<&Arc<TraceRing>> {
+        self.trace.get()
+    }
+
     /// Starts a request-scoped span for operation `op`; finishing it
     /// records latency and outcome under `seg_requests_total`,
-    /// `seg_request_errors_total`, and `seg_request_latency_ns`.
+    /// `seg_request_errors_total`, and `seg_request_latency_ns`, and
+    /// emits one event into the attached trace ring (if any).
     pub fn start_op(&self, op: &'static str) -> ObsContext<'_> {
         ObsContext {
             registry: self,
             op,
             start: Instant::now(),
+            request_id: 0,
+            principal: 0,
+            object: 0,
         }
     }
 
@@ -275,12 +296,29 @@ pub struct ObsContext<'r> {
     registry: &'r Registry,
     op: &'static str,
     start: Instant,
+    request_id: u64,
+    principal: u64,
+    object: u64,
 }
 
 impl ObsContext<'_> {
     /// The operation label this span carries.
     pub fn op(&self) -> &'static str {
         self.op
+    }
+
+    /// Attaches trace correlation ids to the span: a request id plus
+    /// keyed principal/object fingerprints (0 for "none"). Also marks
+    /// the request id as current on this thread (see
+    /// [`set_current_request`]) so nested-layer events correlate.
+    pub fn with_ids(mut self, request_id: u64, principal: u64, object: u64) -> Self {
+        self.request_id = request_id;
+        self.principal = principal;
+        self.object = object;
+        if request_id != 0 {
+            set_current_request(request_id);
+        }
+        self
     }
 
     /// Records a successful completion.
@@ -306,6 +344,25 @@ impl ObsContext<'_> {
                 vec![("op", self.op), ("code", code)],
             )
             .inc();
+        }
+        if let Some(ring) = r.trace() {
+            let decision = match code {
+                None => TraceDecision::Allow,
+                Some("denied") => TraceDecision::Deny,
+                Some(_) => TraceDecision::Error,
+            };
+            ring.emit(
+                self.request_id,
+                self.op,
+                self.principal,
+                self.object,
+                decision,
+                code.unwrap_or("ok"),
+                elapsed.as_micros().min(u64::MAX as u128) as u64,
+            );
+        }
+        if self.request_id != 0 {
+            set_current_request(0);
         }
     }
 }
@@ -383,26 +440,29 @@ impl Snapshot {
 
     /// Prometheus exposition text. Histograms are emitted in summary
     /// form (`quantile` labels plus `_sum`/`_count` series).
+    ///
+    /// Entries are sorted by metric id, so all series of one metric
+    /// are adjacent and each `# TYPE` header is emitted exactly once
+    /// per metric name (the exposition format forbids repeats).
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut last_type_line: Option<&'static str> = None;
+        let mut type_line = |out: &mut String, name: &'static str, kind: &str| {
+            if last_type_line != Some(name) {
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+                last_type_line = Some(name);
+            }
+        };
         for (id, v) in &self.counters {
-            out.push_str(&format!(
-                "# TYPE {} counter\n{} {}\n",
-                id.name(),
-                id.render(),
-                v
-            ));
+            type_line(&mut out, id.name(), "counter");
+            out.push_str(&format!("{} {}\n", id.render(), v));
         }
         for (id, v) in &self.gauges {
-            out.push_str(&format!(
-                "# TYPE {} gauge\n{} {}\n",
-                id.name(),
-                id.render(),
-                v
-            ));
+            type_line(&mut out, id.name(), "gauge");
+            out.push_str(&format!("{} {}\n", id.render(), v));
         }
         for (id, s) in &self.histograms {
-            out.push_str(&format!("# TYPE {} summary\n", id.name()));
+            type_line(&mut out, id.name(), "summary");
             for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
                 let mut labels = vec![format!("quantile=\"{q}\"")];
                 labels.extend(id.labels().iter().map(|(k, v)| format!("{k}=\"{v}\"")));
@@ -621,6 +681,75 @@ mod tests {
         assert!(text.contains("quantile=\"0.99\""));
         assert!(text.contains("seg_request_latency_ns_count{op=\"get\"} 1"));
         assert!(text.contains("seg_request_latency_ns_sum{op=\"get\"} "));
+    }
+
+    #[test]
+    fn empty_registry_encodes_cleanly() {
+        let snap = Registry::new().snapshot();
+        let json = snap.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"counters\": {}"), "{json}");
+        assert!(json.contains("\"gauges\": {}"), "{json}");
+        assert!(json.contains("\"histograms\": {}"), "{json}");
+        assert_eq!(snap.to_prometheus(), "");
+    }
+
+    #[test]
+    fn zero_count_histogram_encodes_all_zero_summary() {
+        let r = Registry::new();
+        let _ = r.histogram_with("seg_request_latency_ns", vec![("op", "get")]);
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        assert!(
+            json.contains("\"seg_request_latency_ns{op=\\\"get\\\"}\": {\"count\": 0, \"sum_ns\": 0, \"min_ns\": 0"),
+            "{json}"
+        );
+        let text = snap.to_prometheus();
+        assert!(text.contains("seg_request_latency_ns_count{op=\"get\"} 0"));
+        assert!(text.contains("seg_request_latency_ns_sum{op=\"get\"} 0"));
+        // min must render as 0, not the u64::MAX sentinel.
+        assert!(!text.contains("18446744073709551615"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_type_header_appears_once_per_metric_name() {
+        let r = Registry::new();
+        r.counter_with("seg_requests_total", vec![("op", "get")])
+            .inc();
+        r.counter_with("seg_requests_total", vec![("op", "put_file")])
+            .inc();
+        r.histogram_with("seg_request_latency_ns", vec![("op", "get")])
+            .record(10);
+        r.histogram_with("seg_request_latency_ns", vec![("op", "put_file")])
+            .record(10);
+        let text = r.snapshot().to_prometheus();
+        assert_eq!(
+            text.matches("# TYPE seg_requests_total counter").count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE seg_request_latency_ns summary")
+                .count(),
+            1,
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_label_quotes_and_allows_dotted_values() {
+        let r = Registry::new();
+        r.counter_with("seg_host_info", vec![("host", "node.a_1")])
+            .inc();
+        let json = r.snapshot().to_json();
+        assert!(
+            json.contains("\"seg_host_info{host=\\\"node.a_1\\\"}\": 1"),
+            "{json}"
+        );
+        // Every quote inside a JSON key is escaped: strip the \" pairs
+        // and the remaining quotes must be structural (even count).
+        let stripped = json.replace("\\\"", "");
+        assert_eq!(stripped.matches('"').count() % 2, 0, "{json}");
     }
 
     #[test]

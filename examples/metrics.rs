@@ -1,11 +1,13 @@
 //! Telemetry tour: drive an upload → share → download → revoke flow
-//! and print the server's unified metrics snapshot.
+//! and print the server's unified metrics snapshot, the structured
+//! request trace, and the verified audit trail.
 //!
-//! The snapshot is the enclave's *declassification point*: per-operation
+//! Every export here crosses a *declassification point*: per-operation
 //! request counts and latency quantiles, enclave-boundary crossings, EPC
 //! usage, and per-store I/O totals — and nothing request-derived (no
 //! paths, no user ids; the `seg-obs` label charset makes them
-//! unrepresentable).
+//! unrepresentable, and trace/audit events carry keyed fingerprints
+//! instead of identities).
 //!
 //! Run with: `cargo run --release --example metrics`
 
@@ -77,5 +79,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", snap.to_json());
     println!("--- full snapshot (Prometheus) ---");
     print!("{}", snap.to_prometheus());
+
+    // ------------------------------------------------ trace and audit
+    // Principals and objects appear as keyed fingerprints: stable across
+    // events (bob's denied read carries the same ids as his earlier
+    // allowed one) but not invertible outside the enclave.
+    println!("--- request trace (newest 32, JSON) ---");
+    print!("{}", seg_obs::events_json(&server.trace_tail(32)));
+    println!("--- slow requests ---");
+    print!("{}", seg_obs::events_json(&server.slow_requests(16)));
+
+    let verified = server.audit_verify()?;
+    println!("--- audit trail ({verified} records, chain verified) ---");
+    print!(
+        "{}",
+        segshare::enclave::audit::records_json(&server.audit_export()?)
+    );
     Ok(())
 }

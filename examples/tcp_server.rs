@@ -6,7 +6,9 @@
 //! Run with: `cargo run --release --example tcp_server`
 //!
 //! Pass `--metrics` to print the server's telemetry snapshot
-//! (Prometheus exposition text) after the demo traffic completes.
+//! (Prometheus exposition text) after the demo traffic completes, and
+//! `--trace` to print the structured request trace (JSON, newest
+//! events last) plus the audit-chain verification result.
 
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -16,6 +18,7 @@ use segshare::{Client, EnclaveConfig, FsoSetup};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let metrics = std::env::args().any(|a| a == "--metrics");
+    let trace = std::env::args().any(|a| a == "--trace");
     let setup = FsoSetup::new_in_memory("ca", EnclaveConfig::default());
     let server = Arc::new(setup.server()?);
     let alice = setup.enroll_user("alice", "a@x", "Alice")?;
@@ -61,6 +64,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if metrics {
         println!("\n--- metrics snapshot ---");
         print!("{}", server.metrics_snapshot().to_prometheus());
+    }
+    if trace {
+        // Everything printed here crossed a declassification point:
+        // interned operation labels and keyed fingerprints only.
+        println!("\n--- request trace (newest 64) ---");
+        print!("{}", seg_obs::events_json(&server.trace_tail(64)));
+        println!("--- slow requests ---");
+        print!("{}", seg_obs::events_json(&server.slow_requests(16)));
+        match server.audit_verify() {
+            Ok(n) => println!("audit chain verified: {n} records"),
+            Err(e) => println!("audit chain FAILED verification: {e}"),
+        }
     }
     Ok(())
 }

@@ -229,13 +229,20 @@ fn p3_revocation_rewrites_no_content_files() {
 #[test]
 fn p4_constant_ciphertexts_per_file() {
     // The number of stored objects for one file is constant in the
-    // number of groups granted access.
+    // number of groups granted access. Auditing is off here: the audit
+    // trail appends one sealed record per authorization decision by
+    // design, which is linear in *requests*, not in permissions per
+    // file — its overhead is measured separately (ablations bench).
+    let config = EnclaveConfig {
+        audit: false,
+        ..EnclaveConfig::default()
+    };
     let content = Arc::new(MemStore::new());
     let group: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
     let dedup: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
     let setup = FsoSetup::with_stores(
         "ca",
-        EnclaveConfig::default(),
+        config,
         seg_sgx::Platform::new_with_seed(8),
         Arc::clone(&content) as Arc<dyn ObjectStore>,
         group,

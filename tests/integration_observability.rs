@@ -196,6 +196,66 @@ fn encoded_snapshots_carry_no_request_content() {
 }
 
 #[test]
+fn trace_ring_correlates_requests_across_layers() {
+    let server = run_flow();
+    let events = server.trace_tail(usize::MAX);
+    assert!(!events.is_empty(), "the flow left trace events");
+
+    // Sequence numbers are strictly increasing (no torn or duplicated
+    // slots) and every dispatch-level event carries a request id.
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+    let dispatch_ops = [
+        "mk_dir",
+        "put_file",
+        "get",
+        "set_perm",
+        "add_user",
+        "remove_user",
+        "data",
+    ];
+    for e in &events {
+        if dispatch_ops.contains(&e.op) {
+            assert!(e.request_id > 0, "dispatch event without request id: {e:?}");
+            assert!(e.principal != 0, "dispatch event without principal: {e:?}");
+        }
+    }
+
+    // Access-control and store events inherit the dispatching request's
+    // id: every get shares its id with at least one auth_file check.
+    let get_ids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.op == "get")
+        .map(|e| e.request_id)
+        .collect();
+    assert_eq!(get_ids.len(), 2, "both downloads traced");
+    for id in &get_ids {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.op == "auth_file" && e.request_id == *id),
+            "no auth_file event for get request {id}"
+        );
+    }
+
+    // Bob's revoked download shows up as a deny.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.decision == seg_obs::TraceDecision::Deny && e.code == "denied"),
+        "denied decision traced"
+    );
+
+    // The snapshot's trace counters agree with the ring.
+    let snap = server.metrics_snapshot();
+    let emitted = snap.counter("seg_trace_events_total").unwrap_or(0);
+    let dropped = snap.counter("seg_trace_dropped_total").unwrap_or(0);
+    assert!(emitted >= events.len() as u64);
+    assert_eq!(dropped, 0, "this small flow cannot overflow the ring");
+}
+
+#[test]
 fn epc_gauges_report_peak_usage() {
     let server = run_flow();
     let snap = server.metrics_snapshot();

@@ -1,9 +1,55 @@
 //! Vendored stand-in for the `crossbeam` crate (offline builds).
 //!
 //! Provides `crossbeam::channel`'s bounded MPMC-ish channel API on top
-//! of `std::sync::mpsc::sync_channel`. The workspace only needs MPSC
+//! of `std::sync::mpsc::sync_channel`, and `crossbeam::thread::scope`
+//! on top of `std::thread::scope`. The workspace only needs MPSC
 //! semantics (one transport end per thread), blocking `send`/`recv`,
-//! and disconnect detection.
+//! disconnect detection, and scoped borrowing threads for stress tests.
+
+pub mod thread {
+    //! Scoped threads (std-backed stand-in for `crossbeam::thread`).
+
+    /// Scope handle passed to the [`scope`] closure; spawn borrowing
+    /// threads with [`std::thread::Scope::spawn`].
+    pub use std::thread::Scope;
+
+    /// Runs `f` with a scope in which spawned threads may borrow from
+    /// the enclosing stack frame; all threads are joined before this
+    /// returns.
+    ///
+    /// Unlike real crossbeam, a panicking child propagates the panic
+    /// out of `scope` (std semantics) instead of surfacing it in the
+    /// returned `Result`; callers here only use the `Ok` path.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err`; the `Result` mirrors crossbeam's signature.
+    pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let sum = std::sync::atomic::AtomicU64::new(0);
+            super::scope(|s| {
+                for chunk in data.chunks(2) {
+                    s.spawn(|| {
+                        let part: u64 = chunk.iter().sum();
+                        sum.fetch_add(part, std::sync::atomic::Ordering::Relaxed);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(sum.into_inner(), 10);
+        }
+    }
+}
 
 pub mod channel {
     //! Bounded blocking channels.
