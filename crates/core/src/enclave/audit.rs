@@ -20,9 +20,14 @@
 //! sealed *head* record stores `(count, H_count, counter-anchor)` and
 //! is rewritten on every append. With whole-file-system rollback
 //! protection enabled, each append also increments a dedicated TEE
-//! monotonic counter and anchors its value in the head, closing the
+//! monotonic counter and anchors its value in the head; the anchor is
+//! compared against the hardware counter both in [`AuditLog::verify`]
+//! and — critically — at [`AuditLog::load`], before the first new
+//! append could re-anchor a rolled-back head. That closes the
 //! remaining gap (replaying an old-but-valid head plus chain prefix
-//! against a freshly started enclave).
+//! against a freshly restarted enclave). `load` also completes an
+//! append interrupted by a crash between its two store writes, so a
+//! benign crash never reads as tampering.
 //!
 //! All blobs live in the untrusted content store under `!audit-*`
 //! names (like the sealed keys, they are self-protecting, so the
@@ -238,10 +243,27 @@ impl AuditLog {
     /// chain at genesis; on restart the sealed head restores the chain
     /// position so the enclave keeps extending the same history.
     ///
+    /// Two launch-time checks close the restart window:
+    ///
+    /// * **Counter anchor** (with whole-FS rollback protection): the
+    ///   sealed head's counter anchor must match the hardware counter
+    ///   *now*, before any new append re-anchors the head — a
+    ///   stale-but-authentic head (or a fully deleted trail against a
+    ///   nonzero counter) is rejected here, so a restart cannot erase
+    ///   the evidence of whole-trail rollback.
+    /// * **Crash recovery**: [`AuditLog::append`] writes the record
+    ///   before the head, so a crash in between leaves exactly one
+    ///   record at position `count` that authenticates against the
+    ///   sealed head's chain state. Such a record is *adopted* (the
+    ///   interrupted append is completed, head rewritten); a record
+    ///   there that does not authenticate is a forged append.
+    ///
     /// # Errors
     ///
-    /// Fails if a persisted head exists but does not authenticate —
-    /// a tampered head is detected at launch, not silently rebuilt.
+    /// Fails if a persisted head exists but does not authenticate, if
+    /// the counter anchor mismatches, or if an unauthenticatable record
+    /// sits beyond the head — tampering is detected at launch, not
+    /// silently rebuilt.
     pub(crate) fn load(
         key: PaeKey,
         store: Arc<dyn ObjectStore>,
@@ -249,18 +271,71 @@ impl AuditLog {
         use_counter: bool,
         obs: &seg_obs::Registry,
     ) -> Result<AuditLog, SegShareError> {
-        let state = match sgx.boundary().ocall(|| store.get(HEAD_NAME))? {
-            None => ChainState {
-                count: 0,
-                head: genesis(),
-            },
+        let (mut state, anchor, had_head) = match sgx.boundary().ocall(|| store.get(HEAD_NAME))? {
+            None => (
+                ChainState {
+                    count: 0,
+                    head: genesis(),
+                },
+                0,
+                false,
+            ),
             Some(blob) => {
                 let body = pae_dec(&key, &blob, HEAD_AAD)
                     .map_err(|_| tamper("audit head failed authentication"))?;
-                let (count, head, _anchor) = decode_head(&body)?;
-                ChainState { count, head }
+                let (count, head, anchor) = decode_head(&body)?;
+                (ChainState { count, head }, anchor, true)
             }
         };
+        let ctr = sgx.counter(AUDIT_COUNTER_ID);
+        let hw = if use_counter { ctr.read() } else { 0 };
+        let orphan_name = record_name(state.count);
+        match sgx.boundary().ocall(|| store.get(&orphan_name))? {
+            Some(blob) => {
+                pae_dec(&key, &blob, &record_aad(state.count, &state.head)).map_err(|_| {
+                    tamper("audit record beyond sealed head does not authenticate (forged append)")
+                })?;
+                // A genuine record the enclave sealed at this exact
+                // position: a crash interrupted the append between the
+                // record write and the head write. Complete it.
+                let new_anchor = if !use_counter {
+                    0
+                } else if hw == anchor {
+                    // The crash hit before the counter increment.
+                    let value = ctr.increment()?;
+                    sgx.boundary().charge(ctr.increment_latency_ns());
+                    value
+                } else if hw == anchor + 1 {
+                    // The crash hit between the increment and the head
+                    // write; the counter already covers this record.
+                    hw
+                } else {
+                    return Err(tamper(
+                        "audit counter anchor mismatch at launch (whole-trail rollback)",
+                    ));
+                };
+                let new_head = chain_hash(&state.head, state.count, &blob);
+                let head_blob = pae_enc(
+                    &key,
+                    &encode_head(state.count + 1, &new_head, new_anchor),
+                    HEAD_AAD,
+                    &mut SystemRng::new(),
+                );
+                sgx.boundary().ocall(|| store.put(HEAD_NAME, &head_blob))?;
+                state = ChainState {
+                    count: state.count + 1,
+                    head: new_head,
+                };
+            }
+            None if use_counter && hw != anchor => {
+                return Err(tamper(if had_head {
+                    "audit counter anchor mismatch at launch (whole-trail rollback)"
+                } else {
+                    "audit head missing but counter nonzero (whole-trail deletion)"
+                }));
+            }
+            None => {}
+        }
         Ok(AuditLog {
             key,
             store,
@@ -454,17 +529,25 @@ mod tests {
     use seg_sgx::{EnclaveImage, Platform};
     use seg_store::MemStore;
 
-    fn audit_log(store: Arc<MemStore>, use_counter: bool) -> AuditLog {
-        let platform = Platform::new_with_seed(7);
+    /// Loads a log against `store` on `platform` — counters are scoped
+    /// per platform, so restart tests must reuse one platform.
+    fn load_log(
+        platform: &Platform,
+        store: &Arc<MemStore>,
+        use_counter: bool,
+    ) -> Result<AuditLog, SegShareError> {
         let sgx = Arc::new(platform.launch(&EnclaveImage::from_code(b"audit-test")));
         AuditLog::load(
             PaeKey::from_bytes(&[9u8; 16]),
-            store as Arc<dyn ObjectStore>,
+            Arc::clone(store) as Arc<dyn ObjectStore>,
             sgx,
             use_counter,
             &seg_obs::Registry::new(),
         )
-        .expect("load")
+    }
+
+    fn audit_log(store: Arc<MemStore>, use_counter: bool) -> AuditLog {
+        load_log(&Platform::new_with_seed(7), &store, use_counter).expect("load")
     }
 
     fn event(i: u64) -> AuditEvent {
@@ -509,6 +592,127 @@ mod tests {
         assert_eq!(log.len(), 2);
         log.append(&event(2)).unwrap();
         assert_eq!(log.verify().unwrap(), 3);
+    }
+
+    /// `append` writes the record, then the head; simulate a crash in
+    /// between by rolling back only the head and restarting. The
+    /// orphaned-but-genuine record must be adopted, not reported as a
+    /// forged append.
+    #[test]
+    fn interrupted_append_is_adopted_on_restart() {
+        for use_counter in [false, true] {
+            let platform = Platform::new_with_seed(40 + use_counter as u64);
+            let store = Arc::new(MemStore::new());
+            let log = load_log(&platform, &store, use_counter).expect("fresh load");
+            log.append(&event(0)).unwrap();
+            log.append(&event(1)).unwrap();
+            let stale_head = store.get(HEAD_NAME).unwrap().unwrap();
+            log.append(&event(2)).unwrap();
+            drop(log);
+            // Crash state: record 2 persisted (and, with the counter on,
+            // the counter incremented) but the head write "was lost".
+            store.put(HEAD_NAME, &stale_head).unwrap();
+            let log = load_log(&platform, &store, use_counter).expect("recovery");
+            assert_eq!(log.len(), 3, "use_counter={use_counter}");
+            assert_eq!(log.verify().unwrap(), 3);
+            assert_eq!(log.export().unwrap().len(), 3);
+            // The chain keeps extending normally after adoption.
+            log.append(&event(3)).unwrap();
+            assert_eq!(log.verify().unwrap(), 4);
+        }
+    }
+
+    /// The pre-increment crash window: the record is persisted but the
+    /// counter was never bumped (here: the trail was written before the
+    /// counter guard was enabled). Adoption must increment the counter
+    /// itself so the rewritten head anchors correctly.
+    #[test]
+    fn adoption_increments_counter_when_crash_preceded_increment() {
+        let platform = Platform::new_with_seed(42);
+        let store = Arc::new(MemStore::new());
+        let log = load_log(&platform, &store, false).expect("fresh load");
+        log.append(&event(0)).unwrap();
+        let stale_head = store.get(HEAD_NAME).unwrap().unwrap();
+        log.append(&event(1)).unwrap();
+        drop(log);
+        store.put(HEAD_NAME, &stale_head).unwrap();
+        // Counter is still 0 (= the stale head's anchor): hw == anchor.
+        let log = load_log(&platform, &store, true).expect("recovery");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.verify().unwrap(), 2);
+    }
+
+    /// §V-E across restart: rolling the trail back to an old-but-valid
+    /// consistent prefix must fail at *load*, before any new append
+    /// could re-anchor the head and erase the evidence.
+    #[test]
+    fn whole_trail_rollback_is_detected_at_load() {
+        let platform = Platform::new_with_seed(43);
+        let store = Arc::new(MemStore::new());
+        let log = load_log(&platform, &store, true).expect("fresh load");
+        log.append(&event(0)).unwrap();
+        let old_head = store.get(HEAD_NAME).unwrap().unwrap();
+        log.append(&event(1)).unwrap();
+        log.append(&event(2)).unwrap();
+        drop(log);
+        // Variant A: roll back to a head-plus-one-record state that
+        // mimics an interrupted append — record 1 still present and
+        // authentic at its position — but the counter is two ahead, so
+        // adoption must refuse.
+        store.put(HEAD_NAME, &old_head).unwrap();
+        store.delete(&record_name(2)).unwrap();
+        let err = load_log(&platform, &store, true).unwrap_err();
+        assert!(
+            matches!(&err, SegShareError::Integrity(m) if m.contains("rollback")),
+            "{err:?}"
+        );
+        // Variant B: a fully consistent prefix (no trailing record).
+        store.delete(&record_name(1)).unwrap();
+        let err = load_log(&platform, &store, true).unwrap_err();
+        assert!(
+            matches!(&err, SegShareError::Integrity(m) if m.contains("rollback")),
+            "{err:?}"
+        );
+    }
+
+    /// Deleting the whole trail (head included) against a nonzero
+    /// counter is whole-trail deletion, detected at load.
+    #[test]
+    fn deleted_trail_with_nonzero_counter_is_detected_at_load() {
+        let platform = Platform::new_with_seed(44);
+        let store = Arc::new(MemStore::new());
+        let log = load_log(&platform, &store, true).expect("fresh load");
+        log.append(&event(0)).unwrap();
+        log.append(&event(1)).unwrap();
+        drop(log);
+        for key in store.list().unwrap() {
+            store.delete(&key).unwrap();
+        }
+        let err = load_log(&platform, &store, true).unwrap_err();
+        assert!(
+            matches!(&err, SegShareError::Integrity(m) if m.contains("deletion")),
+            "{err:?}"
+        );
+    }
+
+    /// A record beyond the head that does NOT authenticate in that
+    /// position is a forged append, rejected at load (a genuine crash
+    /// remnant authenticates and is adopted instead).
+    #[test]
+    fn forged_record_beyond_head_is_rejected_at_load() {
+        let platform = Platform::new_with_seed(45);
+        let store = Arc::new(MemStore::new());
+        let log = load_log(&platform, &store, false).expect("fresh load");
+        log.append(&event(0)).unwrap();
+        log.append(&event(1)).unwrap();
+        drop(log);
+        let donor = store.get(&record_name(0)).unwrap().unwrap();
+        store.put(&record_name(2), &donor).unwrap();
+        let err = load_log(&platform, &store, false).unwrap_err();
+        assert!(
+            matches!(&err, SegShareError::Integrity(m) if m.contains("forged")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //! — a bounded, preallocated buffer of seqlock-style slots. Writers
 //! never block and never allocate: a slot is claimed with one CAS and
 //! filled with relaxed atomic stores; on claim contention the event is
-//! counted as dropped instead of spinning. Readers ([`TraceRing::tail`])
-//! validate each slot's version before and after copying it out, so a
-//! torn read is skipped, never surfaced.
+//! counted as dropped instead of spinning. Slot versions are
+//! epoch-tagged with the writer's ring revolution, so a writer lapped
+//! by a full revolution can never overwrite a newer event — it drops
+//! (and is counted) instead. Readers ([`TraceRing::tail`]) validate
+//! each slot's version before and after copying it out, so a torn read
+//! is skipped, never surfaced.
 //!
 //! # Trust-boundary rule
 //!
@@ -155,15 +158,24 @@ impl RingBuf {
 
     fn push(&self, p: Payload) {
         let pos = self.head.fetch_add(1, Ordering::AcqRel);
-        let slot = &self.slots[(pos % self.slots.len() as u64) as usize];
+        let cap = self.slots.len() as u64;
+        let slot = &self.slots[(pos % cap) as usize];
+        // Epoch-tagged claim: a writer for round `pos / cap` releases
+        // the slot at version `2*(round+1)`, so the version encodes
+        // which round last wrote it. A claim succeeds only while the
+        // slot is stable (even) AND still holds a round no newer than
+        // ours — a writer lapped by a full ring revolution fails here
+        // instead of resurrecting a stale claim over a newer event.
+        // Every push therefore either completes its write or counts
+        // itself in `dropped`: the trace is best-effort by contract,
+        // the drop counter is not.
+        let round = pos / cap;
         let v = slot.version.load(Ordering::Acquire);
-        // A slower writer still owns this slot (odd version) or beats
-        // us to the claim: drop rather than block or spin — the trace
-        // is best-effort by contract, the drop counter is not.
         if v & 1 == 1
+            || v > round * 2
             || slot
                 .version
-                .compare_exchange(v, v + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .compare_exchange(v, round * 2 + 1, Ordering::AcqRel, Ordering::Relaxed)
                 .is_err()
         {
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -178,7 +190,7 @@ impl RingBuf {
         slot.decision.store(p.decision, Ordering::Relaxed);
         slot.code_idx.store(p.code_idx, Ordering::Relaxed);
         slot.duration_us.store(p.duration_us, Ordering::Relaxed);
-        slot.version.store(v + 2, Ordering::Release);
+        slot.version.store(round * 2 + 2, Ordering::Release);
     }
 
     /// Copies out up to `n` of the newest stable events, oldest first.

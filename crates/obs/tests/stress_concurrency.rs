@@ -89,6 +89,45 @@ fn registry_and_trace_ring_survive_contention() {
     assert!(ring.slow_tail(usize::MAX).is_empty());
 }
 
+/// Regression for the wrap race: writers a full ring revolution apart
+/// map to the same slot, and the epoch-tagged versions must (a) never
+/// let the stale writer clobber the newer event and (b) never leave a
+/// slot permanently unwritable after a dropped round. A tiny ring under
+/// heavy contention maximizes lapping; afterwards a quiet-time emission
+/// must still land and be readable.
+#[test]
+fn lapped_slots_recover_after_contention() {
+    let ring = Arc::new(TraceRing::new(2, 1));
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 25_000;
+    crossbeam::thread::scope(|s| {
+        for t in 0..WRITERS {
+            let ring = Arc::clone(&ring);
+            s.spawn(move || {
+                for i in 0..PER_WRITER {
+                    let id = t * PER_WRITER + i + 1;
+                    ring.emit(id, "get", id, id * 3, TraceDecision::Event, "ok", 0);
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(ring.emitted(), WRITERS * PER_WRITER);
+
+    // Whatever was dropped under contention, the ring must not wedge.
+    ring.emit(u64::MAX, "get", 1, 3, TraceDecision::Event, "ok", 7);
+    let tail = ring.tail(1);
+    assert_eq!(tail.len(), 1, "post-contention emission must be readable");
+    assert_eq!(tail[0].request_id, u64::MAX);
+
+    // And surviving events are never stale-over-new hybrids.
+    for e in ring.tail(usize::MAX) {
+        if e.request_id != u64::MAX {
+            assert_eq!(e.object, e.request_id * 3, "clobbered event {e:?}");
+        }
+    }
+}
+
 #[test]
 fn concurrent_readers_never_observe_torn_events() {
     let ring = Arc::new(TraceRing::new(64, 8));

@@ -239,6 +239,105 @@ fn forged_trailing_record_is_detected() {
     rig.server.audit_verify().expect("restored");
 }
 
+/// §V-E across a restart: the attacker rolls the *entire* store back to
+/// an old, internally consistent snapshot and relaunches the enclave.
+/// Only the monotonic-counter anchor can expose the stale trail, and it
+/// must do so at launch — before the first new append could re-anchor
+/// the head and permanently erase the evidence.
+#[test]
+fn whole_store_rollback_across_restart_is_detected_at_launch() {
+    let content = Arc::new(MemStore::new());
+    let setup = FsoSetup::with_stores(
+        "audit-ca",
+        EnclaveConfig {
+            rollback_whole_fs: true,
+            ..EnclaveConfig::default()
+        },
+        seg_sgx::Platform::new_with_seed(78),
+        Arc::clone(&content) as Arc<dyn ObjectStore>,
+        Arc::new(MemStore::new()),
+        Arc::new(MemStore::new()),
+    );
+    let server = setup.server().expect("first launch");
+    let alice = setup.enroll_user("alice", "a@x", "Alice").unwrap();
+    let mut a = server.connect_local(&alice).unwrap();
+    a.put("/doc", b"v1").unwrap();
+
+    // The attacker snapshots everything while this history is current...
+    let snapshot = content.snapshot();
+
+    // ...the enclave appends more (audited) history...
+    a.put("/doc", b"v2 - the revocation-worthy update").unwrap();
+    a.remove("/doc").unwrap();
+    drop(a);
+    drop(server);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    // ...and the whole store is rolled back before a restart.
+    for key in content.list().unwrap() {
+        content.delete(&key).unwrap();
+    }
+    for (key, value) in &snapshot {
+        content.put(key, value).unwrap();
+    }
+    match setup.server() {
+        Err(SegShareError::Integrity(msg)) => {
+            assert!(
+                msg.contains("audit") && msg.contains("rollback"),
+                "unexpected message: {msg}"
+            );
+        }
+        Ok(_) => panic!("stale-snapshot relaunch must fail audit load"),
+        Err(other) => panic!("expected Integrity, got {other:?}"),
+    }
+}
+
+/// A crash between an append's record write and its head write leaves
+/// one genuine record beyond the sealed head. The restart must adopt it
+/// (completing the append) instead of reporting a forged append.
+#[test]
+fn interrupted_append_recovers_across_restart() {
+    let content = Arc::new(MemStore::new());
+    let setup = FsoSetup::with_stores(
+        "audit-ca",
+        EnclaveConfig {
+            rollback_whole_fs: true,
+            ..EnclaveConfig::default()
+        },
+        seg_sgx::Platform::new_with_seed(79),
+        Arc::clone(&content) as Arc<dyn ObjectStore>,
+        Arc::new(MemStore::new()),
+        Arc::new(MemStore::new()),
+    );
+    let server = setup.server().expect("first launch");
+    let alice = setup.enroll_user("alice", "a@x", "Alice").unwrap();
+    let mut a = server.connect_local(&alice).unwrap();
+    a.put("/doc", b"v1").unwrap();
+    let count_before = server.audit_verify().expect("intact");
+
+    // Simulate the crash window: a `get` appends exactly one record;
+    // roll back only the head blob, as if its write never hit disk.
+    let stale_head = content.get("!audit-head").unwrap().unwrap();
+    assert_eq!(a.get("/doc").unwrap(), b"v1");
+    drop(a);
+    drop(server);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    content.put("!audit-head", &stale_head).unwrap();
+
+    // The restart adopts the orphaned record and the trail stays whole:
+    // the interrupted `get` is in the export, and new appends continue.
+    let server = setup.server().expect("recovery relaunch");
+    let count = server.audit_verify().expect("chain whole after recovery");
+    assert_eq!(count, count_before + 1);
+    let records = server.audit_export().expect("export");
+    assert_eq!(records.last().unwrap().op, "get");
+    let mut a = server.connect_local(&alice).unwrap();
+    assert_eq!(a.get("/doc").unwrap(), b"v1");
+    drop(a);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    assert!(server.audit_verify().expect("still whole") > count);
+}
+
 #[test]
 fn exports_carry_no_principals_paths_or_keys() {
     let rig = audited_flow();
