@@ -15,7 +15,7 @@
 use seg_baseline::{PlainFileServer, ServerProfile};
 use seg_bench::harness::{
     arg_flag, arg_value, fmt_s, local_gcm_mbps, measure, normalize_processing,
-    print_metrics_sidecar, wan, Rig,
+    print_metrics_sidecar_since, wan, Rig,
 };
 use segshare::EnclaveConfig;
 
@@ -47,6 +47,9 @@ fn main() {
         // SeGShare: real processing through the full stack.
         let rig = Rig::new(EnclaveConfig::paper_prototype());
         let mut client = rig.client();
+        // Baseline after the handshake: the sidecar below reports only
+        // the measured window, not connection setup.
+        let base = rig.server.metrics_snapshot();
         let mut i = 0u32;
         let up = measure(runs, || {
             i += 1;
@@ -119,7 +122,7 @@ fn main() {
             fmt_s(down.mean_s),
         );
 
-        print_metrics_sidecar(&rig.server);
+        print_metrics_sidecar_since(&rig.server, Some(&base));
 
         // The paper's ordering claims, checked on the normalized
         // column. At small sizes everyone is wire-bound and the curves

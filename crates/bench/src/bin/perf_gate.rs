@@ -1,0 +1,345 @@
+//! Machine-readable performance gate.
+//!
+//! Runs a fixed operation mix (uploads/downloads across sizes, a group
+//! membership update, a revocation) through the full enclave stack,
+//! emits `BENCH_perf.json` (per-workload stats, per-op latency
+//! quantiles, and the phase profiler's per-phase self-times — all
+//! GCM-throughput-normalized like the figure regenerators), and
+//! compares the normalized per-workload means against the committed
+//! `results/bench_baseline.json`.
+//!
+//! The gate is noise-aware: a workload fails only if its normalized
+//! regression exceeds `max(15 %, 3 × CI95)` of the baseline mean, so
+//! run-to-run jitter (already damped by the GCM normalization) cannot
+//! fail CI while a real slowdown still trips it.
+//!
+//! Usage: `perf_gate [--quick] [--update-baseline]`
+//!   --quick            fewer runs per workload (CI setting)
+//!   --update-baseline  rewrite results/bench_baseline.json from this run
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use seg_bench::harness::{
+    arg_flag, fmt_s, local_gcm_mbps, measure, normalize_processing, Measured, Rig, HW_GCM_MBPS,
+};
+use seg_bench::json::{self, Json};
+use seg_fs::Perm;
+use segshare::EnclaveConfig;
+
+/// Regressions below this fraction of the baseline never fail the gate.
+const MIN_THRESHOLD: f64 = 0.15;
+/// Noise guard: regressions under `CI_MULTIPLIER × CI95 / baseline`
+/// don't fail either.
+const CI_MULTIPLIER: f64 = 3.0;
+/// Absolute slack in normalized seconds. Sub-millisecond admin ops
+/// (membership update, revocation) drift 20 %+ between processes from
+/// scheduler/frequency noise that within-run CI95 cannot see; 50 µs of
+/// normalized slack absorbs that without weakening the gate where it
+/// matters (50 µs is ~3 % of a 1 MB upload).
+const ABS_SLACK_S: f64 = 50e-6;
+
+struct WorkloadResult {
+    name: &'static str,
+    measured: Measured,
+    norm_mean_s: f64,
+    norm_ci95_s: f64,
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() {
+    let quick = arg_flag("--quick");
+    let update_baseline = arg_flag("--update-baseline");
+    let runs = if quick { 3 } else { 10 };
+
+    let local_mbps = local_gcm_mbps();
+    println!("== perf gate ==");
+    println!(
+        "local software GCM: {local_mbps:.0} MB/s (normalizing to {HW_GCM_MBPS:.0} MB/s hardware)"
+    );
+
+    let rig = Rig::new(EnclaveConfig::paper_prototype());
+    rig.setup
+        .enroll_user("bob", "bob@bench", "Bob")
+        .expect("enroll succeeds");
+    let mut client = rig.client();
+
+    let payload = |bytes: usize| -> Vec<u8> { (0..bytes).map(|i| (i % 251) as u8).collect() };
+    let p10k = payload(10_000);
+    let p100k = payload(100_000);
+    let p1m = payload(1_000_000);
+
+    // Download probes are prefilled outside the measured window.
+    client.put("/dl100k", &p100k).expect("prefill succeeds");
+    client.put("/dl1m", &p1m).expect("prefill succeeds");
+
+    let mut results: Vec<WorkloadResult> = Vec::new();
+    let mut push = |name: &'static str, measured: Measured| {
+        let norm_mean_s = normalize_processing(measured.mean_s, local_mbps);
+        let norm_ci95_s = normalize_processing(measured.ci95_s(), local_mbps);
+        println!(
+            "  {name:<18} mean={:<10} ci95={:<10} warmup={:<10} norm={}",
+            fmt_s(measured.mean_s),
+            fmt_s(measured.ci95_s()),
+            fmt_s(measured.warmup_s),
+            fmt_s(norm_mean_s),
+        );
+        results.push(WorkloadResult {
+            name,
+            measured,
+            norm_mean_s,
+            norm_ci95_s,
+        });
+    };
+
+    let mut i = 0u32;
+    push(
+        "upload_10k",
+        measure(runs, || {
+            i += 1;
+            client.put(&format!("/u10k-{i}"), &p10k).expect("upload");
+        }),
+    );
+    push(
+        "upload_100k",
+        measure(runs, || {
+            i += 1;
+            client.put(&format!("/u100k-{i}"), &p100k).expect("upload");
+        }),
+    );
+    push(
+        "upload_1m",
+        measure(runs, || {
+            i += 1;
+            client.put(&format!("/u1m-{i}"), &p1m).expect("upload");
+        }),
+    );
+    push(
+        "download_100k",
+        measure(runs, || {
+            let got = client.get("/dl100k").expect("download");
+            assert_eq!(got.len(), p100k.len());
+        }),
+    );
+    push(
+        "download_1m",
+        measure(runs, || {
+            let got = client.get("/dl1m").expect("download");
+            assert_eq!(got.len(), p1m.len());
+        }),
+    );
+    // Group membership update (add_u) and immediate revocation (rmv_u):
+    // each iteration rewrites the member list through the full
+    // Protected-FS + rollback-tree path. The group is seeded with a
+    // file permission so revocation exercises a real sharing state.
+    client.add_user("bob", "gm").expect("seed group");
+    client
+        .set_perm("/dl100k", "gm", Perm::Read)
+        .expect("seed perm");
+    push(
+        "membership_update",
+        measure(runs, || {
+            client.add_user("bob", "gm").expect("add_user");
+        }),
+    );
+    push(
+        "revocation",
+        measure(runs, || {
+            client.remove_user("bob", "gm").expect("remove_user");
+        }),
+    );
+
+    // Declassified aggregates for the report (explicit enclave exits).
+    let snapshot = rig.server.metrics_snapshot();
+    let profile = rig.server.profile_snapshot();
+
+    let root = repo_root();
+    let report = build_report(&results, local_mbps, &snapshot, &profile);
+    let report_path = root.join("BENCH_perf.json");
+    std::fs::write(&report_path, &report).expect("write BENCH_perf.json");
+    println!("wrote {}", report_path.display());
+
+    std::fs::create_dir_all(root.join("results")).expect("results dir");
+    let collapsed_path = root.join("results/flame_perf.txt");
+    std::fs::write(&collapsed_path, profile.to_collapsed()).expect("write collapsed flamegraph");
+    println!(
+        "wrote {} (flamegraph-collapsed; render with flamegraph.pl)",
+        collapsed_path.display()
+    );
+
+    let baseline_path = root.join("results/bench_baseline.json");
+    if update_baseline {
+        std::fs::write(&baseline_path, build_baseline(&results, local_mbps))
+            .expect("write baseline");
+        println!("wrote {} (baseline refreshed)", baseline_path.display());
+        return;
+    }
+
+    let Ok(baseline_text) = std::fs::read_to_string(&baseline_path) else {
+        println!(
+            "no baseline at {} — run with --update-baseline to create one (gate passes vacuously)",
+            baseline_path.display()
+        );
+        return;
+    };
+    let baseline = json::parse(&baseline_text).expect("baseline parses");
+    let failures = check_gate(&results, &baseline);
+    if failures.is_empty() {
+        println!("perf gate PASSED ({} workloads)", results.len());
+    } else {
+        for f in &failures {
+            println!("perf gate FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Compares each workload's normalized mean against the baseline.
+/// Returns human-readable failure lines (empty = pass).
+fn check_gate(results: &[WorkloadResult], baseline: &Json) -> Vec<String> {
+    let mut failures = Vec::new();
+    let Some(ops) = baseline.get("ops").and_then(Json::as_obj) else {
+        return vec!["baseline has no \"ops\" object".to_string()];
+    };
+    for r in results {
+        let Some(base) = ops.get(r.name) else {
+            println!(
+                "  {:<18} new workload (no baseline entry) — skipped",
+                r.name
+            );
+            continue;
+        };
+        let base_mean = base
+            .get("norm_mean_s")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let base_ci = base.get("ci95_s").and_then(Json::as_f64).unwrap_or(0.0);
+        if base_mean <= 0.0 {
+            continue;
+        }
+        let regression = (r.norm_mean_s - base_mean) / base_mean;
+        // Noise-aware threshold: whichever is largest of the fixed 15 %
+        // floor, 3× the wider of the two runs' confidence intervals,
+        // and the absolute slack — all relative to the baseline mean.
+        let ci = r.norm_ci95_s.max(base_ci);
+        let threshold = MIN_THRESHOLD
+            .max(CI_MULTIPLIER * ci / base_mean)
+            .max(ABS_SLACK_S / base_mean);
+        let failed = regression > threshold;
+        println!(
+            "  {:<18} base={:<10} now={:<10} change={:+6.1}% threshold={:5.1}% {}",
+            r.name,
+            fmt_s(base_mean),
+            fmt_s(r.norm_mean_s),
+            regression * 100.0,
+            threshold * 100.0,
+            if failed { "FAIL" } else { "ok" },
+        );
+        if failed {
+            failures.push(format!(
+                "{}: normalized mean {} vs baseline {} ({:+.1}% > {:.1}% threshold)",
+                r.name,
+                fmt_s(r.norm_mean_s),
+                fmt_s(base_mean),
+                regression * 100.0,
+                threshold * 100.0,
+            ));
+        }
+    }
+    failures
+}
+
+/// The committed baseline: per-workload normalized mean + CI95. The
+/// local GCM throughput is recorded for context only — normalization
+/// is what makes the means comparable across machines.
+fn build_baseline(results: &[WorkloadResult], local_mbps: f64) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"gcm_mbps\": {local_mbps:.1},");
+    out.push_str("  \"ops\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{\"norm_mean_s\": {:.9}, \"ci95_s\": {:.9}}}{comma}",
+            r.name, r.norm_mean_s, r.norm_ci95_s,
+        );
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// The full machine-readable report: per-workload wall-clock and
+/// normalized stats, protocol-op latency quantiles from the metrics
+/// snapshot, and per-phase self-times from the profiler.
+fn build_report(
+    results: &[WorkloadResult],
+    local_mbps: f64,
+    snapshot: &seg_obs::Snapshot,
+    profile: &seg_obs::ProfSnapshot,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"gcm_mbps\": {local_mbps:.1},");
+
+    out.push_str("  \"workloads\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{\"mean_s\": {:.9}, \"sd_s\": {:.9}, \"ci95_s\": {:.9}, \
+             \"warmup_s\": {:.9}, \"runs\": {}, \"norm_mean_s\": {:.9}}}{comma}",
+            r.name,
+            r.measured.mean_s,
+            r.measured.sd_s,
+            r.measured.ci95_s(),
+            r.measured.warmup_s,
+            r.measured.runs,
+            r.norm_mean_s,
+        );
+    }
+    out.push_str("  },\n");
+
+    // Per-protocol-op latency quantiles (wall-clock nanoseconds).
+    out.push_str("  \"ops\": {\n");
+    let op_rows: Vec<_> = snapshot
+        .histograms
+        .iter()
+        .filter(|(id, s)| id.name() == "seg_request_latency_ns" && s.count > 0)
+        .collect();
+    for (i, (id, s)) in op_rows.iter().enumerate() {
+        let comma = if i + 1 < op_rows.len() { "," } else { "" };
+        let op = id.labels().first().map(|&(_, v)| v).unwrap_or("?");
+        let _ = writeln!(
+            out,
+            "    \"{op}\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}}}{comma}",
+            s.count, s.p50, s.p95,
+        );
+    }
+    out.push_str("  },\n");
+
+    // Per-phase self time across all operations, grouped by leaf phase
+    // (simulated time folded in), with a normalized-seconds column.
+    let all_ops: Vec<&str> = profile
+        .entries
+        .iter()
+        .map(seg_obs::ProfEntry::op)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let breakdown = profile.phase_breakdown(&all_ops);
+    out.push_str("  \"phases\": {\n");
+    for (i, (leaf, ns)) in breakdown.iter().enumerate() {
+        let comma = if i + 1 < breakdown.len() { "," } else { "" };
+        let norm_s = normalize_processing(*ns as f64 * 1e-9, local_mbps);
+        let _ = writeln!(
+            out,
+            "    \"{leaf}\": {{\"self_ns\": {ns}, \"norm_self_s\": {norm_s:.9}}}{comma}"
+        );
+    }
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"unbalanced_phases\": {}", profile.unbalanced);
+    out.push_str("}\n");
+    out
+}

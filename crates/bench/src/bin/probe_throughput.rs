@@ -1,7 +1,7 @@
 //! Raw crypto throughput probe (calibrates the normalized figures),
 //! plus an end-to-end server probe with its telemetry sidecar.
 
-use seg_bench::harness::{print_metrics_sidecar, Rig};
+use seg_bench::harness::{print_metrics_sidecar_since, Rig};
 use seg_crypto::gcm::Gcm;
 use segshare::EnclaveConfig;
 use std::time::Instant;
@@ -40,6 +40,8 @@ fn main() {
     // path, reported via the unified metrics snapshot.
     let rig = Rig::new(EnclaveConfig::paper_prototype());
     let mut client = rig.client();
+    // Window the sidecar to the probe itself (handshake excluded).
+    let base = rig.server.metrics_snapshot();
     let payload: Vec<u8> = (0..8_000_000u32).map(|i| (i % 251) as u8).collect();
     let start = Instant::now();
     client.put("/probe", &payload).expect("upload succeeds");
@@ -55,5 +57,31 @@ fn main() {
         down,
         8.0 / down.as_secs_f64()
     );
-    print_metrics_sidecar(&rig.server);
+    print_metrics_sidecar_since(&rig.server, Some(&base));
+
+    // Phase profile of one 100 kB upload on a fresh server — the
+    // breakdown quoted in the EXPERIMENTS.md profiling appendix.
+    let rig = Rig::new(EnclaveConfig::paper_prototype());
+    let mut client = rig.client();
+    let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+    let start = Instant::now();
+    client
+        .put("/probe-100k", &payload)
+        .expect("upload succeeds");
+    let wall = start.elapsed();
+    let prof = rig.server.profile_snapshot();
+    let upload_ops = ["put_file", "data"];
+    let enclave_ns: u64 = upload_ops.iter().map(|op| prof.op_total_ns(op)).sum();
+    println!(
+        "100 kB upload phase breakdown (client wall {:.3} ms, enclave-side {:.3} ms):",
+        wall.as_secs_f64() * 1e3,
+        enclave_ns as f64 / 1e6,
+    );
+    for (leaf, ns) in prof.phase_breakdown(&upload_ops) {
+        println!(
+            "  {leaf:<14} {:>9.1} us  {:>5.1}%",
+            ns as f64 / 1e3,
+            ns as f64 * 100.0 / enclave_ns.max(1) as f64
+        );
+    }
 }

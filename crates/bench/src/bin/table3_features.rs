@@ -4,8 +4,10 @@
 //! and the HE baseline is run beside it to reproduce the contrast the
 //! table draws against cryptographically-protected systems.
 //!
-//! Usage: `table3_features`
+//! Usage: `table3_features [--quick]` (the evidence spot-checks are
+//! already sub-second; `--quick` shrinks the HE-contrast payload)
 
+use seg_bench::harness::arg_flag;
 use std::collections::HashMap;
 
 use seg_baseline::he::{HeFileShare, HeUser};
@@ -22,6 +24,7 @@ struct Row {
 }
 
 fn main() {
+    let quick = arg_flag("--quick");
     // Live spot-checks: run a deployment and verify a representative
     // subset right now (the full matrix is the test suite).
     let dedup_store = Arc::new(MemStore::new());
@@ -54,7 +57,8 @@ fn main() {
     let hal = HeUser::new("alice");
     let hbob = HeUser::new("bob");
     let mut he = HeFileShare::new();
-    he.put("/f", &vec![0u8; 1_000_000], &[&hal, &hbob])
+    let he_bytes = if quick { 100_000 } else { 1_000_000 };
+    he.put("/f", &vec![0u8; he_bytes], &[&hal, &hbob])
         .expect("he put");
     let dir: HashMap<String, [u8; 32]> = [
         ("alice".to_string(), hal.public()),
@@ -197,8 +201,10 @@ fn main() {
     println!();
     println!("== contrast with the HE baseline (Table III, row [10]) ==");
     println!(
-        "HE revocation of one user from a 1 MB file: re-encrypted {} bytes, re-wrapped {} keys",
-        cost.bytes_reencrypted, cost.rewraps
+        "HE revocation of one user from a {} kB file: re-encrypted {} bytes, re-wrapped {} keys",
+        he_bytes / 1000,
+        cost.bytes_reencrypted,
+        cost.rewraps
     );
     println!("SeGShare revocation of the same shape: one ACL/member-list rewrite (~8 KiB), zero content bytes");
     let mut fresh = HeFileShare::new();

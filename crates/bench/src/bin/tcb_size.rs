@@ -7,8 +7,11 @@
 //! *trusted* code — everything that would live inside the enclave — and
 //! of the untrusted host for contrast.
 //!
-//! Usage: `tcb_size` (run from the workspace root)
+//! Usage: `tcb_size [--quick]` (run from the workspace root; the LoC
+//! count is instantaneous, so `--quick` is accepted for harness
+//! uniformity and changes nothing)
 
+use seg_bench::harness::arg_flag;
 use std::path::Path;
 
 fn count_loc(path: &Path) -> usize {
@@ -65,6 +68,9 @@ fn total<S: AsRef<str>>(dirs: &[S]) -> (usize, Vec<(String, usize)>) {
 }
 
 fn main() {
+    // Static count — already instantaneous; accepted so every bench bin
+    // takes the flag (CI invokes them uniformly).
+    let _ = arg_flag("--quick");
     // Resolve the workspace root regardless of the invocation cwd.
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let root = root.to_string_lossy();

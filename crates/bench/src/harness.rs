@@ -15,12 +15,16 @@ pub const HW_GCM_MBPS: f64 = 2000.0;
 /// Mean and spread of repeated measurements.
 #[derive(Debug, Clone, Copy)]
 pub struct Measured {
-    /// Mean seconds.
+    /// Mean seconds (warm-up excluded).
     pub mean_s: f64,
     /// Sample standard deviation in seconds.
     pub sd_s: f64,
-    /// Number of runs.
+    /// Number of runs (excluding warm-up).
     pub runs: usize,
+    /// The discarded warm-up iteration's own time in seconds —
+    /// reported separately so it can be inspected, never mixed into
+    /// `mean_s`/`sd_s`.
+    pub warmup_s: f64,
 }
 
 impl Measured {
@@ -35,9 +39,14 @@ impl Measured {
     }
 }
 
-/// Times `runs` executions of `f` (one warm-up first).
+/// Times `runs` executions of `f`, after one warm-up iteration that is
+/// timed but *discarded* (reported as [`Measured::warmup_s`]) — cold
+/// caches, lazy initialization, and first-touch page faults land there
+/// instead of skewing the mean.
 pub fn measure<F: FnMut()>(runs: usize, mut f: F) -> Measured {
-    f(); // warm-up
+    let warmup_start = Instant::now();
+    f(); // warm-up: timed, excluded from the samples
+    let warmup_s = warmup_start.elapsed().as_secs_f64();
     let mut samples = Vec::with_capacity(runs);
     for _ in 0..runs {
         let start = Instant::now();
@@ -54,6 +63,7 @@ pub fn measure<F: FnMut()>(runs: usize, mut f: F) -> Measured {
         mean_s: mean,
         sd_s: var.sqrt(),
         runs,
+        warmup_s,
     }
 }
 
@@ -117,11 +127,28 @@ impl Rig {
 /// Prints the telemetry sidecar for a server run: per-operation latency
 /// quantiles, enclave-boundary crossings, and per-store byte totals
 /// from the server's [`SegShareServer::metrics_snapshot`].
+///
+/// Cumulative since boot — prefer [`print_metrics_sidecar_since`] with
+/// a baseline snapshot taken after warmup/prefill, so the sidecar
+/// describes only the measured window.
 pub fn print_metrics_sidecar(server: &SegShareServer) {
-    let snap = server.metrics_snapshot();
-    println!("  -- metrics sidecar --");
+    print_metrics_sidecar_since(server, None);
+}
+
+/// Like [`print_metrics_sidecar`], but windowed: when `since` is given,
+/// every counter and histogram is differenced against it
+/// ([`seg_obs::Snapshot::delta`]), so warmup and prefill traffic done
+/// before the baseline snapshot does not pollute the reported
+/// quantiles or byte totals.
+pub fn print_metrics_sidecar_since(server: &SegShareServer, since: Option<&seg_obs::Snapshot>) {
+    let now = server.metrics_snapshot();
+    let (snap, label) = match since {
+        Some(base) => (now.delta(base), "windowed"),
+        None => (now, "cumulative"),
+    };
+    println!("  -- metrics sidecar ({label}) --");
     for (id, h) in &snap.histograms {
-        if id.name() != "seg_request_latency_ns" {
+        if id.name() != "seg_request_latency_ns" || h.count == 0 {
             continue;
         }
         let op = id.labels().first().map(|&(_, v)| v).unwrap_or("?");

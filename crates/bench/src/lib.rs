@@ -1,3 +1,4 @@
 //! Shared helpers for the SeGShare benchmark harness (see the `bin`
 //! targets and `benches/`).
 pub mod harness;
+pub mod json;

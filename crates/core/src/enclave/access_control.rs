@@ -139,6 +139,7 @@ impl AccessControl {
     /// Table IV `auth_g`: may `user` change group `group`?
     /// (`∃g1: (u, g1) ∈ r_G ∧ (g1, g2) ∈ r_GO`.)
     pub fn auth_group(&self, user: &UserId, group: &GroupId) -> Result<bool, SegShareError> {
+        let _prof = seg_obs::prof::phase("authz");
         let start = std::time::Instant::now();
         let result = self.auth_group_inner(user, group);
         self.trace_auth("auth_group", user, group.as_str(), &result, start);
@@ -154,6 +155,7 @@ impl AccessControl {
     /// owner of the entry at `path`? (Ownership is what `set_p`,
     /// inherit-flag, and owner-extension requests require.)
     pub fn is_file_owner(&self, user: &UserId, path: &SegPath) -> Result<bool, SegShareError> {
+        let _prof = seg_obs::prof::phase("authz");
         let start = std::time::Instant::now();
         let result = self.is_file_owner_inner(user, path);
         self.trace_auth("auth_file_owner", user, path.as_str(), &result, start);
@@ -183,6 +185,7 @@ impl AccessControl {
         access: Access,
         path: &SegPath,
     ) -> Result<bool, SegShareError> {
+        let _prof = seg_obs::prof::phase("authz");
         let start = std::time::Instant::now();
         let result = self.auth_file_inner(user, access, path);
         self.trace_auth("auth_file", user, path.as_str(), &result, start);
@@ -251,6 +254,7 @@ impl AccessControl {
         member: &UserId,
         group: &GroupId,
     ) -> Result<(), SegShareError> {
+        let _prof = seg_obs::prof::phase("authz");
         let mut gl = self.group_list()?;
         if !gl.contains(group) {
             gl.add_group(group.clone(), requester.default_group());
@@ -284,6 +288,7 @@ impl AccessControl {
         member: &UserId,
         group: &GroupId,
     ) -> Result<(), SegShareError> {
+        let _prof = seg_obs::prof::phase("authz");
         if !self.auth_group(requester, group)? {
             return Err(SegShareError::request(
                 ErrorCode::Denied,
@@ -307,6 +312,7 @@ impl AccessControl {
         owner_group: &GroupId,
         group: &GroupId,
     ) -> Result<(), SegShareError> {
+        let _prof = seg_obs::prof::phase("authz");
         if !self.auth_group(requester, group)? {
             return Err(SegShareError::request(
                 ErrorCode::Denied,
@@ -337,6 +343,7 @@ impl AccessControl {
         owner_group: &GroupId,
         group: &GroupId,
     ) -> Result<(), SegShareError> {
+        let _prof = seg_obs::prof::phase("authz");
         if !self.auth_group(requester, group)? {
             return Err(SegShareError::request(
                 ErrorCode::Denied,
@@ -362,6 +369,7 @@ impl AccessControl {
     /// Returns [`ErrorCode::Denied`] when the requester does not own the
     /// group and [`ErrorCode::NotFound`] when it does not exist.
     pub fn delete_group(&self, requester: &UserId, group: &GroupId) -> Result<(), SegShareError> {
+        let _prof = seg_obs::prof::phase("authz");
         let mut gl = self.group_list()?;
         if !gl.contains(group) {
             return Err(SegShareError::request(

@@ -169,6 +169,11 @@ impl SegShareEnclave {
         ring.set_slow_threshold_us(config.slow_request_us);
         obs.attach_trace(ring);
 
+        // Phase profiler: always attached — inactive threads (no root)
+        // make every phase call a no-op, so the cost off the request
+        // path is a thread-local check.
+        obs.attach_profiler(Arc::new(seg_obs::Profiler::new()));
+
         // Every untrusted store is wrapped in a counting layer so the
         // telemetry snapshot can attribute I/O per store (including the
         // sealed-key traffic below).
@@ -370,6 +375,28 @@ impl SegShareEnclave {
     #[must_use]
     pub fn obs(&self) -> &Arc<Registry> {
         &self.obs
+    }
+
+    /// Opens a profiler root for `op` on the current thread (inert when
+    /// a root is already active, or no profiler attached). Session code
+    /// opens this *before* TLS record decryption so the whole request —
+    /// including `tls_record` — is attributed.
+    pub(crate) fn profile_root(&self, op: &'static str) -> Option<seg_obs::prof::OpGuard> {
+        self.obs
+            .profiler()
+            .map(|p| seg_obs::prof::OpGuard::begin(p, op))
+    }
+
+    /// Captures the per-(op, phase-path) profile — like
+    /// [`metrics_snapshot`](Self::metrics_snapshot), an explicit
+    /// declassification point: phase paths are compiled-in names, values
+    /// are aggregate times. Empty if no profiler is attached.
+    #[must_use]
+    pub fn profile_snapshot(&self) -> seg_obs::ProfSnapshot {
+        self.obs
+            .profiler()
+            .map(|p| p.snapshot())
+            .unwrap_or_default()
     }
 
     // ------------------------------------------------- tracing & audit

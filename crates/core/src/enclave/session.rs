@@ -138,7 +138,13 @@ impl EnclaveSession {
     ) -> Result<(), SegShareError> {
         match std::mem::replace(&mut self.state, SessionState::Failed) {
             SessionState::Handshaking(mut hs) => {
-                let step = hs.process(frame, &mut self.rng)?;
+                // Profiler root: handshake frames never reach the
+                // request dispatcher, so they get their own root op.
+                let _prof = enclave.profile_root("handshake");
+                let step = {
+                    let _authn = seg_obs::prof::phase("authn");
+                    hs.process(frame, &mut self.rng)?
+                };
                 for reply in step.replies {
                     self.out.push_back(reply);
                 }
@@ -164,11 +170,24 @@ impl EnclaveSession {
                 user,
                 certificate,
             } => {
+                // Profiler root opens before the record is even
+                // decrypted (so tls_record time is attributed) under a
+                // placeholder op; once the request is decoded the root
+                // is renamed to the real operation.
+                let _prof = enclave.profile_root("request");
                 let plaintext = channel.open(frame)?;
-                let request = Request::decode(&plaintext)?;
+                let request = {
+                    let _ser = seg_obs::prof::phase("serialize");
+                    Request::decode(&plaintext)?
+                };
+                seg_obs::prof::set_root_op(request.op_name());
                 let responses = self.handle_request(enclave, &user, request)?;
                 for response in responses {
-                    let record = channel.seal(&response.encode());
+                    let encoded = {
+                        let _ser = seg_obs::prof::phase("serialize");
+                        response.encode()
+                    };
+                    let record = channel.seal(&encoded);
                     self.out.push_back(record);
                 }
                 self.state = SessionState::Established {
@@ -198,6 +217,9 @@ impl EnclaveSession {
             return Ok(Some(frame));
         }
         if let Some(download) = self.download.as_mut() {
+            // Streamed download chunks are produced outside any request
+            // frame, so they carry their own profiler root.
+            let _prof = enclave.profile_root("get_stream");
             // Register the chunk as enclave memory while it exists.
             let chunk = download.next_chunk()?;
             match chunk {

@@ -405,6 +405,7 @@ impl TrustedStore {
     /// Walks ancestors applying an incremental child-hash change —
     /// O(depth) hash-record updates, no sibling reads (§V-D).
     fn apply_tree_change(&self, id: &ObjectId, change: TreeChange) -> Result<(), SegShareError> {
+        let _prof = seg_obs::prof::phase("rollback_tree");
         let start = std::time::Instant::now();
         let result = self.apply_tree_change_inner(id, change);
         self.tree_update_ns.record_duration(start.elapsed());
@@ -513,6 +514,7 @@ impl TrustedStore {
     /// check its own hash record, then one bucket per ancestor level,
     /// then the root counter.
     fn verify_tree(&self, id: &ObjectId, header: &[u8]) -> Result<(), SegShareError> {
+        let _prof = seg_obs::prof::phase("rollback_tree");
         let start = std::time::Instant::now();
         let result = self.verify_tree_inner(id, header);
         self.tree_verify_ns.record_duration(start.elapsed());

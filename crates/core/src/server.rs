@@ -260,6 +260,17 @@ impl SegShareServer {
         self.enclave.metrics_snapshot()
     }
 
+    /// The per-(operation, phase-path) wall-clock profile — which layer
+    /// (TLS, authorization, GCM, Protected FS, rollback tree, store
+    /// I/O) each request spent its time in. A declassification point
+    /// like [`metrics_snapshot`](Self::metrics_snapshot): phase paths
+    /// are compiled-in names, values are aggregate times (see
+    /// [`SegShareEnclave::profile_snapshot`]).
+    #[must_use]
+    pub fn profile_snapshot(&self) -> seg_obs::ProfSnapshot {
+        self.enclave.profile_snapshot()
+    }
+
     /// Copies out up to `n` of the newest structured trace events,
     /// oldest first — the trace ring's declassification point. Events
     /// carry compiled-in operation/code labels and keyed fingerprints;

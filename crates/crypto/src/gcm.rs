@@ -133,6 +133,7 @@ impl Gcm {
 
     /// Encrypts `plaintext` in place and returns the authentication tag.
     pub fn seal_in_place(&self, iv: &[u8; IV_LEN], aad: &[u8], data: &mut [u8]) -> [u8; TAG_LEN] {
+        let _prof = seg_obs::prof::phase("crypto_gcm");
         let j0 = Self::j0(iv);
         self.ctr_xor(j0, data);
         let s = self.ghash(aad, data);
@@ -158,6 +159,7 @@ impl Gcm {
         data: &mut [u8],
         tag: &[u8],
     ) -> Result<(), CryptoError> {
+        let _prof = seg_obs::prof::phase("crypto_gcm");
         let j0 = Self::j0(iv);
         let s = self.ghash(aad, data);
         let ekj0 = self.aes.encrypt_block(j0);
@@ -175,6 +177,7 @@ impl Gcm {
     /// Convenience: encrypts `plaintext`, returning `ciphertext || tag`.
     #[must_use]
     pub fn seal(&self, iv: &[u8; IV_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let _prof = seg_obs::prof::phase("crypto_gcm");
         let mut out = plaintext.to_vec();
         let tag = self.seal_in_place(iv, aad, &mut out);
         out.extend_from_slice(&tag);
@@ -193,6 +196,7 @@ impl Gcm {
         aad: &[u8],
         sealed: &[u8],
     ) -> Result<Vec<u8>, CryptoError> {
+        let _prof = seg_obs::prof::phase("crypto_gcm");
         if sealed.len() < TAG_LEN {
             return Err(CryptoError::AeadAuthenticationFailed);
         }

@@ -66,34 +66,21 @@ impl Histogram {
         if count == 0 {
             return HistogramSummary::default();
         }
-        let min = self.min.load(Ordering::Relaxed);
-        let max = self.max.load(Ordering::Relaxed);
-        let counts: Vec<u64> = self
-            .buckets
+        summarize_counts(
+            &self.bucket_counts(),
+            self.sum.load(Ordering::Relaxed),
+            self.min.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Raw per-bucket counts (length [`BUCKETS`]), for snapshot
+    /// differencing — see [`crate::Snapshot::delta`].
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let quantile = |q: f64| -> u64 {
-            // Rank of the q-quantile among `count` sorted samples.
-            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
-            let mut cum = 0u64;
-            for (idx, &c) in counts.iter().enumerate() {
-                cum += c;
-                if cum >= target {
-                    return bucket_mid(idx).clamp(min, max);
-                }
-            }
-            max
-        };
-        HistogramSummary {
-            count,
-            sum: self.sum.load(Ordering::Relaxed),
-            min,
-            max,
-            p50: quantile(0.50),
-            p95: quantile(0.95),
-            p99: quantile(0.99),
-        }
+            .collect()
     }
 
     /// Zeroes all buckets and statistics.
@@ -134,6 +121,38 @@ impl HistogramSummary {
     }
 }
 
+/// Summarizes a bucket-count vector (as returned by
+/// [`Histogram::bucket_counts`], or an element-wise difference of two
+/// such vectors) together with its known `sum`/`min`/`max`. Shared by
+/// [`Histogram::summarize`] and [`crate::Snapshot::delta`].
+pub(crate) fn summarize_counts(counts: &[u64], sum: u64, min: u64, max: u64) -> HistogramSummary {
+    let count: u64 = counts.iter().sum();
+    if count == 0 {
+        return HistogramSummary::default();
+    }
+    let quantile = |q: f64| -> u64 {
+        // Rank of the q-quantile among `count` sorted samples.
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (idx, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_mid(idx).clamp(min, max);
+            }
+        }
+        max
+    };
+    HistogramSummary {
+        count,
+        sum,
+        min,
+        max,
+        p50: quantile(0.50),
+        p95: quantile(0.95),
+        p99: quantile(0.99),
+    }
+}
+
 fn bucket_index(value: u64) -> usize {
     if value < EXACT as u64 {
         return value as usize;
@@ -144,7 +163,7 @@ fn bucket_index(value: u64) -> usize {
 }
 
 /// Midpoint of the bucket's value range, the reported representative.
-fn bucket_mid(idx: usize) -> u64 {
+pub(crate) fn bucket_mid(idx: usize) -> u64 {
     if idx < EXACT {
         return idx as u64;
     }

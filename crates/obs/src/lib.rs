@@ -30,9 +30,11 @@
 //! `seg_store_bytes_read_total{store="content"}`.
 
 mod hist;
+pub mod prof;
 pub mod trace;
 
 pub use hist::{Histogram, HistogramSummary};
+pub use prof::{ProfEntry, ProfSnapshot, Profiler};
 pub use trace::{
     current_request_id, events_json, set_current_request, TraceDecision, TraceEvent, TraceRing,
 };
@@ -163,6 +165,7 @@ struct Inner {
 pub struct Registry {
     inner: Mutex<Inner>,
     trace: OnceLock<Arc<TraceRing>>,
+    prof: OnceLock<Arc<Profiler>>,
 }
 
 impl Registry {
@@ -231,12 +234,29 @@ impl Registry {
         self.trace.get()
     }
 
+    /// Attaches a phase profiler; spans started against this registry
+    /// will open a profiler root for their operation, so [`prof::phase`]
+    /// calls anywhere below attribute into it. Attachable at most once
+    /// (later calls return the first profiler).
+    pub fn attach_profiler(&self, profiler: Arc<Profiler>) -> &Arc<Profiler> {
+        self.prof.get_or_init(|| profiler)
+    }
+
+    /// The attached phase profiler, if any.
+    pub fn profiler(&self) -> Option<&Arc<Profiler>> {
+        self.prof.get()
+    }
+
     /// Starts a request-scoped span for operation `op`; finishing it
     /// records latency and outcome under `seg_requests_total`,
     /// `seg_request_errors_total`, and `seg_request_latency_ns`, and
     /// emits one event into the attached trace ring (if any).
     pub fn start_op(&self, op: &'static str) -> ObsContext<'_> {
         ObsContext {
+            // The guard is inert when the thread already has an active
+            // profiler root (e.g. the session opened one before the
+            // request was decoded), so span and root never fight.
+            prof: self.profiler().map(|p| prof::OpGuard::begin(p, op)),
             registry: self,
             op,
             start: Instant::now(),
@@ -270,6 +290,11 @@ impl Registry {
                 .iter()
                 .map(|(id, h)| (id.clone(), h.summarize()))
                 .collect(),
+            buckets: inner
+                .histograms
+                .iter()
+                .map(|(id, h)| (id.clone(), h.bucket_counts()))
+                .collect(),
         }
     }
 
@@ -299,6 +324,12 @@ pub struct ObsContext<'r> {
     request_id: u64,
     principal: u64,
     object: u64,
+    /// Profiler root for this span (when a profiler is attached and the
+    /// thread had no active root). Held only for its drop: flushing on
+    /// drop means even a span leaked without `finish_*` leaves no stale
+    /// phase stack behind.
+    #[allow(dead_code)]
+    prof: Option<prof::OpGuard>,
 }
 
 impl ObsContext<'_> {
@@ -376,6 +407,9 @@ pub struct Snapshot {
     pub gauges: Vec<(MetricId, u64)>,
     /// Histogram digests.
     pub histograms: Vec<(MetricId, HistogramSummary)>,
+    /// Raw per-bucket histogram counts, parallel to `histograms`,
+    /// kept so two snapshots can be differenced (see [`Snapshot::delta`]).
+    pub buckets: Vec<(MetricId, Vec<u64>)>,
 }
 
 impl Snapshot {
@@ -401,6 +435,62 @@ impl Snapshot {
             .iter()
             .find(|(id, _)| id.render() == rendered)
             .map(|(_, s)| s)
+    }
+
+    /// The window `self − earlier`: what happened *between* the two
+    /// snapshots. Counters subtract (saturating, so a reset in between
+    /// degrades to the cumulative value rather than wrapping); gauges
+    /// keep `self`'s last value (deltas of last-value-wins samples are
+    /// meaningless); histograms are re-summarized from the per-bucket
+    /// count differences, so windowed quantiles are real quantiles of
+    /// the interval, not a mix with pre-window samples. Windowed
+    /// `min`/`max` are approximated by the first/last non-empty diff
+    /// bucket's midpoint (the exact extremes of only-the-window are not
+    /// recoverable from cumulative state). Metrics absent from
+    /// `earlier` (registered later) are treated as starting from zero.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(id, v)| {
+                let before = earlier
+                    .counters
+                    .iter()
+                    .find(|(eid, _)| eid == id)
+                    .map_or(0, |&(_, ev)| ev);
+                (id.clone(), v.saturating_sub(before))
+            })
+            .collect();
+        let mut histograms = Vec::with_capacity(self.histograms.len());
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        for (id, counts) in &self.buckets {
+            let diff: Vec<u64> = match earlier.buckets.iter().find(|(eid, _)| eid == id) {
+                Some((_, before)) => counts
+                    .iter()
+                    .zip(before.iter().chain(std::iter::repeat(&0)))
+                    .map(|(c, b)| c.saturating_sub(*b))
+                    .collect(),
+                None => counts.clone(),
+            };
+            let sum_now = self.histogram(&id.render()).map_or(0, |s| s.sum);
+            let sum_before = earlier.histogram(&id.render()).map_or(0, |s| s.sum);
+            let first = diff.iter().position(|&c| c > 0);
+            let last = diff.iter().rposition(|&c| c > 0);
+            let summary = hist::summarize_counts(
+                &diff,
+                sum_now.saturating_sub(sum_before),
+                first.map_or(0, hist::bucket_mid),
+                last.map_or(0, hist::bucket_mid),
+            );
+            histograms.push((id.clone(), summary));
+            buckets.push((id.clone(), diff));
+        }
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+            buckets,
+        }
     }
 
     /// Hand-rolled JSON encoding (no external serializer).
@@ -750,6 +840,124 @@ mod tests {
         // and the remaining quotes must be structural (even count).
         let stripped = json.replace("\\\"", "");
         assert_eq!(stripped.matches('"').count() % 2, 0, "{json}");
+    }
+
+    #[test]
+    fn single_sample_histogram_encodes_exact_quantiles() {
+        let r = Registry::new();
+        r.histogram_with("seg_request_latency_ns", vec![("op", "get")])
+            .record(1234);
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        assert!(
+            json.contains(
+                "\"count\": 1, \"sum_ns\": 1234, \"min_ns\": 1234, \"max_ns\": 1234, \
+                 \"p50_ns\": 1234, \"p95_ns\": 1234, \"p99_ns\": 1234"
+            ),
+            "{json}"
+        );
+        let text = snap.to_prometheus();
+        assert!(text.contains("seg_request_latency_ns{quantile=\"0.5\",op=\"get\"} 1234"));
+        assert!(text.contains("seg_request_latency_ns_count{op=\"get\"} 1"));
+        assert!(text.contains("seg_request_latency_ns_sum{op=\"get\"} 1234"));
+    }
+
+    #[test]
+    fn prometheus_is_deterministic_across_identical_snapshots() {
+        let build = || {
+            let r = Registry::new();
+            r.counter_with("seg_requests_total", vec![("op", "get")])
+                .add(2);
+            r.gauge("seg_epc_bytes").set(7);
+            r.histogram_with("seg_request_latency_ns", vec![("op", "get")])
+                .record(999);
+            r.snapshot().to_prometheus()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn delta_windows_counters_and_keeps_gauges() {
+        let r = Registry::new();
+        let c = r.counter_with("seg_requests_total", vec![("op", "get")]);
+        let g = r.gauge("seg_epc_bytes");
+        c.add(10);
+        g.set(100);
+        let before = r.snapshot();
+        c.add(3);
+        g.set(250);
+        let d = r.snapshot().delta(&before);
+        assert_eq!(d.counter("seg_requests_total{op=\"get\"}"), Some(3));
+        // Gauges are last-value-wins: the window reports the latest.
+        assert_eq!(d.gauge("seg_epc_bytes"), Some(250));
+    }
+
+    #[test]
+    fn delta_histogram_quantiles_cover_only_the_window() {
+        let r = Registry::new();
+        let h = r.histogram_with("seg_request_latency_ns", vec![("op", "get")]);
+        // Warmup: large outliers that must not pollute the window.
+        for _ in 0..100 {
+            h.record(50_000_000);
+        }
+        let before = r.snapshot();
+        for _ in 0..100 {
+            h.record(1_000);
+        }
+        let d = r.snapshot().delta(&before);
+        let s = d
+            .histogram("seg_request_latency_ns{op=\"get\"}")
+            .expect("windowed digest");
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 100_000);
+        // All windowed quantiles sit near 1us, nowhere near 50ms.
+        assert!(s.p99 < 10_000, "windowed p99 leaked warmup: {}", s.p99);
+        // The cumulative view, by contrast, is dominated by warmup.
+        let cum = r.snapshot();
+        let cs = cum.histogram("seg_request_latency_ns{op=\"get\"}").unwrap();
+        assert!(cs.p95 > 10_000_000, "cumulative p95: {}", cs.p95);
+    }
+
+    #[test]
+    fn delta_handles_metrics_registered_after_the_baseline() {
+        let r = Registry::new();
+        let before = r.snapshot();
+        r.counter("seg_frames_total").add(4);
+        r.histogram("seg_pfs_encrypt_ns").record(77);
+        let d = r.snapshot().delta(&before);
+        assert_eq!(d.counter("seg_frames_total"), Some(4));
+        assert_eq!(d.histogram("seg_pfs_encrypt_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn delta_of_identical_snapshots_is_empty_window() {
+        let r = Registry::new();
+        r.counter("seg_frames_total").add(9);
+        r.histogram("seg_pfs_encrypt_ns").record(123);
+        let snap = r.snapshot();
+        let d = snap.delta(&snap.clone());
+        assert_eq!(d.counter("seg_frames_total"), Some(0));
+        let s = d.histogram("seg_pfs_encrypt_ns").unwrap();
+        assert_eq!((s.count, s.sum), (0, 0));
+        // An empty window still encodes cleanly.
+        let json = d.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn span_opens_profiler_root_when_attached() {
+        let r = Registry::new();
+        r.attach_profiler(Arc::new(Profiler::new()));
+        {
+            let ctx = r.start_op("put_file");
+            {
+                let _g = prof::phase("pfs");
+            }
+            ctx.finish_ok();
+        }
+        let snap = r.profiler().unwrap().snapshot();
+        assert!(snap.entry("put_file;pfs").is_some());
+        assert_eq!(snap.unbalanced, 0);
     }
 
     #[test]

@@ -77,6 +77,9 @@ impl CounterHandle {
         }
         state.increments += 1;
         state.value += 1;
+        // Simulated hardware latency, charged into the phase profile's
+        // sim channel (never the wall clock).
+        seg_obs::prof::charge("counter_wait", INCREMENT_LATENCY_NS);
         Ok(state.value)
     }
 

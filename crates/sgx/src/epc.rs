@@ -53,6 +53,9 @@ impl EpcTracker {
             self.counters
                 .paged_pages
                 .fetch_add(pages, Ordering::Relaxed);
+            // Simulated cost: visible in the phase profile but kept out
+            // of wall-clock self times (see seg_obs::prof::charge).
+            seg_obs::prof::charge("epc_paging", pages * self.model.paging_ns_per_page);
         }
         EpcAllocation {
             tracker: self.clone(),

@@ -200,6 +200,7 @@ impl PfsWriter {
     /// Appends plaintext; full nodes are encrypted and emitted
     /// immediately (constant data buffering).
     pub fn write(&mut self, mut data: &[u8]) {
+        let _prof = seg_obs::prof::phase("pfs");
         self.data_len += data.len() as u64;
         while !data.is_empty() {
             let take = (DATA_PER_NODE - self.buffer.len()).min(data.len());
@@ -222,6 +223,7 @@ impl PfsWriter {
     /// Finishes the file and returns the complete blob.
     #[must_use]
     pub fn finish(mut self) -> Vec<u8> {
+        let _prof = seg_obs::prof::phase("pfs");
         if !self.buffer.is_empty() {
             self.flush_node();
         }
@@ -292,6 +294,7 @@ impl<'a> PfsReader<'a> {
     /// Returns [`SgxError::ProtectedFileCorrupted`] for any structural,
     /// cryptographic, or rollback problem.
     pub fn open(key: &[u8], blob: &'a [u8]) -> Result<PfsReader<'a>, SgxError> {
+        let _prof = seg_obs::prof::phase("pfs");
         let gcm = Gcm::new(key)?;
         if blob.len() < NODE_LEN || !blob.len().is_multiple_of(NODE_LEN) {
             return Err(SgxError::ProtectedFileCorrupted(
@@ -413,6 +416,7 @@ impl<'a> PfsReader<'a> {
     /// Returns [`SgxError::ProtectedFileCorrupted`] on tamper/rollback or
     /// out-of-range index.
     pub fn read_node(&self, index: u64) -> Result<Vec<u8>, SgxError> {
+        let _prof = seg_obs::prof::phase("pfs");
         read_data_node(&self.gcm, self.blob, self.data_len, &self.data_tags, index)
     }
 
@@ -423,6 +427,7 @@ impl<'a> PfsReader<'a> {
     /// Returns [`SgxError::ProtectedFileCorrupted`] on any integrity
     /// failure.
     pub fn read_all(&self) -> Result<Vec<u8>, SgxError> {
+        let _prof = seg_obs::prof::phase("pfs");
         let mut out = Vec::with_capacity(self.data_len as usize);
         for i in 0..self.node_count() {
             out.extend_from_slice(&self.read_node(i)?);
@@ -481,6 +486,7 @@ impl PfsFile {
     /// Returns [`SgxError::ProtectedFileCorrupted`] for any structural,
     /// cryptographic, or rollback problem.
     pub fn open(key: &[u8], blob: Vec<u8>) -> Result<PfsFile, SgxError> {
+        let _prof = seg_obs::prof::phase("pfs");
         let reader = PfsReader::open(key, &blob)?;
         let data_len = reader.data_len;
         let data_tags = reader.data_tags;
@@ -512,6 +518,7 @@ impl PfsFile {
     /// Returns [`SgxError::ProtectedFileCorrupted`] on tamper/rollback or
     /// out-of-range index.
     pub fn read_node(&self, index: u64) -> Result<Vec<u8>, SgxError> {
+        let _prof = seg_obs::prof::phase("pfs");
         read_data_node(&self.gcm, &self.blob, self.data_len, &self.data_tags, index)
     }
 
@@ -522,6 +529,7 @@ impl PfsFile {
     /// Returns [`SgxError::ProtectedFileCorrupted`] on any integrity
     /// failure.
     pub fn read_all(&self) -> Result<Vec<u8>, SgxError> {
+        let _prof = seg_obs::prof::phase("pfs");
         let mut out = Vec::with_capacity(self.data_len as usize);
         for i in 0..self.node_count() {
             out.extend_from_slice(&self.read_node(i)?);
@@ -540,6 +548,7 @@ pub fn pfs_encrypt<R: SecureRandom>(
     plaintext: &[u8],
     rng: &mut R,
 ) -> Result<Vec<u8>, SgxError> {
+    let _prof = seg_obs::prof::phase("pfs");
     let mut w = PfsWriter::new(key, rng)?;
     w.write(plaintext);
     Ok(w.finish())
@@ -551,6 +560,7 @@ pub fn pfs_encrypt<R: SecureRandom>(
 ///
 /// Returns [`SgxError::ProtectedFileCorrupted`] on any integrity failure.
 pub fn pfs_decrypt(key: &[u8], blob: &[u8]) -> Result<Vec<u8>, SgxError> {
+    let _prof = seg_obs::prof::phase("pfs");
     PfsReader::open(key, blob)?.read_all()
 }
 

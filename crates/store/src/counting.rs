@@ -105,6 +105,7 @@ impl<S: ObjectStore> CountingStore<S> {
 
 impl<S: ObjectStore> ObjectStore for CountingStore<S> {
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        let _prof = seg_obs::prof::phase("store_io");
         self.gets.fetch_add(1, Ordering::Relaxed);
         let result = self.inner.get(key)?;
         if let Some(v) = &result {
@@ -114,6 +115,7 @@ impl<S: ObjectStore> ObjectStore for CountingStore<S> {
     }
 
     fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        let _prof = seg_obs::prof::phase("store_io");
         self.puts.fetch_add(1, Ordering::Relaxed);
         self.bytes_written
             .fetch_add(value.len() as u64, Ordering::Relaxed);
@@ -121,21 +123,25 @@ impl<S: ObjectStore> ObjectStore for CountingStore<S> {
     }
 
     fn delete(&self, key: &str) -> Result<bool, StoreError> {
+        let _prof = seg_obs::prof::phase("store_io");
         self.deletes.fetch_add(1, Ordering::Relaxed);
         self.inner.delete(key)
     }
 
     fn exists(&self, key: &str) -> Result<bool, StoreError> {
+        let _prof = seg_obs::prof::phase("store_io");
         self.exists.fetch_add(1, Ordering::Relaxed);
         self.inner.exists(key)
     }
 
     fn rename(&self, from: &str, to: &str) -> Result<(), StoreError> {
+        let _prof = seg_obs::prof::phase("store_io");
         self.renames.fetch_add(1, Ordering::Relaxed);
         self.inner.rename(from, to)
     }
 
     fn list(&self) -> Result<Vec<String>, StoreError> {
+        let _prof = seg_obs::prof::phase("store_io");
         self.lists.fetch_add(1, Ordering::Relaxed);
         self.inner.list()
     }

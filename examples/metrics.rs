@@ -1,6 +1,7 @@
 //! Telemetry tour: drive an upload → share → download → revoke flow
-//! and print the server's unified metrics snapshot, the structured
-//! request trace, and the verified audit trail.
+//! and print the server's unified metrics snapshot, the phase-profile
+//! breakdown, the structured request trace, and the verified audit
+//! trail.
 //!
 //! Every export here crosses a *declassification point*: per-operation
 //! request counts and latency quantiles, enclave-boundary crossings, EPC
@@ -79,6 +80,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", snap.to_json());
     println!("--- full snapshot (Prometheus) ---");
     print!("{}", snap.to_prometheus());
+
+    // ------------------------------------------------- phase profile
+    // Where each operation's time went, as a static phase tree. Paths
+    // are compiled-in names only; values are aggregated durations —
+    // the same trust-boundary rule as the metrics above.
+    let prof = server.profile_snapshot();
+    println!("--- phase profile (self time by phase, all ops) ---");
+    let ops: Vec<&str> = prof
+        .entries
+        .iter()
+        .map(seg_obs::ProfEntry::op)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for (leaf, ns) in prof.phase_breakdown(&ops) {
+        println!("  {leaf:<14} {:>9.3} ms", ns as f64 / 1e6);
+    }
+    println!("--- phase profile (flamegraph-collapsed) ---");
+    print!("{}", prof.to_collapsed());
+    println!("--- phase profile (JSON) ---");
+    print!("{}", prof.to_json());
 
     // ------------------------------------------------ trace and audit
     // Principals and objects appear as keyed fingerprints: stable across

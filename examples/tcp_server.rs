@@ -6,9 +6,11 @@
 //! Run with: `cargo run --release --example tcp_server`
 //!
 //! Pass `--metrics` to print the server's telemetry snapshot
-//! (Prometheus exposition text) after the demo traffic completes, and
+//! (Prometheus exposition text) after the demo traffic completes,
 //! `--trace` to print the structured request trace (JSON, newest
-//! events last) plus the audit-chain verification result.
+//! events last) plus the audit-chain verification result, and
+//! `--profile` to print the phase profiler's flamegraph-collapsed
+//! output plus a per-phase breakdown of the 1 MB upload.
 
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -19,6 +21,7 @@ use segshare::{Client, EnclaveConfig, FsoSetup};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let metrics = std::env::args().any(|a| a == "--metrics");
     let trace = std::env::args().any(|a| a == "--trace");
+    let profile = std::env::args().any(|a| a == "--profile");
     let setup = FsoSetup::new_in_memory("ca", EnclaveConfig::default());
     let server = Arc::new(setup.server()?);
     let alice = setup.enroll_user("alice", "a@x", "Alice")?;
@@ -76,6 +79,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Ok(n) => println!("audit chain verified: {n} records"),
             Err(e) => println!("audit chain FAILED verification: {e}"),
         }
+    }
+    if profile {
+        // The snapshot is a declassification point: paths are
+        // compiled-in phase names, values are aggregated durations.
+        let prof = server.profile_snapshot();
+        println!("\n--- phase profile (flamegraph-collapsed) ---");
+        print!("{}", prof.to_collapsed());
+
+        // The 1 MB upload above arrived as one put_file request plus
+        // its streamed data chunks; fold both into one breakdown.
+        let upload_ops = ["put_file", "data"];
+        let wall_ns: u64 = upload_ops.iter().map(|op| prof.op_total_ns(op)).sum();
+        let self_sum_ns: u64 = upload_ops
+            .iter()
+            .flat_map(|op| prof.op_entries(op))
+            .map(|e| e.self_ns)
+            .sum();
+        println!("\n--- 1 MB upload phase breakdown (self time) ---");
+        for (leaf, ns) in prof.phase_breakdown(&upload_ops) {
+            println!(
+                "  {leaf:<14} {:>9.3} ms  {:>5.1}%",
+                ns as f64 / 1e6,
+                ns as f64 * 100.0 / wall_ns.max(1) as f64
+            );
+        }
+        println!(
+            "  enclave-side wall-clock {:.3} ms; phase self-times sum to {:.3} ms ({:.1}%)",
+            wall_ns as f64 / 1e6,
+            self_sum_ns as f64 / 1e6,
+            self_sum_ns as f64 * 100.0 / wall_ns.max(1) as f64,
+        );
+        // Sanity-check the attribution: nothing lost, nothing double
+        // counted, and crypto dominates a 1 MB upload as expected.
+        let drift = (wall_ns as f64 - self_sum_ns as f64).abs() / wall_ns.max(1) as f64;
+        assert!(
+            drift <= 0.10,
+            "phase self-times must account for the request wall-clock (drift {drift:.3})"
+        );
+        let dominant = prof
+            .phase_breakdown(&upload_ops)
+            .first()
+            .map(|&(leaf, _)| leaf);
+        assert_eq!(
+            dominant,
+            Some("crypto_gcm"),
+            "crypto_gcm should dominate a 1 MB upload"
+        );
+        println!("  (checked: crypto_gcm dominant, self-times account for the wall-clock)");
     }
     Ok(())
 }

@@ -267,3 +267,65 @@ fn epc_gauges_report_peak_usage() {
         "gauge mirrors the tracker"
     );
 }
+
+#[test]
+fn profile_attributes_upload_wall_clock_to_phases() {
+    // A 1 MB upload through the full enclave path: the phase profiler
+    // must attribute the request's wall-clock without losing or double
+    // counting time, and crypto must dominate (paper §VI: the enclave's
+    // cost is encryption, not access control).
+    let setup = FsoSetup::new_in_memory("prof-ca", EnclaveConfig::default());
+    let server = setup.server().expect("setup");
+    let alice = setup
+        .enroll_user("alice", "alice@acme.example", "Alice")
+        .expect("enroll");
+    let mut a = server.connect_local(&alice).expect("connect");
+    let payload: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
+    a.put("/big", &payload).expect("upload");
+    drop(a);
+
+    let prof = server.profile_snapshot();
+    assert!(!prof.entries.is_empty(), "profiler captured the flow");
+    assert_eq!(prof.unbalanced, 0, "no unbalanced phase stacks");
+
+    // The upload arrives as one put_file request plus streamed data
+    // chunks; fold both.
+    let upload_ops = ["put_file", "data"];
+    let wall_ns: u64 = upload_ops.iter().map(|op| prof.op_total_ns(op)).sum();
+    let self_sum_ns: u64 = upload_ops
+        .iter()
+        .flat_map(|op| prof.op_entries(op))
+        .map(|e| e.self_ns)
+        .sum();
+    assert!(wall_ns > 0, "upload ops carry wall-clock");
+    let drift = (wall_ns as f64 - self_sum_ns as f64).abs() / wall_ns as f64;
+    assert!(
+        drift <= 0.10,
+        "phase self-times must sum to the measured wall-clock \
+         (wall {wall_ns} ns, self sum {self_sum_ns} ns, drift {drift:.3})"
+    );
+
+    let breakdown = prof.phase_breakdown(&upload_ops);
+    assert_eq!(
+        breakdown.first().map(|&(leaf, _)| leaf),
+        Some("crypto_gcm"),
+        "crypto_gcm self-time dominates a 1 MB upload: {breakdown:?}"
+    );
+}
+
+#[test]
+fn profile_exports_carry_no_request_content() {
+    // Same trust-boundary rule as the metrics encodings: phase paths
+    // are compiled-in names; operands never reach the export.
+    let server = run_flow();
+    let prof = server.profile_snapshot();
+    assert!(!prof.entries.is_empty());
+    for encoded in [prof.to_json(), prof.to_collapsed()] {
+        for secret in SECRETS {
+            assert!(
+                !encoded.contains(secret),
+                "{secret:?} leaked into a profile export"
+            );
+        }
+    }
+}
