@@ -33,6 +33,12 @@ pub struct EnclaveConfig {
     /// Requests at least this slow (µs) are copied into the trace
     /// ring's slow-request log; 0 disables the slow log.
     pub slow_request_us: u64,
+    /// In-enclave object cache (`seg-cache`): decoded metadata (ACLs,
+    /// member/group lists, dirfiles, rollback-tree records) and small
+    /// hot content bodies are kept in enclave memory with write-through
+    /// generation invalidation, charged against the EPC tracker. Off
+    /// means byte-identical behavior to a build without the cache.
+    pub cache: bool,
 }
 
 impl Default for EnclaveConfig {
@@ -46,6 +52,7 @@ impl Default for EnclaveConfig {
             max_inherit_depth: 64,
             audit: true,
             slow_request_us: 100_000,
+            cache: false,
         }
     }
 }
@@ -69,10 +76,13 @@ impl EnclaveConfig {
             max_inherit_depth: 64,
             audit: false,
             slow_request_us: 0,
+            cache: false,
         }
     }
 
-    /// Every extension enabled.
+    /// Every §V extension enabled. The object cache stays off — it is an
+    /// operational accelerator, not a paper extension, and callers that
+    /// want it opt in explicitly.
     #[must_use]
     pub fn full() -> EnclaveConfig {
         EnclaveConfig {
@@ -84,6 +94,7 @@ impl EnclaveConfig {
             max_inherit_depth: 64,
             audit: true,
             slow_request_us: 100_000,
+            cache: false,
         }
     }
 
@@ -155,6 +166,14 @@ mod tests {
             ..EnclaveConfig::default()
         };
         assert_eq!(a, tuned.image_bytes());
+        // The object cache only changes *where* verified plaintext is
+        // held inside the enclave, never what leaves it — also
+        // operational, also outside the measurement.
+        let cached = EnclaveConfig {
+            cache: true,
+            ..EnclaveConfig::default()
+        };
+        assert_eq!(a, cached.image_bytes());
     }
 
     #[test]

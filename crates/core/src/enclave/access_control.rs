@@ -34,8 +34,12 @@ impl AccessControl {
 
     /// Loads a user's member list (empty if the user has no file yet).
     pub fn member_list(&self, user: &UserId) -> Result<MemberListFile, SegShareError> {
-        match self.store.read(&ObjectId::MemberList(user.clone()))? {
-            Some(body) => Ok(MemberListFile::decode(&body)?),
+        let id = ObjectId::MemberList(user.clone());
+        match self
+            .store
+            .read_decoded(&id, |body| Ok(MemberListFile::decode(body)?))?
+        {
+            Some(list) => Ok((*list).clone()),
             None => Ok(MemberListFile::new()),
         }
     }
@@ -62,16 +66,20 @@ impl AccessControl {
     }
 
     fn group_root(&self) -> Result<GroupRootFile, SegShareError> {
-        match self.store.read(&ObjectId::GroupRoot)? {
-            Some(body) => Ok(GroupRootFile::decode(&body)?),
+        match self.store.read_decoded(&ObjectId::GroupRoot, |body| {
+            Ok(GroupRootFile::decode(body)?)
+        })? {
+            Some(root) => Ok((*root).clone()),
             None => Ok(GroupRootFile::new()),
         }
     }
 
     /// Loads the group list.
     pub fn group_list(&self) -> Result<GroupListFile, SegShareError> {
-        match self.store.read(&ObjectId::GroupList)? {
-            Some(body) => Ok(GroupListFile::decode(&body)?),
+        match self.store.read_decoded(&ObjectId::GroupList, |body| {
+            Ok(GroupListFile::decode(body)?)
+        })? {
+            Some(list) => Ok((*list).clone()),
             None => Ok(GroupListFile::new()),
         }
     }
@@ -83,10 +91,11 @@ impl AccessControl {
 
     /// Loads the ACL of the entry at `path`.
     pub fn acl(&self, path: &SegPath) -> Result<Option<AclFile>, SegShareError> {
-        match self.store.read(&ObjectId::Acl(path.clone()))? {
-            Some(body) => Ok(Some(AclFile::decode(&body)?)),
-            None => Ok(None),
-        }
+        let id = ObjectId::Acl(path.clone());
+        Ok(self
+            .store
+            .read_decoded(&id, |body| Ok(AclFile::decode(body)?))?
+            .map(|acl| (*acl).clone()))
     }
 
     /// Persists the ACL of the entry at `path`.

@@ -69,10 +69,11 @@ impl FileManager {
 
     /// Loads a directory file.
     pub fn dir_file(&self, path: &SegPath) -> Result<Option<DirFile>, SegShareError> {
-        match self.store.read(&ObjectId::DirData(path.clone()))? {
-            Some(body) => Ok(Some(DirFile::decode(&body)?)),
-            None => Ok(None),
-        }
+        let id = ObjectId::DirData(path.clone());
+        Ok(self
+            .store
+            .read_decoded(&id, |body| Ok(DirFile::decode(body)?))?
+            .map(|dir| (*dir).clone()))
     }
 
     /// Whether a directory exists at `path`.
@@ -266,6 +267,18 @@ impl FileManager {
     }
 
     // ---------------------------------------------------------- download
+
+    /// Hot-object fast path: the whole content of `path` if its verified
+    /// body is in the enclave cache. `None` (miss, dedup indirection, or
+    /// cache disabled) falls back to the streaming download, whose
+    /// `open_stream` fill makes the *next* download of a small file hit
+    /// here.
+    pub fn cached_small_file(&self, path: &SegPath) -> Option<Vec<u8>> {
+        match self.store.cached_body(&ObjectId::FileData(path.clone())) {
+            Some(body) if body.first() == Some(&MARKER_INLINE) => Some(body[1..].to_vec()),
+            _ => None,
+        }
+    }
 
     /// Opens a streaming download of the content file at `path`.
     pub fn open_download(&self, path: &SegPath) -> Result<DownloadContext, SegShareError> {

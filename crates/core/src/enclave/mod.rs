@@ -555,6 +555,19 @@ impl SegShareEnclave {
             );
         }
 
+        // Object-cache counters exist only when the cache is enabled,
+        // keeping cache-off snapshots identical to pre-cache builds.
+        if let Some(c) = self.store.cache_stats() {
+            sync("seg_cache_hits_total", vec![], c.hits);
+            sync("seg_cache_misses_total", vec![], c.misses);
+            sync("seg_cache_fills_total", vec![], c.fills);
+            sync("seg_cache_stale_fills_total", vec![], c.stale_fills);
+            sync("seg_cache_evictions_total", vec![], c.evictions);
+            sync("seg_cache_invalidations_total", vec![], c.invalidations);
+            self.obs.gauge("seg_cache_entries").set(c.entries);
+            self.obs.gauge("seg_cache_bytes").set(c.bytes);
+        }
+
         self.obs.snapshot()
     }
 

@@ -15,7 +15,7 @@ use seg_crypto::rng::SystemRng;
 use seg_fs::{Access, ChildKind, GroupId, Perm, SegPath, UserId};
 use seg_obs::TraceDecision;
 use seg_pki::Certificate;
-use seg_proto::{ErrorCode, Request, Response};
+use seg_proto::{ErrorCode, Request, Response, CHUNK_LEN};
 use seg_tls::{ServerHandshake, TlsChannel};
 
 use crate::error::SegShareError;
@@ -580,6 +580,20 @@ impl EnclaveSession {
             }
             if !enclave.access().auth_file(user, Access::Read, &path)? {
                 return Err(deny(format!("no read permission on {path}")));
+            }
+            // Hot-object fast path: a small cached body is served in
+            // full — same wire sequence as streaming, no store access.
+            // Authorization above ran against live metadata, so a warm
+            // cache can never outlive a revocation.
+            if let Some(body) = enclave.files().cached_small_file(&path) {
+                let _epc = enclave.sgx().epc().alloc(body.len() as u64);
+                let mut responses = vec![Response::FileStart {
+                    size: body.len() as u64,
+                }];
+                responses.extend(body.chunks(CHUNK_LEN).map(|chunk| Response::Data {
+                    bytes: chunk.to_vec(),
+                }));
+                return Ok(responses);
             }
             let download = enclave.files().open_download(&path)?;
             let size = download.total_len();

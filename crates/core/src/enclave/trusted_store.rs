@@ -171,6 +171,33 @@ enum TreeChange {
     Remove { old: MsetHash },
 }
 
+// ------------------------------------------------------ object cache
+
+/// Content bodies above this size never enter the cache: large files
+/// stream chunk-at-a-time and must not pin whole plaintexts in EPC.
+const HOT_BODY_MAX: usize = 64 * 1024;
+
+/// Namespaced cache key: one logical object may be cached in more than
+/// one representation, and each is invalidated independently.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) enum CacheKey {
+    /// Verified, decrypted object body ([`TrustedStore::read`]).
+    Body(ObjectId),
+    /// Decoded in-enclave object ([`TrustedStore::read_decoded`]).
+    Decoded(ObjectId),
+    /// Rollback-tree hash record.
+    Record(ObjectId),
+}
+
+#[derive(Clone)]
+pub(crate) enum CachedValue {
+    Body(Arc<[u8]>),
+    Decoded(Arc<dyn std::any::Any + Send + Sync>),
+    Record(Arc<HashRecord>),
+}
+
+type MetaCache = seg_cache::ObjectCache<CacheKey, CachedValue>;
+
 /// The encrypted persistence layer shared by the access-control and
 /// file-manager components.
 pub struct TrustedStore {
@@ -181,11 +208,17 @@ pub struct TrustedStore {
     group: Arc<dyn ObjectStore>,
     dedup: Arc<dyn ObjectStore>,
     obs: Arc<seg_obs::Registry>,
+    /// In-enclave cache of verified plaintext (decoded metadata, hash
+    /// records, small hot content bodies), charged against the EPC
+    /// tracker. `None` means byte-identical behavior to a build
+    /// without the cache.
+    cache: Option<MetaCache>,
     // Cached telemetry handles (hot path: one atomic add per record).
     pfs_encrypt_ns: Arc<seg_obs::Histogram>,
     pfs_decrypt_ns: Arc<seg_obs::Histogram>,
     tree_update_ns: Arc<seg_obs::Histogram>,
     tree_verify_ns: Arc<seg_obs::Histogram>,
+    cache_hit_ns: Arc<seg_obs::Histogram>,
 }
 
 impl std::fmt::Debug for TrustedStore {
@@ -207,6 +240,9 @@ impl TrustedStore {
         dedup: Arc<dyn ObjectStore>,
         obs: Arc<seg_obs::Registry>,
     ) -> TrustedStore {
+        let cache = config
+            .cache
+            .then(|| MetaCache::new(seg_cache::CacheConfig::default(), sgx.epc().clone()));
         TrustedStore {
             keys,
             config,
@@ -214,11 +250,86 @@ impl TrustedStore {
             content,
             group,
             dedup,
+            cache,
             pfs_encrypt_ns: obs.histogram("seg_pfs_encrypt_ns"),
             pfs_decrypt_ns: obs.histogram("seg_pfs_decrypt_ns"),
             tree_update_ns: obs.histogram("seg_rollback_tree_update_ns"),
             tree_verify_ns: obs.histogram("seg_rollback_tree_verify_ns"),
+            cache_hit_ns: obs.histogram("seg_cache_hit_ns"),
             obs,
+        }
+    }
+
+    // ------------------------------------------------------ object cache
+
+    /// Cache counters, or `None` when the cache is disabled.
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<seg_cache::CacheStats> {
+        self.cache.as_ref().map(MetaCache::stats)
+    }
+
+    /// Looks `key` up in the cache, recording the hit-path latency.
+    fn cache_lookup(&self, key: &CacheKey) -> Option<CachedValue> {
+        let cache = self.cache.as_ref()?;
+        let start = std::time::Instant::now();
+        let hit = {
+            let _prof = seg_obs::prof::phase("cache_lookup");
+            cache.get(key)
+        };
+        if hit.is_some() {
+            self.cache_hit_ns.record_duration(start.elapsed());
+        }
+        hit
+    }
+
+    /// Snapshots `key`'s generation *before* the store read backing a
+    /// miss-fill; [`TrustedStore::cache_fill`] discards the fill if a
+    /// mutation bumped the generation in between.
+    fn cache_gen(&self, key: &CacheKey) -> u64 {
+        self.cache.as_ref().map_or(0, |c| c.generation(key))
+    }
+
+    fn cache_fill(&self, key: CacheKey, gen: u64, value: CachedValue, bytes: usize) {
+        if let Some(cache) = &self.cache {
+            cache.insert_if_current(key, gen, value, bytes as u64);
+        }
+    }
+
+    /// Write-through invalidation: drops every cached representation of
+    /// `id`'s body. Must run *before* the mutation's store write lands
+    /// so that no concurrent miss-fill can publish the old value.
+    fn cache_invalidate_object(&self, id: &ObjectId) {
+        if let Some(cache) = &self.cache {
+            cache.invalidate(&CacheKey::Body(id.clone()));
+            cache.invalidate(&CacheKey::Decoded(id.clone()));
+        }
+    }
+
+    fn cache_invalidate_record(&self, id: &ObjectId) {
+        if let Some(cache) = &self.cache {
+            cache.invalidate(&CacheKey::Record(id.clone()));
+        }
+    }
+
+    /// Whether a verified body of `id` may be retained in the cache.
+    fn body_cacheable(&self, id: &ObjectId, len: usize) -> bool {
+        match id {
+            // Content bodies only within the small hot-object budget.
+            ObjectId::FileData(_) => len <= HOT_BODY_MAX,
+            // Dedup blobs are content-addressed bulk data; never cached.
+            ObjectId::DedupBlob(_) => false,
+            // Metadata (dirfiles, ACLs, group/member lists) always.
+            _ => true,
+        }
+    }
+
+    /// Serves `id`'s verified body straight from the cache, without any
+    /// store access. `None` on miss (or with the cache disabled) — the
+    /// caller falls back to the verified store path.
+    pub(crate) fn cached_body(&self, id: &ObjectId) -> Option<Arc<[u8]>> {
+        match self.cache_lookup(&CacheKey::Body(id.clone())) {
+            Some(CachedValue::Body(body)) => Some(body),
+            _ => None,
         }
     }
 
@@ -307,6 +418,15 @@ impl TrustedStore {
     // ------------------------------------------------------ hash records
 
     fn read_hash_record(&self, id: &ObjectId) -> Result<Option<HashRecord>, SegShareError> {
+        let cache_key = CacheKey::Record(id.clone());
+        if let Some(CachedValue::Record(rec)) = self.cache_lookup(&cache_key) {
+            // Cached records are the latest authentic values this
+            // enclave wrote; an externally rolled-back store blob then
+            // *mismatches* them, so caching records can only improve
+            // detection, never mask a rollback.
+            return Ok(Some((*rec).clone()));
+        }
+        let gen = self.cache_gen(&cache_key);
         let key = self
             .keys
             .hash_record_storage_key(id, self.config.hide_names);
@@ -317,10 +437,18 @@ impl TrustedStore {
         let pae_key = self.keys.hash_record_key(id);
         let body = pae_dec(&pae_key, &blob, id.canonical().as_bytes())
             .map_err(|_| integrity(id, "hash record authentication failed"))?;
-        Ok(Some(HashRecord::decode(&body)?))
+        let rec = HashRecord::decode(&body)?;
+        self.cache_fill(
+            cache_key,
+            gen,
+            CachedValue::Record(Arc::new(rec.clone())),
+            body.len(),
+        );
+        Ok(Some(rec))
     }
 
     fn write_hash_record(&self, id: &ObjectId, rec: &HashRecord) -> Result<(), SegShareError> {
+        self.cache_invalidate_record(id);
         let key = self
             .keys
             .hash_record_storage_key(id, self.config.hide_names);
@@ -332,15 +460,20 @@ impl TrustedStore {
             &mut SystemRng::new(),
         );
         let store = self.store_for(id.store());
-        Ok(self.sgx.boundary().ocall(|| store.put(&key, &blob))?)
+        self.sgx.boundary().ocall(|| store.put(&key, &blob))?;
+        // Second bump — same fill-vs-landing race as `commit_blob`.
+        self.cache_invalidate_record(id);
+        Ok(())
     }
 
     fn delete_hash_record(&self, id: &ObjectId) -> Result<(), SegShareError> {
+        self.cache_invalidate_record(id);
         let key = self
             .keys
             .hash_record_storage_key(id, self.config.hide_names);
         let store = self.store_for(id.store());
         self.sgx.boundary().ocall(|| store.delete(&key))?;
+        self.cache_invalidate_record(id);
         Ok(())
     }
 
@@ -621,11 +754,16 @@ impl TrustedStore {
     pub fn commit_blob(&self, id: &ObjectId, blob: &[u8]) -> Result<(), SegShareError> {
         let start = std::time::Instant::now();
         let result = self.commit_blob_inner(id, blob);
+        // Second bump: a miss-fill that snapshotted its generation after
+        // the pre-write bump but read the store before the put landed
+        // would otherwise survive with the old body.
+        self.cache_invalidate_object(id);
         self.trace_store("store_write", id, result.is_ok(), start);
         result
     }
 
     fn commit_blob_inner(&self, id: &ObjectId, blob: &[u8]) -> Result<(), SegShareError> {
+        self.cache_invalidate_object(id);
         if !self.tree_enabled_for(id) {
             return self.raw_put(id, blob);
         }
@@ -659,17 +797,75 @@ impl TrustedStore {
 
     /// Reads and fully verifies an object body.
     ///
+    /// A cache hit serves the verified plaintext of the latest body
+    /// this enclave wrote without touching the store (and without a
+    /// `store_read` trace event — no store access happened).
+    ///
     /// # Errors
     ///
     /// Returns [`SegShareError::Integrity`] on any tamper or rollback.
     pub fn read(&self, id: &ObjectId) -> Result<Option<Vec<u8>>, SegShareError> {
+        if let Some(body) = self.cached_body(id) {
+            return Ok(Some(body.to_vec()));
+        }
+        let gen = self.cache_gen(&CacheKey::Body(id.clone()));
         let start = std::time::Instant::now();
-        let result = self.read_inner(id);
+        let result = self.read_verified(id);
         self.trace_store("store_read", id, result.is_ok(), start);
-        result
+        let body = result?;
+        if let Some(body) = &body {
+            if self.body_cacheable(id, body.len()) {
+                self.cache_fill(
+                    CacheKey::Body(id.clone()),
+                    gen,
+                    CachedValue::Body(Arc::from(body.as_slice())),
+                    body.len(),
+                );
+            }
+        }
+        Ok(body)
     }
 
-    fn read_inner(&self, id: &ObjectId) -> Result<Option<Vec<u8>>, SegShareError> {
+    /// Reads, verifies, and decodes an object, caching the *decoded*
+    /// form so repeat readers skip both the GCM decrypt and the decode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegShareError::Integrity`] on any tamper or rollback,
+    /// and propagates `decode` failures.
+    pub(crate) fn read_decoded<T, F>(
+        &self,
+        id: &ObjectId,
+        decode: F,
+    ) -> Result<Option<Arc<T>>, SegShareError>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce(&[u8]) -> Result<T, SegShareError>,
+    {
+        let cache_key = CacheKey::Decoded(id.clone());
+        if let Some(CachedValue::Decoded(any)) = self.cache_lookup(&cache_key) {
+            if let Ok(value) = any.downcast::<T>() {
+                return Ok(Some(value));
+            }
+        }
+        let gen = self.cache_gen(&cache_key);
+        let start = std::time::Instant::now();
+        let result = self.read_verified(id);
+        self.trace_store("store_read", id, result.is_ok(), start);
+        let Some(body) = result? else {
+            return Ok(None);
+        };
+        let value = Arc::new(decode(&body)?);
+        self.cache_fill(
+            cache_key,
+            gen,
+            CachedValue::Decoded(value.clone()),
+            body.len(),
+        );
+        Ok(Some(value))
+    }
+
+    fn read_verified(&self, id: &ObjectId) -> Result<Option<Vec<u8>>, SegShareError> {
         let Some(blob) = self.raw_get(id)? else {
             return Ok(None);
         };
@@ -699,6 +895,7 @@ impl TrustedStore {
     }
 
     fn open_stream_inner(&self, id: &ObjectId) -> Result<Option<PfsFile>, SegShareError> {
+        let gen = self.cache_gen(&CacheKey::Body(id.clone()));
         let Some(blob) = self.raw_get(id)? else {
             return Ok(None);
         };
@@ -708,7 +905,25 @@ impl TrustedStore {
         if self.tree_enabled_for(id) {
             self.verify_tree(id, &blob[..NODE_LEN])?;
         }
-        Ok(Some(PfsFile::open(&self.data_key(id), blob)?))
+        let file = PfsFile::open(&self.data_key(id), blob)?;
+        // Hot-object fill: remember small verified bodies so the next
+        // download is served from [`TrustedStore::cached_body`] with no
+        // store access at all. Large files only ever stream.
+        if self.cache.is_some()
+            && file.data_len() <= HOT_BODY_MAX as u64
+            && self.body_cacheable(id, file.data_len() as usize)
+        {
+            if let Ok(body) = file.read_all() {
+                let len = body.len();
+                self.cache_fill(
+                    CacheKey::Body(id.clone()),
+                    gen,
+                    CachedValue::Body(Arc::from(body)),
+                    len,
+                );
+            }
+        }
+        Ok(Some(file))
     }
 
     /// Deletes an object (and its tree node).
@@ -719,11 +934,13 @@ impl TrustedStore {
     pub fn delete(&self, id: &ObjectId) -> Result<bool, SegShareError> {
         let start = std::time::Instant::now();
         let result = self.delete_inner(id);
+        self.cache_invalidate_object(id);
         self.trace_store("store_delete", id, result.is_ok(), start);
         result
     }
 
     fn delete_inner(&self, id: &ObjectId) -> Result<bool, SegShareError> {
+        self.cache_invalidate_object(id);
         let existed = self.raw_delete(id)?;
         if self.tree_enabled_for(id) {
             if let Some(rec) = self.read_hash_record(id)? {
@@ -741,6 +958,11 @@ impl TrustedStore {
     ///
     /// Fails if any stored object is unreadable.
     pub fn rebuild_tree(&self) -> Result<(), SegShareError> {
+        // Restoration replaces store contents without going through the
+        // write-through mutators, so nothing cached is trustworthy.
+        if let Some(cache) = &self.cache {
+            cache.clear();
+        }
         if !self.config.rollback_individual {
             return Ok(());
         }
@@ -1006,6 +1228,107 @@ mod tests {
                 "cut {cut}"
             );
         }
+    }
+
+    fn cached_config() -> EnclaveConfig {
+        EnclaveConfig {
+            cache: true,
+            ..EnclaveConfig::default()
+        }
+    }
+
+    #[test]
+    fn cache_stats_absent_when_disabled() {
+        let f = fixture(EnclaveConfig::default());
+        assert!(f.store.cache_stats().is_none());
+        assert!(fixture(cached_config()).store.cache_stats().is_some());
+    }
+
+    #[test]
+    fn warm_read_is_served_without_any_store_access() {
+        let f = fixture(cached_config());
+        init_root(&f);
+        register_child(&f, "a", seg_fs::ChildKind::File);
+        f.store.write(&file_id("/a"), b"hot body").unwrap();
+        // Miss-fill.
+        assert_eq!(f.store.read(&file_id("/a")).unwrap().unwrap(), b"hot body");
+        // Destroy the backing object outright: a warm read still serves
+        // the verified body, proving the hit path does zero store I/O.
+        let data_key = f.store.keys.storage_key(&file_id("/a"), true);
+        f.content.delete(&data_key).unwrap();
+        assert_eq!(f.store.read(&file_id("/a")).unwrap().unwrap(), b"hot body");
+        let stats = f.store.cache_stats().unwrap();
+        assert!(stats.hits >= 1, "expected a cache hit, got {stats:?}");
+    }
+
+    #[test]
+    fn write_through_invalidation_supersedes_cached_body() {
+        let f = fixture(cached_config());
+        init_root(&f);
+        register_child(&f, "a", seg_fs::ChildKind::File);
+        f.store.write(&file_id("/a"), b"version 1").unwrap();
+        assert_eq!(f.store.read(&file_id("/a")).unwrap().unwrap(), b"version 1");
+        f.store.write(&file_id("/a"), b"version 2").unwrap();
+        assert_eq!(f.store.read(&file_id("/a")).unwrap().unwrap(), b"version 2");
+        assert!(f.store.cache_stats().unwrap().invalidations >= 1);
+    }
+
+    #[test]
+    fn delete_drops_cached_body() {
+        let f = fixture(cached_config());
+        init_root(&f);
+        register_child(&f, "a", seg_fs::ChildKind::File);
+        f.store.write(&file_id("/a"), b"doomed").unwrap();
+        assert!(f.store.read(&file_id("/a")).unwrap().is_some());
+        assert!(f.store.delete(&file_id("/a")).unwrap());
+        assert!(f.store.read(&file_id("/a")).unwrap().is_none());
+    }
+
+    #[test]
+    fn rebuild_tree_clears_cache_after_external_restore() {
+        let f = fixture(cached_config());
+        init_root(&f);
+        register_child(&f, "a", seg_fs::ChildKind::File);
+        f.store.write(&file_id("/a"), b"version 1").unwrap();
+        let snapshot = f.content.snapshot();
+        f.store.write(&file_id("/a"), b"version 2").unwrap();
+        // Warm the cache with version 2, then restore the version-1
+        // backup out from under the enclave (§V-G).
+        assert_eq!(f.store.read(&file_id("/a")).unwrap().unwrap(), b"version 2");
+        f.content.restore(snapshot);
+        f.store.rebuild_tree().unwrap();
+        // The restoration path cleared the cache: the read reflects the
+        // restored store, not the stale cached version 2.
+        assert_eq!(f.store.read(&file_id("/a")).unwrap().unwrap(), b"version 1");
+    }
+
+    #[test]
+    fn rolled_back_store_never_yields_stale_reads_warm_or_cold() {
+        // With the cache on, an external whole-store rollback must
+        // produce fresh data or an integrity error — never a stale body
+        // accepted because of (or despite) cached state.
+        let f = fixture(cached_config());
+        init_root(&f);
+        register_child(&f, "a", seg_fs::ChildKind::File);
+        f.store.write(&file_id("/a"), b"version 1").unwrap();
+        let snapshot = f.content.snapshot();
+        f.store.write(&file_id("/a"), b"version 2").unwrap();
+        assert_eq!(f.store.read(&file_id("/a")).unwrap().unwrap(), b"version 2");
+        f.content.restore(snapshot);
+        // Warm: the hit serves the latest enclave-written body.
+        assert_eq!(f.store.read(&file_id("/a")).unwrap().unwrap(), b"version 2");
+        // Body evicted (e.g. by pressure) while the authentic hash
+        // records stay cached: the refetch reads the rolled-back blob,
+        // which *mismatches* the cached latest records — detected, not
+        // served.
+        let cache = f.store.cache.as_ref().unwrap();
+        cache.invalidate(&CacheKey::Body(file_id("/a")));
+        let data_key = f.store.keys.storage_key(&file_id("/a"), true);
+        assert!(f.content.get(&data_key).unwrap().is_some());
+        assert!(matches!(
+            f.store.read(&file_id("/a")),
+            Err(SegShareError::Integrity(_))
+        ));
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub use attestation::Quote;
 pub use boundary::{Boundary, BoundaryStats, CostModel};
 pub use counter::CounterHandle;
 pub use enclave::{Enclave, EnclaveImage, Measurement};
+pub use epc::{EpcAllocation, EpcTracker};
 pub use platform::Platform;
 
 use std::error::Error;

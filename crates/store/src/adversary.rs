@@ -152,6 +152,11 @@ impl<S: ObjectStore> ObjectStore for AdversaryStore<S> {
         self.inner.get(key)
     }
 
+    fn get_arc(&self, key: &str) -> Result<Option<std::sync::Arc<[u8]>>, StoreError> {
+        self.check_injection()?;
+        self.inner.get_arc(key)
+    }
+
     fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
         self.check_injection()?;
         self.inner.put(key, value)

@@ -114,6 +114,16 @@ impl<S: ObjectStore> ObjectStore for CountingStore<S> {
         Ok(result)
     }
 
+    fn get_arc(&self, key: &str) -> Result<Option<std::sync::Arc<[u8]>>, StoreError> {
+        let _prof = seg_obs::prof::phase("store_io");
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let result = self.inner.get_arc(key)?;
+        if let Some(v) = &result {
+            self.bytes_read.fetch_add(v.len() as u64, Ordering::Relaxed);
+        }
+        Ok(result)
+    }
+
     fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
         let _prof = seg_obs::prof::phase("store_io");
         self.puts.fetch_add(1, Ordering::Relaxed);

@@ -87,6 +87,19 @@ pub trait ObjectStore: Send + Sync {
     /// Returns [`StoreError::Io`] on backend failure.
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError>;
 
+    /// Reads the object at `key` as a shared, immutable buffer.
+    ///
+    /// Stores that keep bodies reference-counted internally (like
+    /// [`MemStore`]) return them without copying; the default falls back
+    /// to [`ObjectStore::get`] plus one conversion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on backend failure.
+    fn get_arc(&self, key: &str) -> Result<Option<Arc<[u8]>>, StoreError> {
+        Ok(self.get(key)?.map(Arc::from))
+    }
+
     /// Creates or replaces the object at `key`.
     ///
     /// # Errors
@@ -184,6 +197,9 @@ pub trait ObjectStore: Send + Sync {
 impl<S: ObjectStore + ?Sized> ObjectStore for Arc<S> {
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
         (**self).get(key)
+    }
+    fn get_arc(&self, key: &str) -> Result<Option<Arc<[u8]>>, StoreError> {
+        (**self).get_arc(key)
     }
     fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
         (**self).put(key, value)

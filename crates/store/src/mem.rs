@@ -1,6 +1,7 @@
 //! In-memory object store.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
@@ -8,9 +9,12 @@ use crate::{ObjectStore, StoreError};
 
 /// A thread-safe in-memory object store, the default substrate for tests
 /// and benchmarks.
+///
+/// Bodies are held as `Arc<[u8]>` so reads ([`ObjectStore::get_arc`]) and
+/// whole-store snapshots share buffers instead of deep-copying them.
 #[derive(Debug, Default)]
 pub struct MemStore {
-    objects: RwLock<HashMap<String, Vec<u8>>>,
+    objects: RwLock<HashMap<String, Arc<[u8]>>>,
 }
 
 impl MemStore {
@@ -20,26 +24,33 @@ impl MemStore {
         MemStore::default()
     }
 
-    /// Deep-copies the entire store (used by whole-file-system rollback
-    /// attacks in tests, §V-E).
+    /// Captures the entire store (used by whole-file-system rollback
+    /// attacks in tests, §V-E). Bodies are shared by reference count, so
+    /// this copies keys and pointers, not object contents.
     #[must_use]
-    pub fn snapshot(&self) -> HashMap<String, Vec<u8>> {
+    pub fn snapshot(&self) -> HashMap<String, Arc<[u8]>> {
         self.objects.read().clone()
     }
 
     /// Replaces the entire contents with `snapshot`.
-    pub fn restore(&self, snapshot: HashMap<String, Vec<u8>>) {
+    pub fn restore(&self, snapshot: HashMap<String, Arc<[u8]>>) {
         *self.objects.write() = snapshot;
     }
 }
 
 impl ObjectStore for MemStore {
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
-        Ok(self.objects.read().get(key).cloned())
+        Ok(self.objects.read().get(key).map(|v| v.to_vec()))
+    }
+
+    fn get_arc(&self, key: &str) -> Result<Option<Arc<[u8]>>, StoreError> {
+        Ok(self.objects.read().get(key).map(Arc::clone))
     }
 
     fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
-        self.objects.write().insert(key.to_string(), value.to_vec());
+        self.objects
+            .write()
+            .insert(key.to_string(), Arc::from(value));
         Ok(())
     }
 
@@ -145,6 +156,21 @@ mod tests {
         s.restore(snap);
         assert_eq!(s.get("a").unwrap(), Some(b"1".to_vec()));
         assert_eq!(s.get("b").unwrap(), None);
+    }
+
+    #[test]
+    fn get_arc_and_snapshot_share_bodies() {
+        let s = MemStore::new();
+        s.put("a", &[7u8; 64]).unwrap();
+        let a1 = s.get_arc("a").unwrap().unwrap();
+        let a2 = s.get_arc("a").unwrap().unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2), "reads share one buffer");
+        let snap = s.snapshot();
+        assert!(
+            Arc::ptr_eq(&a1, snap.get("a").unwrap()),
+            "snapshot shares bodies with the live store"
+        );
+        assert_eq!(&a1[..], &[7u8; 64]);
     }
 
     #[test]

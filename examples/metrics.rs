@@ -16,7 +16,13 @@ use seg_fs::Perm;
 use segshare::{EnclaveConfig, FsoSetup};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let setup = FsoSetup::new_in_memory("ca", EnclaveConfig::default());
+    // Cache on, so the tour also shows the object-cache counter family
+    // (absent entirely when the toggle is off).
+    let config = EnclaveConfig {
+        cache: true,
+        ..EnclaveConfig::default()
+    };
+    let setup = FsoSetup::new_in_memory("ca", config);
     let server = setup.server()?;
     let alice = setup.enroll_user("alice", "alice@acme.example", "Alice")?;
     let bob = setup.enroll_user("bob", "bob@acme.example", "Bob")?;
@@ -75,6 +81,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or(0);
         println!("  {store}: {read} bytes read, {written} bytes written");
     }
+
+    println!("\nobject cache:");
+    let hits = snap.counter("seg_cache_hits_total").unwrap_or(0);
+    let misses = snap.counter("seg_cache_misses_total").unwrap_or(0);
+    println!(
+        "  hits={hits} misses={misses} fills={} invalidations={} | {} entries, {} bytes",
+        snap.counter("seg_cache_fills_total").unwrap_or(0),
+        snap.counter("seg_cache_invalidations_total").unwrap_or(0),
+        snap.gauge("seg_cache_entries").unwrap_or(0),
+        snap.gauge("seg_cache_bytes").unwrap_or(0),
+    );
 
     println!("\n--- full snapshot (JSON) ---");
     print!("{}", snap.to_json());

@@ -22,7 +22,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let metrics = std::env::args().any(|a| a == "--metrics");
     let trace = std::env::args().any(|a| a == "--trace");
     let profile = std::env::args().any(|a| a == "--profile");
-    let setup = FsoSetup::new_in_memory("ca", EnclaveConfig::default());
+    // Cache on: the Prometheus exposition below then includes the
+    // seg_cache_* counter family alongside the request/store metrics.
+    let config = EnclaveConfig {
+        cache: true,
+        ..EnclaveConfig::default()
+    };
+    let setup = FsoSetup::new_in_memory("ca", config);
     let server = Arc::new(setup.server()?);
     let alice = setup.enroll_user("alice", "a@x", "Alice")?;
 

@@ -1,0 +1,237 @@
+//! Cache-freshness integration tests: the in-enclave object cache
+//! (`EnclaveConfig.cache`) must never weaken the §III security
+//! objectives. Revocations take effect on the very next request even
+//! with a warm cache (P3/S4 immediate revocation), and a rolled-back
+//! store serves fresh data or an integrity error — never stale state
+//! the rollback tree would have caught.
+
+use std::sync::Arc;
+
+use seg_fs::Perm;
+use seg_proto::ErrorCode;
+use seg_store::{AdversaryStore, MemStore, ObjectStore};
+use segshare::{EnclaveConfig, FsoSetup, SegShareError, SegShareServer};
+
+struct Rig {
+    setup: FsoSetup,
+    server: SegShareServer,
+    content: Arc<AdversaryStore<MemStore>>,
+    group: Arc<AdversaryStore<MemStore>>,
+}
+
+fn cached_config() -> EnclaveConfig {
+    EnclaveConfig {
+        cache: true,
+        ..EnclaveConfig::default()
+    }
+}
+
+fn rig(config: EnclaveConfig, seed: u64) -> Rig {
+    let content = Arc::new(AdversaryStore::new(MemStore::new()));
+    let group = Arc::new(AdversaryStore::new(MemStore::new()));
+    let dedup: Arc<dyn ObjectStore> = Arc::new(AdversaryStore::new(MemStore::new()));
+    let setup = FsoSetup::with_stores(
+        "ca",
+        config,
+        seg_sgx::Platform::new_with_seed(seed),
+        Arc::clone(&content) as Arc<dyn ObjectStore>,
+        Arc::clone(&group) as Arc<dyn ObjectStore>,
+        dedup,
+    );
+    let server = setup.server().unwrap();
+    Rig {
+        setup,
+        server,
+        content,
+        group,
+    }
+}
+
+fn is_denied(result: Result<impl std::fmt::Debug, SegShareError>) -> bool {
+    matches!(
+        result,
+        Err(SegShareError::Request {
+            code: ErrorCode::Denied,
+            ..
+        })
+    )
+}
+
+/// Repeated reads warm every layer of the cache (ACLs, member lists,
+/// directory files, hot content bodies) for `path`.
+fn warm<T: seg_net::FrameTransport>(client: &mut segshare::Client<T>, path: &str, expect: &[u8]) {
+    for _ in 0..3 {
+        assert_eq!(client.get(path).unwrap(), expect);
+    }
+}
+
+#[test]
+fn revocation_takes_effect_on_the_very_next_request_with_warm_cache() {
+    // P3/S4 immediate revocation must survive a cache whose entries
+    // were filled while the member was still authorized.
+    let r = rig(cached_config(), 300);
+    let alice = r.setup.enroll_user("alice", "a@x", "Alice").unwrap();
+    let bob = r.setup.enroll_user("bob", "b@x", "Bob").unwrap();
+    let mut a = r.server.connect_local(&alice).unwrap();
+    let mut b = r.server.connect_local(&bob).unwrap();
+
+    a.put("/secret", b"classified").unwrap();
+    a.add_user("bob", "insiders").unwrap();
+    a.set_perm("/secret", "insiders", Perm::Read).unwrap();
+
+    // Warm every cached object on bob's read path: his member list,
+    // the file's ACL, and the (small) content body itself.
+    warm(&mut b, "/secret", b"classified");
+
+    // Revoke, then probe on the *very next* request — no intervening
+    // traffic that could incidentally invalidate anything.
+    a.remove_user("bob", "insiders").unwrap();
+    assert!(
+        is_denied(b.get("/secret")),
+        "warm cache must not outlive membership revocation"
+    );
+}
+
+#[test]
+fn permission_removal_takes_effect_with_warm_acl_cache() {
+    let r = rig(cached_config(), 301);
+    let alice = r.setup.enroll_user("alice", "a@x", "Alice").unwrap();
+    let bob = r.setup.enroll_user("bob", "b@x", "Bob").unwrap();
+    let mut a = r.server.connect_local(&alice).unwrap();
+    let mut b = r.server.connect_local(&bob).unwrap();
+
+    a.put("/doc", b"shared").unwrap();
+    a.set_perm("/doc", "~bob", Perm::Read).unwrap();
+    warm(&mut b, "/doc", b"shared");
+
+    // Flip the warm ACL entry to an explicit deny.
+    a.set_perm("/doc", "~bob", Perm::Deny).unwrap();
+    assert!(
+        is_denied(b.get("/doc")),
+        "warm ACL cache must not outlive a permission change"
+    );
+}
+
+#[test]
+fn stale_member_list_replay_is_detected_with_cache_enabled() {
+    // The §V-D replay: the attacker re-serves the group-store state
+    // from when bob was still a member. Cached records pin the latest
+    // authentic tree, so the replay must surface as an integrity error
+    // (or a deny, if served from authentic cached state) — never as
+    // restored access.
+    let r = rig(cached_config(), 302);
+    let alice = r.setup.enroll_user("alice", "a@x", "Alice").unwrap();
+    let bob = r.setup.enroll_user("bob", "b@x", "Bob").unwrap();
+    let mut a = r.server.connect_local(&alice).unwrap();
+    let mut b = r.server.connect_local(&bob).unwrap();
+
+    a.put("/secret", b"classified").unwrap();
+    let before = r.group.inner().list().unwrap();
+    a.add_user("bob", "insiders").unwrap();
+    a.set_perm("/secret", "insiders", Perm::Read).unwrap();
+    warm(&mut b, "/secret", b"classified");
+
+    // Snapshot the group-store objects holding bob's membership...
+    let mut touched = r.group.inner().list().unwrap();
+    touched.retain(|k| !before.contains(k));
+    assert!(!touched.is_empty());
+    for key in &touched {
+        r.group.snapshot_object(key).unwrap();
+    }
+
+    // ...revoke, then replay them.
+    a.remove_user("bob", "insiders").unwrap();
+    assert!(is_denied(b.get("/secret")));
+    for key in &touched {
+        r.group.rollback_object(key).unwrap();
+    }
+    match b.get("/secret") {
+        Ok(_) => panic!("stale member list must not restore access"),
+        Err(SegShareError::Request {
+            code: ErrorCode::IntegrityViolation | ErrorCode::Denied,
+            ..
+        }) => {}
+        Err(other) => panic!("unexpected failure mode: {other:?}"),
+    }
+}
+
+#[test]
+fn whole_store_rollback_with_warm_cache_serves_fresh_or_errors() {
+    // §III freshness: after the attacker rolls back *both stores*
+    // entirely, every response must be either the latest data (served
+    // from the authentic in-enclave cache) or an integrity error —
+    // never the rolled-back content.
+    let r = rig(cached_config(), 303);
+    let alice = r.setup.enroll_user("alice", "a@x", "Alice").unwrap();
+    let mut a = r.server.connect_local(&alice).unwrap();
+
+    a.put("/doc", b"old state").unwrap();
+    r.content.snapshot_everything().unwrap();
+    r.group.snapshot_everything().unwrap();
+    a.put("/doc", b"new state").unwrap();
+    warm(&mut a, "/doc", b"new state");
+
+    r.content.rollback_everything().unwrap();
+    r.group.rollback_everything().unwrap();
+
+    // Warm path: the cached body is the *latest* enclave-written state.
+    match a.get("/doc") {
+        Ok(body) => assert_eq!(
+            body, b"new state",
+            "rollback must never surface stale content"
+        ),
+        Err(e) => assert!(
+            matches!(
+                e,
+                SegShareError::Request {
+                    code: ErrorCode::IntegrityViolation,
+                    ..
+                }
+            ),
+            "unexpected failure mode: {e:?}"
+        ),
+    }
+}
+
+#[test]
+fn cache_off_is_byte_identical_to_seed_behavior() {
+    // With the toggle off the §V-D boundary case behaves exactly as
+    // before the cache existed: a complete, consistent old state
+    // verifies (the residual risk §V-E exists for).
+    let r = rig(EnclaveConfig::default(), 304);
+    let alice = r.setup.enroll_user("alice", "a@x", "Alice").unwrap();
+    let mut a = r.server.connect_local(&alice).unwrap();
+
+    a.put("/doc", b"old state").unwrap();
+    r.content.snapshot_everything().unwrap();
+    r.group.snapshot_everything().unwrap();
+    a.put("/doc", b"new state").unwrap();
+    r.content.rollback_everything().unwrap();
+    r.group.rollback_everything().unwrap();
+    assert_eq!(a.get("/doc").unwrap(), b"old state");
+
+    // And the metrics surface carries no cache counter family at all.
+    let snap = r.server.enclave().metrics_snapshot();
+    assert!(snap.counter("seg_cache_hits_total").is_none());
+    assert!(snap.gauge("seg_cache_bytes").is_none());
+}
+
+#[test]
+fn cache_metrics_report_hits_and_invalidations() {
+    let r = rig(cached_config(), 305);
+    let alice = r.setup.enroll_user("alice", "a@x", "Alice").unwrap();
+    let mut a = r.server.connect_local(&alice).unwrap();
+
+    a.put("/hot", b"small hot object").unwrap();
+    warm(&mut a, "/hot", b"small hot object");
+    a.put("/hot", b"replaced").unwrap();
+    warm(&mut a, "/hot", b"replaced");
+
+    let snap = r.server.enclave().metrics_snapshot();
+    let hits = snap.counter("seg_cache_hits_total").unwrap();
+    let fills = snap.counter("seg_cache_fills_total").unwrap();
+    let invalidations = snap.counter("seg_cache_invalidations_total").unwrap();
+    assert!(hits > 0, "warm reads must hit the cache");
+    assert!(fills > 0);
+    assert!(invalidations > 0, "the overwrite must invalidate");
+}
