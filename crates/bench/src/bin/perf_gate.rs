@@ -19,6 +19,8 @@
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
 
 use seg_bench::harness::{
     arg_flag, fmt_s, local_gcm_mbps, measure, normalize_processing, Measured, Rig, HW_GCM_MBPS,
@@ -66,6 +68,228 @@ impl CacheEvidence {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+/// Simulated store round-trip latency for the concurrency workloads.
+/// In-memory stores answer in nanoseconds, which makes every request
+/// CPU-bound and hides what per-object locking buys; real deployments
+/// (§VI: cross-region blob storage) spend most of a request blocked on
+/// the store. 800 µs is far below the paper's WAN latencies but enough
+/// that store wait dominates the locked section.
+const CONC_STORE_DELAY: Duration = Duration::from_micros(800);
+/// Minimum aggregate-throughput ratio (per-object locks vs the coarse
+/// global lock) at 8 threads on the disjoint-directory mix.
+const CONC_MIN_SPEEDUP: f64 = 3.0;
+
+/// One measured point of the thread-scaling curve.
+struct ConcurrencyPoint {
+    mix: &'static str,
+    mode: &'static str,
+    threads: usize,
+    ops_per_s: f64,
+}
+
+/// The enclave configuration for the scaling workloads: audit off
+/// (the hash-chained trail is inherently serial — every record extends
+/// one chain head) and the per-file rollback tree off (each commit
+/// updates shared ancestor records under the store-wide tree lock).
+/// Both serializations are honest properties of those features, and
+/// both are reported separately; this config isolates the dispatch
+/// layer the [`segshare::enclave::locks::LockManager`] parallelized.
+fn concurrency_config() -> EnclaveConfig {
+    EnclaveConfig {
+        audit: false,
+        cache: true,
+        rollback_individual: false,
+        rollback_whole_fs: false,
+        ..EnclaveConfig::paper_prototype()
+    }
+}
+
+/// Runs `threads` client sessions against `rig`, each performing
+/// `ops` operations (3:1 upload:download of 4 KiB files), and returns
+/// aggregate operations per second. `shared_dir` selects the
+/// overlapping mix (every session writes into one directory, so all
+/// scopes collide on the parent's write lock) versus the disjoint mix
+/// (a private directory per session). Sessions, handshakes, and
+/// directory creation happen outside the timed window; `round` keeps
+/// object names unique across repetitions.
+fn run_concurrency_point(
+    rig: &Rig,
+    coarse: bool,
+    threads: usize,
+    ops: usize,
+    shared_dir: bool,
+    round: u32,
+) -> f64 {
+    rig.server.enclave().locks().set_coarse(coarse);
+    let payload: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+
+    let mut clients = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let mut client = rig.client();
+        let dir = if shared_dir {
+            format!("/shared{round}")
+        } else {
+            format!("/c{round}x{t}")
+        };
+        if !shared_dir || t == 0 {
+            client.mkdir(&dir).expect("mkdir");
+        }
+        clients.push((client, dir));
+    }
+
+    let barrier = Barrier::new(threads + 1);
+    let elapsed = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(t, (mut client, dir))| {
+                let barrier = &barrier;
+                let payload = &payload;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for j in 0..ops {
+                        let path = format!("{dir}/t{t}f{j}");
+                        if j % 4 == 3 {
+                            // Re-read a file this session already wrote.
+                            let back = format!("{dir}/t{t}f{}", j - 1);
+                            let got = client.get(&back).expect("download");
+                            assert_eq!(got.len(), payload.len());
+                        } else {
+                            client.put(&path, payload).expect("upload");
+                        }
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+        start.elapsed().as_secs_f64()
+    });
+    (threads * ops) as f64 / elapsed
+}
+
+/// Measures the full scaling matrix: disjoint-directory mix at 1/2/4/8
+/// threads under both lock modes, the overlapping mix at 8 threads, and
+/// (on a separate rig) the rollback-tree-enabled mix at 8 threads so
+/// the tree's commit serialization is quantified rather than hidden.
+fn run_concurrency(reps: usize, ops: usize) -> Vec<ConcurrencyPoint> {
+    let mut points = Vec::new();
+    let mut round = 0u32;
+    let mut best = |rig: &Rig,
+                    mix: &'static str,
+                    mode: &'static str,
+                    coarse: bool,
+                    threads: usize,
+                    round: &mut u32| {
+        // Best-of-reps: throughput noise is one-sided (scheduler stalls
+        // only ever slow a run down), so the max is the stable estimate.
+        let mut top = 0f64;
+        for _ in 0..reps {
+            *round += 1;
+            top = top.max(run_concurrency_point(
+                rig,
+                coarse,
+                threads,
+                ops,
+                mix == "overlapping",
+                *round,
+            ));
+        }
+        points.push(ConcurrencyPoint {
+            mix,
+            mode,
+            threads,
+            ops_per_s: top,
+        });
+    };
+
+    let rig = Rig::with_store_latency(concurrency_config(), CONC_STORE_DELAY);
+    for threads in [1usize, 2, 4, 8] {
+        best(&rig, "disjoint", "coarse", true, threads, &mut round);
+        best(&rig, "disjoint", "fine", false, threads, &mut round);
+    }
+    best(&rig, "overlapping", "coarse", true, 8, &mut round);
+    best(&rig, "overlapping", "fine", false, 8, &mut round);
+
+    // Same mix with the per-file rollback tree on: commits serialize on
+    // the content store's tree lock (ancestor hash-record RMW), so this
+    // bounds what dispatch-level parallelism is worth under §V-D.
+    let tree_rig = Rig::with_store_latency(
+        EnclaveConfig {
+            rollback_individual: true,
+            ..concurrency_config()
+        },
+        CONC_STORE_DELAY,
+    );
+    best(&tree_rig, "disjoint_tree", "coarse", true, 8, &mut round);
+    best(&tree_rig, "disjoint_tree", "fine", false, 8, &mut round);
+
+    points
+}
+
+/// Finds one measured point (panics if the matrix is missing it).
+fn conc_point<'a>(
+    points: &'a [ConcurrencyPoint],
+    mix: &str,
+    mode: &str,
+    threads: usize,
+) -> &'a ConcurrencyPoint {
+    points
+        .iter()
+        .find(|p| p.mix == mix && p.mode == mode && p.threads == threads)
+        .expect("concurrency matrix covers this point")
+}
+
+fn print_concurrency(points: &[ConcurrencyPoint]) {
+    println!(
+        "== concurrency (store round-trip {} µs, 3:1 put:get of 4 KiB) ==",
+        CONC_STORE_DELAY.as_micros()
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let coarse = conc_point(points, "disjoint", "coarse", threads);
+        let fine = conc_point(points, "disjoint", "fine", threads);
+        println!(
+            "  disjoint      threads={threads} coarse={:7.1} ops/s  fine={:7.1} ops/s  ({:.2}x)",
+            coarse.ops_per_s,
+            fine.ops_per_s,
+            fine.ops_per_s / coarse.ops_per_s,
+        );
+    }
+    for mix in ["overlapping", "disjoint_tree"] {
+        let coarse = conc_point(points, mix, "coarse", 8);
+        let fine = conc_point(points, mix, "fine", 8);
+        println!(
+            "  {mix:<13} threads=8 coarse={:7.1} ops/s  fine={:7.1} ops/s  ({:.2}x)",
+            coarse.ops_per_s,
+            fine.ops_per_s,
+            fine.ops_per_s / coarse.ops_per_s,
+        );
+    }
+}
+
+/// The concurrency acceptance check: per-object locking must deliver at
+/// least [`CONC_MIN_SPEEDUP`]× the coarse global lock's aggregate
+/// throughput at 8 threads on the disjoint mix. Store-latency-bound by
+/// construction, so the bar holds on any host core count.
+fn check_concurrency(points: &[ConcurrencyPoint]) -> Vec<String> {
+    let coarse = conc_point(points, "disjoint", "coarse", 8);
+    let fine = conc_point(points, "disjoint", "fine", 8);
+    let speedup = fine.ops_per_s / coarse.ops_per_s;
+    println!(
+        "  -> per-object locks vs global lock at 8 threads (disjoint): {speedup:.2}x (gate: >= {CONC_MIN_SPEEDUP:.1}x)"
+    );
+    if speedup >= CONC_MIN_SPEEDUP {
+        Vec::new()
+    } else {
+        vec![format!(
+            "concurrency: fine/coarse speedup at 8 threads is {speedup:.2}x, below the {CONC_MIN_SPEEDUP:.1}x floor"
+        )]
     }
 }
 
@@ -230,12 +454,25 @@ fn main() {
     }
     print_cache_evidence(&cache_evidence);
 
+    // Thread-scaling matrix: per-object locks vs the coarse global
+    // lock, on a store-latency-bound rig (see `run_concurrency`).
+    let conc_points = run_concurrency(if quick { 2 } else { 3 }, if quick { 8 } else { 12 });
+    print_concurrency(&conc_points);
+    let mut failures = check_concurrency(&conc_points);
+
     // Declassified aggregates for the report (explicit enclave exits).
     let snapshot = rig.server.metrics_snapshot();
     let profile = rig.server.profile_snapshot();
 
     let root = repo_root();
-    let report = build_report(&results, local_mbps, &snapshot, &profile, &cache_evidence);
+    let report = build_report(
+        &results,
+        local_mbps,
+        &snapshot,
+        &profile,
+        &cache_evidence,
+        &conc_points,
+    );
     let report_path = root.join("BENCH_perf.json");
     std::fs::write(&report_path, &report).expect("write BENCH_perf.json");
     println!("wrote {}", report_path.display());
@@ -253,20 +490,20 @@ fn main() {
         std::fs::write(&baseline_path, build_baseline(&results, local_mbps))
             .expect("write baseline");
         println!("wrote {} (baseline refreshed)", baseline_path.display());
-        return;
-    }
-
-    let Ok(baseline_text) = std::fs::read_to_string(&baseline_path) else {
+    } else if let Ok(baseline_text) = std::fs::read_to_string(&baseline_path) {
+        let baseline = json::parse(&baseline_text).expect("baseline parses");
+        failures.extend(check_gate(&results, &baseline));
+    } else {
         println!(
-            "no baseline at {} — run with --update-baseline to create one (gate passes vacuously)",
+            "no baseline at {} — run with --update-baseline to create one (regression gate passes vacuously)",
             baseline_path.display()
         );
-        return;
-    };
-    let baseline = json::parse(&baseline_text).expect("baseline parses");
-    let failures = check_gate(&results, &baseline);
+    }
     if failures.is_empty() {
-        println!("perf gate PASSED ({} workloads)", results.len());
+        println!(
+            "perf gate PASSED ({} workloads + concurrency)",
+            results.len()
+        );
     } else {
         for f in &failures {
             println!("perf gate FAILED: {f}");
@@ -401,6 +638,7 @@ fn build_report(
     snapshot: &seg_obs::Snapshot,
     profile: &seg_obs::ProfSnapshot,
     cache_evidence: &[CacheEvidence],
+    conc_points: &[ConcurrencyPoint],
 ) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"gcm_mbps\": {local_mbps:.1},");
@@ -487,6 +725,31 @@ fn build_report(
         );
     }
     out.push_str("  },\n");
+
+    // The thread-scaling matrix: aggregate throughput per (mix, lock
+    // mode, thread count) on the store-latency-bound rig, plus the
+    // derived 8-thread speedup the gate enforces.
+    out.push_str("  \"concurrency\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"store_delay_us\": {},",
+        CONC_STORE_DELAY.as_micros()
+    );
+    out.push_str("    \"points\": [\n");
+    for (i, p) in conc_points.iter().enumerate() {
+        let comma = if i + 1 < conc_points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"mix\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"ops_per_s\": {:.3}}}{comma}",
+            p.mix, p.mode, p.threads, p.ops_per_s,
+        );
+    }
+    out.push_str("    ],\n");
+    let speedup = conc_point(conc_points, "disjoint", "fine", 8).ops_per_s
+        / conc_point(conc_points, "disjoint", "coarse", 8).ops_per_s;
+    let _ = writeln!(out, "    \"speedup_8t_disjoint\": {speedup:.3}");
+    out.push_str("  },\n");
+
     let _ = writeln!(out, "  \"unbalanced_phases\": {}", profile.unbalanced);
     out.push_str("}\n");
     out

@@ -1,8 +1,10 @@
 //! Shared plumbing for the table/figure regenerators.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use seg_net::simwan::WanProfile;
+use seg_store::{MemStore, ObjectStore, StoreError};
 use segshare::{Client, EnclaveConfig, EnrolledUser, FsoSetup, SegShareServer};
 
 /// The AES-GCM throughput the paper's server hardware sustains
@@ -89,6 +91,64 @@ pub fn normalize_processing(measured_s: f64, local_mbps: f64) -> f64 {
     measured_s * (local_mbps / HW_GCM_MBPS)
 }
 
+/// An [`ObjectStore`] wrapper that sleeps before every backend
+/// round-trip, modeling the paper's deployment where the enclave talks
+/// to a *remote* store (§VI runs against Azure blob storage across
+/// regions). In-memory stores answer in nanoseconds, which hides the
+/// one effect fine-grained locking exists to exploit: store latency
+/// under one object's lock can overlap store latency under another's.
+/// The concurrency workloads in `perf_gate` use this wrapper so the
+/// scaling curve measures lock overlap, not host core count — threads
+/// blocked in simulated store I/O release the CPU, so the curve is
+/// meaningful even on a single-core CI runner.
+pub struct LatencyStore {
+    inner: MemStore,
+    delay: Duration,
+}
+
+impl LatencyStore {
+    /// Wraps a fresh [`MemStore`] adding `delay` per get/put/delete/
+    /// exists round-trip. Listing (used by restart recovery, not the
+    /// request path) is left fast so setup stays cheap.
+    #[must_use]
+    pub fn new(delay: Duration) -> LatencyStore {
+        LatencyStore {
+            inner: MemStore::new(),
+            delay,
+        }
+    }
+
+    fn roundtrip(&self) {
+        std::thread::sleep(self.delay);
+    }
+}
+
+impl ObjectStore for LatencyStore {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        self.roundtrip();
+        self.inner.get(key)
+    }
+    fn get_arc(&self, key: &str) -> Result<Option<Arc<[u8]>>, StoreError> {
+        self.roundtrip();
+        self.inner.get_arc(key)
+    }
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        self.roundtrip();
+        self.inner.put(key, value)
+    }
+    fn delete(&self, key: &str) -> Result<bool, StoreError> {
+        self.roundtrip();
+        self.inner.delete(key)
+    }
+    fn exists(&self, key: &str) -> Result<bool, StoreError> {
+        self.roundtrip();
+        self.inner.exists(key)
+    }
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        self.inner.list()
+    }
+}
+
 /// A ready-to-use deployment: server plus an enrolled user.
 pub struct Rig {
     /// The setup context (CA, stores, platform).
@@ -104,6 +164,30 @@ impl Rig {
     #[must_use]
     pub fn new(config: EnclaveConfig) -> Rig {
         let setup = FsoSetup::new_in_memory("bench-ca", config);
+        let server = setup.server().expect("setup succeeds");
+        let alice = setup
+            .enroll_user("alice", "alice@bench", "Alice")
+            .expect("enroll succeeds");
+        Rig {
+            setup,
+            server,
+            alice,
+        }
+    }
+
+    /// Builds a deployment whose three stores each add `delay` per
+    /// round-trip (see [`LatencyStore`]) — the rig for the concurrency
+    /// scaling workloads.
+    #[must_use]
+    pub fn with_store_latency(config: EnclaveConfig, delay: Duration) -> Rig {
+        let setup = FsoSetup::with_stores(
+            "bench-ca",
+            config,
+            seg_sgx::Platform::new(),
+            Arc::new(LatencyStore::new(delay)),
+            Arc::new(LatencyStore::new(delay)),
+            Arc::new(LatencyStore::new(delay)),
+        );
         let server = setup.server().expect("setup succeeds");
         let alice = setup
             .enroll_user("alice", "alice@bench", "Alice")

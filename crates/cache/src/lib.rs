@@ -19,7 +19,7 @@
 //! one-touch scans cannot flush the hot working set.
 //!
 //! Every cached entry registers its bytes with the enclave's
-//! [`EpcTracker`][seg_sgx::EpcTracker] and holds the RAII guard, so
+//! [`EpcTracker`] and holds the RAII guard, so
 //! cache pressure shows up in the simulated EPC paging cost model
 //! instead of silently inflating the enclave footprint.
 //!
@@ -42,6 +42,8 @@
 //! generation and fails to publish it. The generation table grows with
 //! the set of *mutated* keys only (one `u64` per object ever
 //! invalidated — the same order as the rollback tree's hash records).
+
+#![warn(missing_docs)]
 
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};

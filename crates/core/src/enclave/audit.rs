@@ -22,7 +22,7 @@
 //! protection enabled, each append also increments a dedicated TEE
 //! monotonic counter and anchors its value in the head; the anchor is
 //! compared against the hardware counter both in [`AuditLog::verify`]
-//! and — critically — at [`AuditLog::load`], before the first new
+//! and — critically — at `AuditLog::load`, before the first new
 //! append could re-anchor a rolled-back head. That closes the
 //! remaining gap (replaying an old-but-valid head plus chain prefix
 //! against a freshly restarted enclave). `load` also completes an
@@ -124,7 +124,7 @@ pub struct AuditRecord {
     pub code: String,
 }
 
-/// Borrowed event handed to [`AuditLog::append`] by the dispatcher.
+/// Borrowed event handed to `AuditLog::append` by the dispatcher.
 #[derive(Debug, Clone, Copy)]
 pub struct AuditEvent {
     /// Enclave logical clock.

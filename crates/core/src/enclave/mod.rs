@@ -11,6 +11,7 @@ pub mod access_control;
 pub mod audit;
 pub mod file_manager;
 pub mod keys;
+pub mod locks;
 pub mod names;
 pub mod session;
 pub mod trusted_store;
@@ -35,6 +36,7 @@ use access_control::AccessControl;
 use audit::{AuditLog, AuditRecord};
 use file_manager::FileManager;
 use keys::KeyHierarchy;
+use locks::LockManager;
 use session::EnclaveSession;
 use trusted_store::TrustedStore;
 
@@ -53,19 +55,21 @@ fn sealed_server_key_name(platform: &Platform) -> String {
 /// The SeGShare enclave.
 ///
 /// Shared (via `Arc`) between all connection-handling threads of the
-/// untrusted host. A single global reader/writer lock serializes
-/// file-system mutations against reads, mirroring the prototype's
-/// single-enclave, per-file-writer discipline.
+/// untrusted host. Concurrency control is per-object: the [`locks`]
+/// module's striped [`LockManager`] lets requests touching disjoint
+/// objects proceed in parallel, while operations with an unbounded
+/// object set (recursive moves, group deletion, tree rebuilds) fall
+/// back to its exclusive global mode.
 pub struct SegShareEnclave {
     sgx: Arc<Enclave>,
     config: EnclaveConfig,
     ca_key: PublicKey,
     server_key: SecretKey,
-    server_cert: RwLock<Option<Certificate>>,
+    server_cert: RwLock<Option<Arc<Certificate>>>,
     store: Arc<TrustedStore>,
     access: AccessControl,
     files: FileManager,
-    fs_lock: RwLock<()>,
+    locks: LockManager,
     clock: AtomicU64,
     obs: Arc<Registry>,
     audit: Option<Arc<AuditLog>>,
@@ -259,7 +263,7 @@ impl SegShareEnclave {
             access: AccessControl::new(Arc::clone(&store)),
             files: FileManager::new(Arc::clone(&store)),
             store,
-            fs_lock: RwLock::new(()),
+            locks: LockManager::new(),
             clock: AtomicU64::new(1_000),
             obs,
             audit,
@@ -300,13 +304,15 @@ impl SegShareEnclave {
                 "server certificate does not match the enclave key pair".to_string(),
             ));
         }
-        *self.server_cert.write() = Some(cert);
+        *self.server_cert.write() = Some(Arc::new(cert));
         Ok(())
     }
 
     /// The installed server certificate, if certification completed.
+    /// Returned via `Arc` so each session handshake serves the same
+    /// installed certificate without deep-copying it.
     #[must_use]
-    pub fn server_certificate(&self) -> Option<Certificate> {
+    pub fn server_certificate(&self) -> Option<Arc<Certificate>> {
         self.server_cert.read().clone()
     }
 
@@ -358,8 +364,12 @@ impl SegShareEnclave {
         &self.files
     }
 
-    pub(crate) fn fs_lock(&self) -> &RwLock<()> {
-        &self.fs_lock
+    /// The per-object lock manager. Public so benchmarks can flip its
+    /// coarse global-lock mode and measure the scaling difference; the
+    /// request path acquires scopes through it in `session.rs`.
+    #[must_use]
+    pub fn locks(&self) -> &LockManager {
+        &self.locks
     }
 
     /// The underlying simulated-SGX enclave (stats, counters, EPC).
@@ -608,7 +618,7 @@ impl SegShareEnclave {
     /// re-anchors counters — backup restoration (§V-G). The caller is
     /// the CA-signed reset path in [`crate::server::SegShareServer`].
     pub(crate) fn rebuild_after_restore(&self) -> Result<(), SegShareError> {
-        let _guard = self.fs_lock.write();
+        let _scope = self.locks.acquire_global();
         self.store.rebuild_tree()
     }
 }

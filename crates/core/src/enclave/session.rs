@@ -9,6 +9,7 @@
 //! only one chunk at a time (§VI).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use seg_crypto::ed25519::{PublicKey, SecretKey};
 use seg_crypto::rng::SystemRng;
@@ -21,6 +22,7 @@ use seg_tls::{ServerHandshake, TlsChannel};
 use crate::error::SegShareError;
 
 use super::file_manager::{DownloadContext, UploadContext};
+use super::locks::{LockIntent, LockKey, LockRequest};
 use super::SegShareEnclave;
 
 // The established variant is naturally the big one (channel state plus
@@ -89,7 +91,7 @@ fn parse_perm_group(s: &str) -> Result<GroupId, SegShareError> {
 
 impl EnclaveSession {
     pub(crate) fn new(
-        server_cert: Certificate,
+        server_cert: Arc<Certificate>,
         server_key: SecretKey,
         ca_key: PublicKey,
         now: u64,
@@ -353,7 +355,13 @@ impl EnclaveSession {
             // commit is the actual mutation, so it gets its own record
             // bound to the same upload target.
             let object = enclave.fingerprint_name(upload.path().as_str());
-            let _guard = enclave.fs_lock().write();
+            // The commit links the file into its parent directory, so
+            // the scope covers both the file's objects and the parent
+            // dirfile (same scope shape as the PutFile header).
+            let _scope =
+                enclave
+                    .locks()
+                    .acquire(&object_locks(upload.path(), LockIntent::Write, true));
             let result = match enclave.files().commit_upload(upload) {
                 Ok(()) => Ok(vec![Response::Ok]),
                 Err(err) => Err(err),
@@ -386,25 +394,44 @@ impl EnclaveSession {
         user: &UserId,
         request: &Request,
     ) -> Result<Vec<Response>, SegShareError> {
+        // Each arm computes its lock scope from the raw operands before
+        // entering the handler: path keys cover the dirfile/content/ACL
+        // at that path (trailing-slash insensitive, so WebDAV-style
+        // resolution inside the handler stays under the same key), and
+        // handlers that link or unlink a child also take the parent.
+        // Operations whose object set is unbounded (recursive Move,
+        // DeleteGroup's member-list sweep) use the exclusive global
+        // mode instead. Scope acquisition order is documented in
+        // `enclave::locks`.
         match request {
             Request::MkDir { path } => {
-                let _guard = enclave.fs_lock().write();
+                let _scope = enclave
+                    .locks()
+                    .acquire(&named_locks(path, LockIntent::Write, true));
                 self.do_mkdir(enclave, user, path)
             }
             Request::PutFile { path, size } => {
-                let _guard = enclave.fs_lock().write();
+                let _scope = enclave
+                    .locks()
+                    .acquire(&named_locks(path, LockIntent::Write, true));
                 self.do_put_file(enclave, user, path, *size)
             }
             Request::Get { path } => {
-                let _guard = enclave.fs_lock().read();
+                let _scope = enclave
+                    .locks()
+                    .acquire(&named_locks(path, LockIntent::Read, false));
                 self.do_get(enclave, user, path)
             }
             Request::Remove { path } => {
-                let _guard = enclave.fs_lock().write();
+                let _scope = enclave
+                    .locks()
+                    .acquire(&named_locks(path, LockIntent::Write, true));
                 self.do_remove(enclave, user, path)
             }
             Request::Move { from, to } => {
-                let _guard = enclave.fs_lock().write();
+                // Moving a directory re-encrypts the whole subtree —
+                // an unbounded object set, so global mode.
+                let _scope = enclave.locks().acquire_global();
                 self.do_move(enclave, user, from, to)
             }
             Request::SetPerm {
@@ -413,24 +440,38 @@ impl EnclaveSession {
                 perm,
                 remove,
             } => {
-                let _guard = enclave.fs_lock().write();
+                let _scope = enclave
+                    .locks()
+                    .acquire(&named_locks(path, LockIntent::Write, false));
                 self.do_set_perm(enclave, user, path, group, *perm, *remove)
             }
             Request::SetInherit { path, inherit } => {
-                let _guard = enclave.fs_lock().write();
+                let _scope = enclave
+                    .locks()
+                    .acquire(&named_locks(path, LockIntent::Write, false));
                 self.do_set_inherit(enclave, user, path, *inherit)
             }
             Request::AddOwner { path, group } => {
-                let _guard = enclave.fs_lock().write();
+                let _scope = enclave
+                    .locks()
+                    .acquire(&named_locks(path, LockIntent::Write, false));
                 self.do_add_owner(enclave, user, path, group)
             }
             Request::AddUser {
                 user: member,
                 group,
             } => {
-                let _guard = enclave.fs_lock().write();
                 let member = UserId::new(member.clone()).map_err(|e| bad_request(e.to_string()))?;
                 let group = GroupId::new(group.clone()).map_err(|e| bad_request(e.to_string()))?;
+                // add_user may create the group (group-list and
+                // group-root writes) and joins both the requester and
+                // the member, so all four objects are exclusive.
+                let _scope = enclave.locks().acquire(&[
+                    (LockKey::GroupList, LockIntent::Write),
+                    (LockKey::GroupRoot, LockIntent::Write),
+                    (LockKey::member(user), LockIntent::Write),
+                    (LockKey::member(&member), LockIntent::Write),
+                ]);
                 enclave.access().add_user(user, &member, &group)?;
                 Ok(vec![Response::Ok])
             }
@@ -438,35 +479,53 @@ impl EnclaveSession {
                 user: member,
                 group,
             } => {
-                let _guard = enclave.fs_lock().write();
                 let member = UserId::new(member.clone()).map_err(|e| bad_request(e.to_string()))?;
                 let group = GroupId::new(group.clone()).map_err(|e| bad_request(e.to_string()))?;
+                // Revocation mutates only the member's list; the
+                // requester's list and the group list are read for the
+                // ownership check, shared so concurrent revocations of
+                // different members proceed in parallel.
+                let _scope = enclave.locks().acquire(&[
+                    (LockKey::member(&member), LockIntent::Write),
+                    (LockKey::member(user), LockIntent::Read),
+                    (LockKey::GroupList, LockIntent::Read),
+                ]);
                 enclave.access().remove_user(user, &member, &group)?;
                 Ok(vec![Response::Ok])
             }
             Request::AddGroupOwner { owner_group, group } => {
-                let _guard = enclave.fs_lock().write();
                 let owner_group = parse_perm_group(owner_group)?;
                 let group = GroupId::new(group.clone()).map_err(|e| bad_request(e.to_string()))?;
+                let _scope = enclave.locks().acquire(&[
+                    (LockKey::GroupList, LockIntent::Write),
+                    (LockKey::member(user), LockIntent::Read),
+                ]);
                 enclave
                     .access()
                     .add_group_owner(user, &owner_group, &group)?;
                 Ok(vec![Response::Ok])
             }
             Request::DeleteGroup { group } => {
-                let _guard = enclave.fs_lock().write();
                 let group = GroupId::new(group.clone()).map_err(|e| bad_request(e.to_string()))?;
+                // Deleting a group sweeps every member list — an
+                // unbounded object set, so global mode.
+                let _scope = enclave.locks().acquire_global();
                 enclave.access().delete_group(user, &group)?;
                 Ok(vec![Response::Ok])
             }
             Request::RemoveOwner { path, group } => {
-                let _guard = enclave.fs_lock().write();
+                let _scope = enclave
+                    .locks()
+                    .acquire(&named_locks(path, LockIntent::Write, false));
                 self.do_remove_owner(enclave, user, path, group)
             }
             Request::RemoveGroupOwner { owner_group, group } => {
-                let _guard = enclave.fs_lock().write();
                 let owner_group = parse_perm_group(owner_group)?;
                 let group = GroupId::new(group.clone()).map_err(|e| bad_request(e.to_string()))?;
+                let _scope = enclave.locks().acquire(&[
+                    (LockKey::GroupList, LockIntent::Write),
+                    (LockKey::member(user), LockIntent::Read),
+                ]);
                 enclave
                     .access()
                     .remove_group_owner(user, &owner_group, &group)?;
@@ -793,6 +852,30 @@ impl EnclaveSession {
 
 fn parse_path(s: &str) -> Result<SegPath, SegShareError> {
     SegPath::parse(s).map_err(|e| bad_request(e.to_string()))
+}
+
+/// Lock requests for everything stored at `path` (dirfile or content
+/// file plus its ACL — one key covers all three) and, when
+/// `with_parent`, the parent directory whose dirfile the operation
+/// links or unlinks.
+fn object_locks(path: &SegPath, intent: LockIntent, with_parent: bool) -> Vec<LockRequest> {
+    let mut requests = vec![(LockKey::path(path), intent)];
+    if with_parent {
+        if let Some(parent) = path.parent() {
+            requests.push((LockKey::path(&parent), intent));
+        }
+    }
+    requests
+}
+
+/// [`object_locks`] from a raw request operand. An unparsable path
+/// yields the empty scope — the handler re-parses the operand and
+/// reports the error, touching nothing.
+fn named_locks(path: &str, intent: LockIntent, with_parent: bool) -> Vec<LockRequest> {
+    match SegPath::parse(path) {
+        Ok(path) => object_locks(&path, intent, with_parent),
+        Err(_) => Vec::new(),
+    }
 }
 
 /// Resolves a client-supplied path against the file system: a path

@@ -33,6 +33,8 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use parking_lot::RwLock;
+
 use seg_crypto::mset::{MsetHash, MSET_HASH_LEN};
 use seg_crypto::pae::{pae_dec, pae_enc};
 use seg_crypto::rng::SystemRng;
@@ -213,6 +215,17 @@ pub struct TrustedStore {
     /// tracker. `None` means byte-identical behavior to a build
     /// without the cache.
     cache: Option<MetaCache>,
+    /// Per-store rollback-tree locks. A commit/delete rewrites shared
+    /// ancestor hash records (and, with whole-FS protection, the root
+    /// counter) in several non-atomic steps; a concurrent verifier
+    /// observing the half-applied walk would report a false rollback.
+    /// Mutators hold the store's tree lock exclusively for that short
+    /// record-update section, verified reads hold it shared — so reads
+    /// scale, and per-object dispatch locks stay correct without
+    /// knowing tree internals. Never held across stores (except
+    /// `rebuild_tree`, which takes content before group), never nested.
+    content_tree: RwLock<()>,
+    group_tree: RwLock<()>,
     // Cached telemetry handles (hot path: one atomic add per record).
     pfs_encrypt_ns: Arc<seg_obs::Histogram>,
     pfs_decrypt_ns: Arc<seg_obs::Histogram>,
@@ -251,6 +264,8 @@ impl TrustedStore {
             group,
             dedup,
             cache,
+            content_tree: RwLock::new(()),
+            group_tree: RwLock::new(()),
             pfs_encrypt_ns: obs.histogram("seg_pfs_encrypt_ns"),
             pfs_decrypt_ns: obs.histogram("seg_pfs_decrypt_ns"),
             tree_update_ns: obs.histogram("seg_rollback_tree_update_ns"),
@@ -377,6 +392,32 @@ impl TrustedStore {
             StoreKind::Group => &self.group,
             StoreKind::Dedup => &self.dedup,
         }
+    }
+
+    // ------------------------------------------------------- tree locks
+
+    fn tree_lock_for(&self, id: &ObjectId) -> Option<&RwLock<()>> {
+        if !self.tree_enabled_for(id) {
+            return None;
+        }
+        match id.store() {
+            StoreKind::Content => Some(&self.content_tree),
+            StoreKind::Group => Some(&self.group_tree),
+            StoreKind::Dedup => None,
+        }
+    }
+
+    /// Shared tree hold for a verified read of `id`; `None` (no lock)
+    /// when the rollback tree does not cover `id`.
+    fn tree_shared(&self, id: &ObjectId) -> Option<std::sync::RwLockReadGuard<'_, ()>> {
+        self.tree_lock_for(id).map(RwLock::read)
+    }
+
+    /// Exclusive tree hold for a mutation of `id`; `None` when the
+    /// rollback tree does not cover `id` (a bare `raw_put`/`raw_delete`
+    /// is already atomic at the store layer).
+    fn tree_exclusive(&self, id: &ObjectId) -> Option<std::sync::RwLockWriteGuard<'_, ()>> {
+        self.tree_lock_for(id).map(RwLock::write)
     }
 
     /// The per-object AEAD key (dedup blobs use content-derived keys).
@@ -753,6 +794,7 @@ impl TrustedStore {
     /// Propagates storage, crypto, and tree failures.
     pub fn commit_blob(&self, id: &ObjectId, blob: &[u8]) -> Result<(), SegShareError> {
         let start = std::time::Instant::now();
+        let _tree = self.tree_exclusive(id);
         let result = self.commit_blob_inner(id, blob);
         // Second bump: a miss-fill that snapshotted its generation after
         // the pre-write bump but read the store before the put landed
@@ -810,7 +852,10 @@ impl TrustedStore {
         }
         let gen = self.cache_gen(&CacheKey::Body(id.clone()));
         let start = std::time::Instant::now();
-        let result = self.read_verified(id);
+        let result = {
+            let _tree = self.tree_shared(id);
+            self.read_verified(id)
+        };
         self.trace_store("store_read", id, result.is_ok(), start);
         let body = result?;
         if let Some(body) = &body {
@@ -850,7 +895,10 @@ impl TrustedStore {
         }
         let gen = self.cache_gen(&cache_key);
         let start = std::time::Instant::now();
-        let result = self.read_verified(id);
+        let result = {
+            let _tree = self.tree_shared(id);
+            self.read_verified(id)
+        };
         self.trace_store("store_read", id, result.is_ok(), start);
         let Some(body) = result? else {
             return Ok(None);
@@ -889,6 +937,7 @@ impl TrustedStore {
     /// Returns [`SegShareError::Integrity`] on any tamper or rollback.
     pub fn open_stream(&self, id: &ObjectId) -> Result<Option<PfsFile>, SegShareError> {
         let start = std::time::Instant::now();
+        let _tree = self.tree_shared(id);
         let result = self.open_stream_inner(id);
         self.trace_store("store_read", id, result.is_ok(), start);
         result
@@ -933,6 +982,7 @@ impl TrustedStore {
     /// Propagates storage and tree failures.
     pub fn delete(&self, id: &ObjectId) -> Result<bool, SegShareError> {
         let start = std::time::Instant::now();
+        let _tree = self.tree_exclusive(id);
         let result = self.delete_inner(id);
         self.cache_invalidate_object(id);
         self.trace_store("store_delete", id, result.is_ok(), start);
@@ -958,6 +1008,12 @@ impl TrustedStore {
     ///
     /// Fails if any stored object is unreadable.
     pub fn rebuild_tree(&self) -> Result<(), SegShareError> {
+        // Both trees rebuild under exclusive holds (content before
+        // group — the one sanctioned two-lock ordering). The dispatch
+        // layer additionally runs this in global lock mode, but direct
+        // callers (benchmarks, white-box tests) get the same exclusion.
+        let _content = self.content_tree.write();
+        let _group = self.group_tree.write();
         // Restoration replaces store contents without going through the
         // write-through mutators, so nothing cached is trustworthy.
         if let Some(cache) = &self.cache {

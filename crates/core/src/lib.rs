@@ -75,6 +75,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod client;
 pub mod config;
 pub mod enclave;

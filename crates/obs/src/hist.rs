@@ -74,7 +74,7 @@ impl Histogram {
         )
     }
 
-    /// Raw per-bucket counts (length [`BUCKETS`]), for snapshot
+    /// Raw per-bucket counts (length `BUCKETS`), for snapshot
     /// differencing — see [`crate::Snapshot::delta`].
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.buckets

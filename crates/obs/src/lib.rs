@@ -29,6 +29,8 @@
 //! `seg_request_latency_ns{op="get"}`,
 //! `seg_store_bytes_read_total{store="content"}`.
 
+#![warn(missing_docs)]
+
 mod hist;
 pub mod prof;
 pub mod trace;

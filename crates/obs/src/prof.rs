@@ -366,7 +366,7 @@ impl Drop for PhaseGuard {
 /// Enters a phase on the current thread's stack; the returned guard
 /// exits it on drop. A no-op (inert guard) when no request root is
 /// active on this thread, when the phase directly re-enters the one
-/// already on top (recursion collapse), or past [`MAX_DEPTH`].
+/// already on top (recursion collapse), or past `MAX_DEPTH`.
 pub fn phase(name: &'static str) -> PhaseGuard {
     TLS.with(|t| {
         let mut t = t.borrow_mut();

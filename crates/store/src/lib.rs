@@ -28,6 +28,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod adversary;
 mod counting;
 mod dir;

@@ -17,6 +17,8 @@
 //! Both finished MACs are keyed with the master secret and bound to the
 //! handshake transcript, so any tampering with M1–M3 aborts the session.
 
+use std::sync::Arc;
+
 use seg_crypto::ed25519::{PublicKey, SecretKey, Signature};
 use seg_crypto::hkdf;
 use seg_crypto::hmac::Hmac;
@@ -320,7 +322,9 @@ enum ServerState {
 /// Runs *inside the enclave*; the untrusted host only shuttles the opaque
 /// frames (§IV-B).
 pub struct ServerHandshake {
-    certificate: Certificate,
+    /// Shared with the enclave's installed certificate: every session
+    /// handshake serves the same bytes, so no per-session deep copy.
+    certificate: Arc<Certificate>,
     key: SecretKey,
     ca_key: PublicKey,
     now: u64,
@@ -339,7 +343,7 @@ impl ServerHandshake {
     /// Creates the server side with its (CA-issued) certificate.
     #[must_use]
     pub fn new<R: SecureRandom>(
-        certificate: Certificate,
+        certificate: Arc<Certificate>,
         key: SecretKey,
         ca_key: PublicKey,
         now: u64,
@@ -421,13 +425,14 @@ impl ServerHandshake {
 
         let server_random: [u8; 32] = rng.array();
         let signed = kex_signed_bytes(&hello.random, &server_random, self.ephemeral.public());
-        let reply = ServerHello {
-            random: server_random,
-            certificate: self.certificate.clone(),
-            ecdhe_public: *self.ephemeral.public(),
-            signature: self.key.sign(&signed).to_bytes(),
-        }
-        .encode();
+        // Encode M2 from borrowed parts: the certificate is the
+        // `Arc`-shared installed one, serialized without cloning.
+        let reply = ServerHello::encode_parts(
+            &server_random,
+            &self.certificate,
+            self.ephemeral.public(),
+            &self.key.sign(&signed).to_bytes(),
+        );
         self.transcript.update(&reply);
         self.state = ServerState::AwaitClientKex {
             client_hello: hello,
@@ -545,7 +550,7 @@ mod tests {
             &mut crng,
         );
         let mut server = ServerHandshake::new(
-            s.server_cert.clone(),
+            Arc::new(s.server_cert.clone()),
             s.server_key.clone(),
             s.ca_key,
             500,
@@ -605,7 +610,7 @@ mod tests {
         );
         // Server clock far in the future: client certificate expired.
         let mut server = ServerHandshake::new(
-            s.server_cert.clone(),
+            Arc::new(s.server_cert.clone()),
             s.server_key.clone(),
             s.ca_key,
             2_000_000,
@@ -636,8 +641,13 @@ mod tests {
             500,
             &mut crng,
         );
-        let mut rogue_server =
-            ServerHandshake::new(rogue_cert, rogue_key, rogue_ca.public_key(), 500, &mut srng);
+        let mut rogue_server = ServerHandshake::new(
+            Arc::new(rogue_cert),
+            rogue_key,
+            rogue_ca.public_key(),
+            500,
+            &mut srng,
+        );
         // The rogue server accepts the hello (it validates against its
         // own CA)...
         let step = rogue_server.process(&m1, &mut srng);
@@ -665,7 +675,7 @@ mod tests {
         // An attacker with a *valid user* certificate tries to act as the
         // server.
         let mut mitm = ServerHandshake::new(
-            s.client_cert.clone(),
+            Arc::new(s.client_cert.clone()),
             s.client_key.clone(),
             s.ca_key,
             500,
@@ -691,7 +701,7 @@ mod tests {
             &mut crng,
         );
         let mut server = ServerHandshake::new(
-            s.server_cert.clone(),
+            Arc::new(s.server_cert.clone()),
             s.server_key.clone(),
             s.ca_key,
             500,
@@ -719,7 +729,7 @@ mod tests {
         let (mut client, m1) =
             ClientHandshake::start(s.client_cert.clone(), wrong_key, s.ca_key, 500, &mut crng);
         let mut server = ServerHandshake::new(
-            s.server_cert.clone(),
+            Arc::new(s.server_cert.clone()),
             s.server_key.clone(),
             s.ca_key,
             500,

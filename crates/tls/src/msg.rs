@@ -51,13 +51,33 @@ pub(crate) struct ServerHello {
 }
 
 impl ServerHello {
+    // The send path encodes from borrowed parts (`encode_parts`); the
+    // owned form remains for codec roundtrip tests.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn encode(&self) -> Vec<u8> {
+        Self::encode_parts(
+            &self.random,
+            &self.certificate,
+            &self.ecdhe_public,
+            &self.signature,
+        )
+    }
+
+    /// Encodes M2 from borrowed parts, so the server can serialize its
+    /// long-lived (`Arc`-shared) certificate without cloning it into a
+    /// message struct first.
+    pub fn encode_parts(
+        random: &[u8; 32],
+        certificate: &Certificate,
+        ecdhe_public: &[u8; 32],
+        signature: &[u8; 64],
+    ) -> Vec<u8> {
         let mut e = Encoder::new();
         e.tag(b"TLH2");
-        e.raw(&self.random);
-        e.bytes(&self.certificate.encode());
-        e.raw(&self.ecdhe_public);
-        e.raw(&self.signature);
+        e.raw(random);
+        e.bytes(&certificate.encode());
+        e.raw(ecdhe_public);
+        e.raw(signature);
         e.finish()
     }
 

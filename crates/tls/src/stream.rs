@@ -128,7 +128,13 @@ mod tests {
         let server_cert2 = server_cert.clone();
         let server = std::thread::spawn(move || {
             let mut srng = DeterministicRng::seeded(12);
-            let mut hs = ServerHandshake::new(server_cert2, server_key, ca_key, 500, &mut srng);
+            let mut hs = ServerHandshake::new(
+                std::sync::Arc::new(server_cert2),
+                server_key,
+                ca_key,
+                500,
+                &mut srng,
+            );
             let (channel, client_cert) = loop {
                 let frame = server_t.recv_frame().unwrap();
                 let step = hs.process(&frame, &mut srng).unwrap();

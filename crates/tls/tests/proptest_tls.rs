@@ -48,7 +48,7 @@ fn handshake(r: &Rig, seed: u64) -> (TlsChannel, TlsChannel) {
         &mut crng,
     );
     let mut server = ServerHandshake::new(
-        r.server_cert.clone(),
+        std::sync::Arc::new(r.server_cert.clone()),
         r.server_key.clone(),
         r.ca_key,
         500,
@@ -134,7 +134,7 @@ proptest! {
             &mut crng,
         );
         let mut server = ServerHandshake::new(
-            r.server_cert.clone(),
+            std::sync::Arc::new(r.server_cert.clone()),
             r.server_key.clone(),
             r.ca_key,
             500,

@@ -1,7 +1,7 @@
 //! Vendored stand-in for the `proptest` crate (offline builds).
 //!
 //! Implements the subset this workspace's property tests use: the
-//! [`proptest!`] / [`prop_assert*`] / [`prop_oneof!`] macros, the
+//! [`proptest!`] / `prop_assert*` / [`prop_oneof!`] macros, the
 //! [`strategy::Strategy`] trait with `prop_map` / `prop_filter`,
 //! integer-range / tuple / [`strategy::Just`] / `any::<T>()` strategies,
 //! [`collection::vec`], `array::uniform{12,16,32}`, and a regex-subset
