@@ -90,6 +90,51 @@ struct ConcurrencyPoint {
     ops_per_s: f64,
 }
 
+/// Floor for attributable lock wait on the contended mix: below this
+/// the watch plane failed to see contention that demonstrably exists.
+const CONTENTION_MIN_WAIT_NS: u64 = 10_000_000;
+/// The overlapping mix must wait at least this many times longer on the
+/// path key class than the disjoint mix (same op count, same rig).
+const CONTENTION_MIN_RATIO: f64 = 5.0;
+/// Maximum fractional slowdown the always-on watch plane may cost on
+/// the standard small-op mix.
+const WATCH_MAX_OVERHEAD: f64 = 0.02;
+
+/// Windowed lock-wait attribution from one 8-thread fine-mode run:
+/// the seg-watch evidence that overlapping scopes (and only they) pay
+/// for the parent directory's write lock. This is the instrumented
+/// answer to why the overlapping mix scales ~1.0× in the matrix above.
+struct ContentionEvidence {
+    mix: &'static str,
+    /// Per (class, intent): windowed wait sum (ns) and acquisitions.
+    waits: Vec<(String, String, u64, u64)>,
+    /// Cumulative most-contended stripes after the run.
+    top: Vec<segshare::enclave::locks::StripeContention>,
+}
+
+impl ContentionEvidence {
+    fn wait_ns(&self, class: &str, intent: &str) -> u64 {
+        self.waits
+            .iter()
+            .find(|(c, i, _, _)| c == class && i == intent)
+            .map_or(0, |&(_, _, sum, _)| sum)
+    }
+}
+
+/// Median wall-clock of the standard small-op probe with the watch
+/// plane on versus off (adjacent order-alternated pairs, so clock and
+/// scheduler drift charge both variants equally).
+struct WatchOverheadEvidence {
+    on_s: f64,
+    off_s: f64,
+}
+
+impl WatchOverheadEvidence {
+    fn overhead(&self) -> f64 {
+        self.on_s / self.off_s - 1.0
+    }
+}
+
 /// The enclave configuration for the scaling workloads: audit off
 /// (the hash-chained trail is inherently serial — every record extends
 /// one chain head) and the per-file rollback tree off (each commit
@@ -293,6 +338,170 @@ fn check_concurrency(points: &[ConcurrencyPoint]) -> Vec<String> {
     }
 }
 
+/// Runs the overlapping and disjoint mixes once each (8 threads, fine
+/// locks) with a metrics-snapshot delta around every run, and extracts
+/// the `seg_lock_wait_ns` series from each window.
+fn run_contention_evidence(rig: &Rig, ops: usize, round: &mut u32) -> Vec<ContentionEvidence> {
+    let mut evidence = Vec::new();
+    for (mix, shared_dir) in [("overlapping", true), ("disjoint", false)] {
+        let base = rig.server.metrics_snapshot();
+        *round += 1;
+        run_concurrency_point(rig, false, 8, ops, shared_dir, *round);
+        let delta = rig.server.metrics_snapshot().delta(&base);
+        let mut waits: Vec<(String, String, u64, u64)> = delta
+            .histograms
+            .iter()
+            .filter(|(id, s)| id.name() == "seg_lock_wait_ns" && s.count > 0)
+            .map(|(id, s)| {
+                let label = |key: &str| {
+                    id.labels()
+                        .iter()
+                        .find(|&&(k, _)| k == key)
+                        .map_or("?", |&(_, v)| v)
+                        .to_string()
+                };
+                (label("class"), label("intent"), s.sum, s.count)
+            })
+            .collect();
+        waits.sort_by_key(|w| std::cmp::Reverse(w.2));
+        evidence.push(ContentionEvidence {
+            mix,
+            waits,
+            top: rig.server.enclave().locks().contended_stripes(8),
+        });
+    }
+    evidence
+}
+
+fn print_contention(evidence: &[ContentionEvidence]) {
+    println!("== contention attribution (8 threads, fine locks) ==");
+    for e in evidence {
+        println!("  {} mix:", e.mix);
+        for (class, intent, sum, count) in &e.waits {
+            println!(
+                "    wait {class:<11} {intent:<5} {:>9.2} ms over {count} acquisitions",
+                *sum as f64 / 1e6
+            );
+        }
+        if let Some(top) = e.top.first() {
+            println!(
+                "    hottest stripe #{} with {:.2} ms cumulative wait",
+                top.stripe,
+                top.wait_ns as f64 / 1e6
+            );
+        }
+    }
+}
+
+/// The contention acceptance check: the overlapping mix must show
+/// substantial, attributable wait on the path key class while the
+/// disjoint mix (same op count) stays far below it.
+fn check_contention(evidence: &[ContentionEvidence]) -> Vec<String> {
+    let wait = |mix: &str| {
+        evidence
+            .iter()
+            .find(|e| e.mix == mix)
+            .map_or(0, |e| e.wait_ns("path", "write"))
+    };
+    let overlapping = wait("overlapping");
+    let disjoint = wait("disjoint");
+    let ratio = overlapping as f64 / disjoint.max(1) as f64;
+    println!(
+        "  -> path-class write wait: overlapping {:.2} ms vs disjoint {:.2} ms ({ratio:.1}x; \
+         gate: >= {:.0} ms and >= {CONTENTION_MIN_RATIO:.0}x)",
+        overlapping as f64 / 1e6,
+        disjoint as f64 / 1e6,
+        CONTENTION_MIN_WAIT_NS as f64 / 1e6,
+    );
+    let mut failures = Vec::new();
+    if overlapping < CONTENTION_MIN_WAIT_NS {
+        failures.push(format!(
+            "contention: overlapping path-write wait {:.2} ms is below the {:.0} ms floor",
+            overlapping as f64 / 1e6,
+            CONTENTION_MIN_WAIT_NS as f64 / 1e6,
+        ));
+    }
+    if ratio < CONTENTION_MIN_RATIO {
+        failures.push(format!(
+            "contention: overlapping/disjoint path-write wait ratio {ratio:.1}x is below \
+             {CONTENTION_MIN_RATIO:.0}x — lock wait is not attributed to the contended class"
+        ));
+    }
+    failures
+}
+
+/// Measures the watch plane's cost on the standard small-op mix.
+///
+/// The effect is far smaller than coarse-batch jitter, so the
+/// measurement is paired at the *operation* level: each probe runs the
+/// same stationary op (overwrite-put + get of fixed 4 KiB files —
+/// creating files would grow the directory and skew later probes) once
+/// with the plane on and once off, adjacent in time and with the order
+/// alternating, so frequency and scheduler drift charge both variants
+/// equally. Medians over all pairs make single stalled ops irrelevant.
+fn run_watch_overhead(
+    rig: &Rig,
+    client: &mut segshare::Client<seg_net::ChannelTransport>,
+    pairs: usize,
+) -> WatchOverheadEvidence {
+    let p4k: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+    client.put("/watch-probe", &p4k).expect("prefill");
+    client.put("/watch-probe-w", &p4k).expect("prefill");
+    let probe = |client: &mut segshare::Client<seg_net::ChannelTransport>| {
+        let start = Instant::now();
+        client.put("/watch-probe-w", &p4k).expect("upload");
+        let got = client.get("/watch-probe").expect("download");
+        assert_eq!(got.len(), p4k.len());
+        start.elapsed().as_secs_f64()
+    };
+    for _ in 0..16 {
+        probe(client); // warmup, untimed
+    }
+    let mut on_times = Vec::with_capacity(pairs);
+    let mut off_times = Vec::with_capacity(pairs);
+    for i in 0..pairs {
+        for flip in [false, true] {
+            let on = (i % 2 == 0) ^ flip;
+            rig.server.set_watch(on);
+            let elapsed = probe(client);
+            if on {
+                on_times.push(elapsed);
+            } else {
+                off_times.push(elapsed);
+            }
+        }
+    }
+    rig.server.set_watch(true);
+    let median = |times: &mut Vec<f64>| {
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+    WatchOverheadEvidence {
+        on_s: median(&mut on_times),
+        off_s: median(&mut off_times),
+    }
+}
+
+fn check_watch_overhead(watch: &WatchOverheadEvidence) -> Vec<String> {
+    let overhead = watch.overhead();
+    println!(
+        "== watch plane overhead == on={} off={} ({:+.2}%; gate: <= {:.0}%)",
+        fmt_s(watch.on_s),
+        fmt_s(watch.off_s),
+        overhead * 100.0,
+        WATCH_MAX_OVERHEAD * 100.0,
+    );
+    if overhead <= WATCH_MAX_OVERHEAD {
+        Vec::new()
+    } else {
+        vec![format!(
+            "watch: plane overhead {:.2}% exceeds the {:.0}% budget",
+            overhead * 100.0,
+            WATCH_MAX_OVERHEAD * 100.0,
+        )]
+    }
+}
+
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
@@ -454,11 +663,24 @@ fn main() {
     }
     print_cache_evidence(&cache_evidence);
 
+    // Watch-plane overhead: the always-on contention/saturation plane
+    // must stay within its budget on the standard small-op mix.
+    let watch_overhead = run_watch_overhead(&rig, &mut client, if quick { 300 } else { 800 });
+    let mut failures = check_watch_overhead(&watch_overhead);
+
     // Thread-scaling matrix: per-object locks vs the coarse global
     // lock, on a store-latency-bound rig (see `run_concurrency`).
     let conc_points = run_concurrency(if quick { 2 } else { 3 }, if quick { 8 } else { 12 });
     print_concurrency(&conc_points);
-    let mut failures = check_concurrency(&conc_points);
+    failures.extend(check_concurrency(&conc_points));
+
+    // Lock-wait attribution on a fresh store-latency-bound rig: the
+    // seg-watch explanation for the overlapping mix's flat scaling.
+    let conc_rig = Rig::with_store_latency(concurrency_config(), CONC_STORE_DELAY);
+    let mut round = 0u32;
+    let contention = run_contention_evidence(&conc_rig, if quick { 8 } else { 12 }, &mut round);
+    print_contention(&contention);
+    failures.extend(check_contention(&contention));
 
     // Declassified aggregates for the report (explicit enclave exits).
     let snapshot = rig.server.metrics_snapshot();
@@ -472,6 +694,8 @@ fn main() {
         &profile,
         &cache_evidence,
         &conc_points,
+        &contention,
+        &watch_overhead,
     );
     let report_path = root.join("BENCH_perf.json");
     std::fs::write(&report_path, &report).expect("write BENCH_perf.json");
@@ -483,6 +707,16 @@ fn main() {
     println!(
         "wrote {} (flamegraph-collapsed; render with flamegraph.pl)",
         collapsed_path.display()
+    );
+
+    // The contention rig's correlated watch bundle: flight frames over
+    // the contended runs, lock top-K, trace tail, profile — the
+    // artifact CI uploads next to BENCH_perf.json.
+    let flight_path = root.join("results/watch_flight.json");
+    std::fs::write(&flight_path, conc_rig.server.watch_report()).expect("write watch_flight.json");
+    println!(
+        "wrote {} (watch-plane correlated bundle)",
+        flight_path.display()
     );
 
     let baseline_path = root.join("results/bench_baseline.json");
@@ -632,6 +866,7 @@ fn build_baseline(results: &[WorkloadResult], local_mbps: f64) -> String {
 /// The full machine-readable report: per-workload wall-clock and
 /// normalized stats, protocol-op latency quantiles from the metrics
 /// snapshot, and per-phase self-times from the profiler.
+#[allow(clippy::too_many_arguments)]
 fn build_report(
     results: &[WorkloadResult],
     local_mbps: f64,
@@ -639,6 +874,8 @@ fn build_report(
     profile: &seg_obs::ProfSnapshot,
     cache_evidence: &[CacheEvidence],
     conc_points: &[ConcurrencyPoint],
+    contention: &[ContentionEvidence],
+    watch: &WatchOverheadEvidence,
 ) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"gcm_mbps\": {local_mbps:.1},");
@@ -749,6 +986,47 @@ fn build_report(
         / conc_point(conc_points, "disjoint", "coarse", 8).ops_per_s;
     let _ = writeln!(out, "    \"speedup_8t_disjoint\": {speedup:.3}");
     out.push_str("  },\n");
+
+    // Lock-wait attribution from the seg-watch plane: windowed
+    // `seg_lock_wait_ns` per key class and intent for the overlapping
+    // vs disjoint 8-thread runs, plus the hottest stripes. This is the
+    // measured explanation for the overlapping mix's ~1x scaling.
+    out.push_str("  \"contention\": {\n");
+    for (i, e) in contention.iter().enumerate() {
+        let comma = if i + 1 < contention.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{}\": {{", e.mix);
+        out.push_str("      \"lock_wait\": [\n");
+        for (j, (class, intent, sum, count)) in e.waits.iter().enumerate() {
+            let comma = if j + 1 < e.waits.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        {{\"class\": \"{class}\", \"intent\": \"{intent}\", \
+                 \"wait_ns\": {sum}, \"acquisitions\": {count}}}{comma}"
+            );
+        }
+        out.push_str("      ],\n");
+        out.push_str("      \"top_stripes\": [\n");
+        for (j, s) in e.top.iter().enumerate() {
+            let comma = if j + 1 < e.top.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        {{\"stripe\": {}, \"wait_ns\": {}, \"waits\": {}}}{comma}",
+                s.stripe, s.wait_ns, s.waits
+            );
+        }
+        let _ = writeln!(out, "      ]\n    }}{comma}");
+    }
+    out.push_str("  },\n");
+
+    // The watch plane's measured cost on the standard small-op mix.
+    let _ = writeln!(
+        out,
+        "  \"watch\": {{\"on_s\": {:.9}, \"off_s\": {:.9}, \"overhead\": {:.6}, \
+         \"budget\": {WATCH_MAX_OVERHEAD}}},",
+        watch.on_s,
+        watch.off_s,
+        watch.overhead(),
+    );
 
     let _ = writeln!(out, "  \"unbalanced_phases\": {}", profile.unbalanced);
     out.push_str("}\n");

@@ -30,9 +30,18 @@ pub struct EnclaveConfig {
     /// Tamper-evident audit trail: every dispatched request is appended
     /// as a sealed, hash-chained record through the untrusted store.
     pub audit: bool,
-    /// Requests at least this slow (µs) are copied into the trace
-    /// ring's slow-request log; 0 disables the slow log.
-    pub slow_request_us: u64,
+    /// The watch plane's stall deadline (µs): requests at least this
+    /// slow are copied into the trace ring's slow-request log **and**
+    /// trip the stall watchdog, which captures a correlated flight-
+    /// recorder dump. One knob, one source of truth — the slow log and
+    /// the watchdog can never disagree about what "slow" means. 0
+    /// disables both.
+    pub watch_deadline_us: u64,
+    /// Budget (µs) the exclusive global lock may be held before the
+    /// stall watchdog reports a global-lock stall (the signature of a
+    /// `Move`/`DeleteGroup`/restore-rebuild starving every other
+    /// session). 0 disables the budget check.
+    pub watch_global_budget_us: u64,
     /// In-enclave object cache (`seg-cache`): decoded metadata (ACLs,
     /// member/group lists, dirfiles, rollback-tree records) and small
     /// hot content bodies are kept in enclave memory with write-through
@@ -51,7 +60,8 @@ impl Default for EnclaveConfig {
             rollback_buckets: 64,
             max_inherit_depth: 64,
             audit: true,
-            slow_request_us: 100_000,
+            watch_deadline_us: 100_000,
+            watch_global_budget_us: 500_000,
             cache: false,
         }
     }
@@ -75,7 +85,8 @@ impl EnclaveConfig {
             rollback_buckets: 64,
             max_inherit_depth: 64,
             audit: false,
-            slow_request_us: 0,
+            watch_deadline_us: 0,
+            watch_global_budget_us: 0,
             cache: false,
         }
     }
@@ -93,7 +104,8 @@ impl EnclaveConfig {
             rollback_buckets: 64,
             max_inherit_depth: 64,
             audit: true,
-            slow_request_us: 100_000,
+            watch_deadline_us: 100_000,
+            watch_global_budget_us: 500_000,
             cache: false,
         }
     }
@@ -159,10 +171,12 @@ mod tests {
             ..EnclaveConfig::default()
         };
         assert_ne!(a, no_audit.image_bytes());
-        // The slow-log threshold is operational tuning, not a security
-        // toggle: it must NOT change the measurement.
+        // The watch plane's deadline and global-lock budget are
+        // operational tuning, not security toggles: they must NOT
+        // change the measurement.
         let tuned = EnclaveConfig {
-            slow_request_us: 5,
+            watch_deadline_us: 5,
+            watch_global_budget_us: 7,
             ..EnclaveConfig::default()
         };
         assert_eq!(a, tuned.image_bytes());

@@ -15,6 +15,7 @@ pub mod locks;
 pub mod names;
 pub mod session;
 pub mod trusted_store;
+pub mod watch;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,7 +25,7 @@ use parking_lot::RwLock;
 use seg_crypto::ed25519::{PublicKey, SecretKey};
 use seg_crypto::rng::{SecureRandom, SystemRng};
 use seg_crypto::sha256::Sha256;
-use seg_obs::{Registry, TraceEvent, TraceRing};
+use seg_obs::{events_json, FlightRecorder, Registry, TraceEvent, TraceRing};
 use seg_pki::{Certificate, Csr, Identity};
 use seg_sgx::{Enclave, EnclaveImage, Platform, Quote};
 use seg_store::{CountingStore, ObjectStore};
@@ -39,6 +40,7 @@ use keys::KeyHierarchy;
 use locks::LockManager;
 use session::EnclaveSession;
 use trusted_store::TrustedStore;
+use watch::{StallKind, WatchStats};
 
 /// Untrusted-store keys for the enclave's sealed state (sealed blobs are
 /// self-protecting, so these names are not hidden). They carry the
@@ -73,6 +75,12 @@ pub struct SegShareEnclave {
     clock: AtomicU64,
     obs: Arc<Registry>,
     audit: Option<Arc<AuditLog>>,
+    /// Flight recorder: bounded windowed-snapshot history plus SLO
+    /// rollups, ticked opportunistically from request completions.
+    flight: Arc<FlightRecorder>,
+    /// Watch-plane state: saturation gauges, stall counters, and the
+    /// automatic-dump slot (shared with the untrusted serve loop).
+    watch: Arc<WatchStats>,
     /// Next request correlation id (shared by every session thread).
     request_ids: AtomicU64,
     /// The counting wrappers around the untrusted stores, kept for
@@ -170,7 +178,9 @@ impl SegShareEnclave {
         // is attached to the registry so every span finished against
         // the registry also lands one structured event here.
         let ring = Arc::new(TraceRing::default());
-        ring.set_slow_threshold_us(config.slow_request_us);
+        // One source of truth: the watch deadline is also the slow-log
+        // threshold, so the slow ring and the stall watchdog agree.
+        ring.set_slow_threshold_us(config.watch_deadline_us);
         obs.attach_trace(ring);
 
         // Phase profiler: always attached — inactive threads (no root)
@@ -262,11 +272,13 @@ impl SegShareEnclave {
             server_cert: RwLock::new(None),
             access: AccessControl::new(Arc::clone(&store)),
             files: FileManager::new(Arc::clone(&store)),
+            locks: LockManager::with_registry(&obs),
             store,
-            locks: LockManager::new(),
             clock: AtomicU64::new(1_000),
             obs,
             audit,
+            flight: Arc::new(FlightRecorder::default()),
+            watch: Arc::new(WatchStats::new()),
             request_ids: AtomicU64::new(0),
             counted_stores: vec![
                 ("content", content_counted),
@@ -441,10 +453,119 @@ impl SegShareEnclave {
     }
 
     /// Copies out up to `n` of the newest slow-request events (latency
-    /// at or above `EnclaveConfig::slow_request_us`), oldest first.
+    /// at or above `EnclaveConfig::watch_deadline_us`), oldest first.
     #[must_use]
     pub fn slow_requests(&self, n: usize) -> Vec<TraceEvent> {
         self.obs.trace().map_or_else(Vec::new, |r| r.slow_tail(n))
+    }
+
+    // ------------------------------------------------------- watch plane
+
+    /// The watch plane's shared state: saturation gauges and the stall
+    /// watchdog's counters/dump slot. The untrusted serve loop feeds the
+    /// session/in-flight/backlog gauges through this handle — they are
+    /// load numbers, not request content.
+    #[must_use]
+    pub fn watch(&self) -> &Arc<WatchStats> {
+        &self.watch
+    }
+
+    /// The flight recorder (windowed snapshot frames + SLO rollups).
+    #[must_use]
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// Per-request watchdog hook, called by the session layer after a
+    /// request finishes. Feeds the SLO rollups, opportunistically ticks
+    /// the flight recorder, and fires the stall watchdog when the
+    /// request blew the deadline or the exclusive global lock is held
+    /// past its budget. A no-op when the watch plane is disabled.
+    pub(crate) fn watch_request_done(
+        &self,
+        principal: u64,
+        object: u64,
+        ok: bool,
+        elapsed: std::time::Duration,
+    ) {
+        if !self.watch.enabled() {
+            return;
+        }
+        let elapsed_us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let deadline = self.config.watch_deadline_us;
+        self.flight
+            .note_request(principal, object, ok, elapsed_us, deadline);
+        self.flight.tick_if_due(&self.obs);
+        let stall = if deadline > 0 && elapsed_us >= deadline {
+            Some(StallKind::Request)
+        } else if self.config.watch_global_budget_us > 0
+            && self.locks.global_held_us() >= self.config.watch_global_budget_us
+        {
+            Some(StallKind::GlobalLock)
+        } else {
+            None
+        };
+        if let Some(kind) = stall {
+            if self.watch.note_stall(kind) {
+                let bundle = self.watch_report();
+                self.watch.store_dump(bundle);
+            }
+        }
+    }
+
+    /// Assembles the watch plane's correlated diagnosis bundle as one
+    /// JSON document: saturation gauges, stall counters, the lock
+    /// table's contended-stripe top-K and global-hold clock, the flight
+    /// recorder's frames and SLO rollups, the trace-ring tail, the slow
+    /// log, and the phase profile.
+    ///
+    /// Every section is an existing declassification surface (snapshot
+    /// encodings, trace exports, profile exports); this merely staples
+    /// them together at one instant so a stall can be diagnosed from
+    /// correlated evidence instead of four unsynchronized dumps.
+    #[must_use]
+    pub fn watch_report(&self) -> String {
+        self.flight.force_tick(&self.obs);
+        let mut out = String::from("{\n\"saturation\":{");
+        out.push_str(&format!(
+            "\"live_sessions\":{},\"in_flight\":{},\"accept_backlog\":{},\
+             \"queued_bytes\":{},\"send_stalls\":{},\"send_stall_ns\":{}}},\n",
+            self.watch.live_sessions(),
+            self.watch.in_flight(),
+            self.watch.accept_backlog(),
+            self.watch.net_meter().queued_bytes(),
+            self.watch.net_meter().send_stalls(),
+            self.watch.net_meter().send_stall_ns(),
+        ));
+        out.push_str(&format!(
+            "\"stalls\":{{\"request\":{},\"global_lock\":{},\"dumps\":{}}},\n",
+            self.watch.stalls_request(),
+            self.watch.stalls_global(),
+            self.watch.dumps(),
+        ));
+        out.push_str(&format!(
+            "\"global_held_us\":{},\n\"lock_top\":[",
+            self.locks.global_held_us()
+        ));
+        for (i, row) in self.locks.contended_stripes(8).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"stripe\":{},\"wait_ns\":{},\"waits\":{}}}",
+                row.stripe, row.wait_ns, row.waits
+            ));
+        }
+        out.push_str("],\n\"flight\":");
+        out.push_str(self.flight.dump_json().trim_end());
+        out.push_str(",\n\"trace_tail\":");
+        out.push_str(events_json(&self.trace_tail(64)).trim_end());
+        out.push_str(",\n\"slow_requests\":");
+        out.push_str(events_json(&self.slow_requests(32)).trim_end());
+        out.push_str(",\n\"profile\":");
+        out.push_str(self.profile_snapshot().to_json().trim_end());
+        out.push_str("\n}\n");
+        out
     }
 
     /// The audit log, when `EnclaveConfig::audit` is enabled.
@@ -565,18 +686,65 @@ impl SegShareEnclave {
             );
         }
 
-        // Object-cache counters exist only when the cache is enabled,
+        // Object-cache *counters* exist only when the cache is enabled,
         // keeping cache-off snapshots identical to pre-cache builds.
-        if let Some(c) = self.store.cache_stats() {
+        let cache = self.store.cache_stats();
+        if let Some(c) = &cache {
             sync("seg_cache_hits_total", vec![], c.hits);
             sync("seg_cache_misses_total", vec![], c.misses);
             sync("seg_cache_fills_total", vec![], c.fills);
             sync("seg_cache_stale_fills_total", vec![], c.stale_fills);
             sync("seg_cache_evictions_total", vec![], c.evictions);
             sync("seg_cache_invalidations_total", vec![], c.invalidations);
-            self.obs.gauge("seg_cache_entries").set(c.entries);
-            self.obs.gauge("seg_cache_bytes").set(c.bytes);
         }
+        // Gauge families, by contrast, always export: a disabled or
+        // idle subsystem reads 0 rather than its series disappearing
+        // between snapshots (dashboards need stable families).
+        self.obs
+            .gauge("seg_cache_entries")
+            .set(cache.as_ref().map_or(0, |c| c.entries));
+        self.obs
+            .gauge("seg_cache_bytes")
+            .set(cache.as_ref().map_or(0, |c| c.bytes));
+
+        // Watch plane: lock, net, and session saturation families.
+        self.obs
+            .gauge("seg_lock_global_held_us")
+            .set(self.locks.global_held_us());
+        self.obs
+            .gauge("seg_net_live_sessions")
+            .set(self.watch.live_sessions());
+        self.obs
+            .gauge("seg_net_inflight_requests")
+            .set(self.watch.in_flight());
+        self.obs
+            .gauge("seg_net_accept_backlog")
+            .set(self.watch.accept_backlog());
+        let net = self.watch.net_meter();
+        self.obs
+            .gauge("seg_net_queued_bytes")
+            .set(net.queued_bytes());
+        sync("seg_net_send_stalls_total", vec![], net.send_stalls());
+        sync("seg_net_send_stall_ns_total", vec![], net.send_stall_ns());
+        sync(
+            "seg_watch_stalls_total",
+            vec![("kind", "request")],
+            self.watch.stalls_request(),
+        );
+        sync(
+            "seg_watch_stalls_total",
+            vec![("kind", "global_lock")],
+            self.watch.stalls_global(),
+        );
+        sync("seg_watch_dumps_total", vec![], self.watch.dumps());
+        sync(
+            "seg_flight_frames_total",
+            vec![],
+            self.flight.frames_total(),
+        );
+        self.obs
+            .gauge("seg_watch_enabled")
+            .set(u64::from(self.watch.enabled()));
 
         self.obs.snapshot()
     }

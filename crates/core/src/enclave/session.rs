@@ -267,9 +267,33 @@ impl EnclaveSession {
         // The span label is the compiled-in operation name — never the
         // request's operands (seg-obs trust-boundary rule); operands are
         // carried only as keyed fingerprints.
+        let started = std::time::Instant::now();
         let request_id = enclave.next_request_id();
         let principal = enclave.fingerprint_user(user);
         let object = request_object(&request).map_or(0, |name| enclave.fingerprint_name(name));
+        let result =
+            self.handle_request_inner(enclave, user, request, request_id, principal, object);
+        // The watch plane sees every request outcome: SLO rollups keyed
+        // by the same fingerprints the span carries, plus the stall
+        // watchdog's deadline check over the full dispatch time.
+        let ok = matches!(
+            &result,
+            Ok(responses) if !responses.iter().any(|r| matches!(r, Response::Error { .. }))
+        );
+        enclave.watch_request_done(principal, object, ok, started.elapsed());
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_request_inner(
+        &mut self,
+        enclave: &SegShareEnclave,
+        user: &UserId,
+        request: Request,
+        request_id: u64,
+        principal: u64,
+        object: u64,
+    ) -> Result<Vec<Response>, SegShareError> {
         let span = enclave
             .obs()
             .start_op(request.op_name())

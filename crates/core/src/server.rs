@@ -282,10 +282,50 @@ impl SegShareServer {
     }
 
     /// Copies out up to `n` of the newest slow-request events (latency
-    /// at or above `EnclaveConfig::slow_request_us`), oldest first.
+    /// at or above [`EnclaveConfig::watch_deadline_us`]), oldest first.
     #[must_use]
     pub fn slow_requests(&self, n: usize) -> Vec<seg_obs::TraceEvent> {
         self.enclave.slow_requests(n)
+    }
+
+    /// The watch plane's correlated report: saturation gauges, stall
+    /// counters, global-lock hold time, the top contended lock stripes,
+    /// the flight recorder's frame ring with SLO rollups, the trace
+    /// ring's tail and slow log, and the current profile — everything
+    /// needed to attribute a contention or saturation incident, as one
+    /// JSON document. The same bundle the stall watchdog captures
+    /// automatically (see [`SegShareServer::watch_dump`]).
+    ///
+    /// Assembled exclusively from sanctioned declassification points;
+    /// carries aggregate numbers and keyed fingerprints only.
+    #[must_use]
+    pub fn watch_report(&self) -> String {
+        self.enclave.watch_report()
+    }
+
+    /// The most recent automatic dump captured by the stall watchdog
+    /// (`None` until a request exceeds [`EnclaveConfig::watch_deadline_us`]
+    /// or the global lock is held past
+    /// [`EnclaveConfig::watch_global_budget_us`]).
+    #[must_use]
+    pub fn watch_dump(&self) -> Option<String> {
+        self.enclave.watch().last_dump()
+    }
+
+    /// Enables or disables the watch plane's per-request work (flight
+    /// ticks, SLO rollups, watchdog checks). Lock and net accounting
+    /// stay on either way. On by default; benchmarks toggle this to
+    /// measure the plane's overhead.
+    pub fn set_watch(&self, on: bool) {
+        self.enclave.watch().set_enabled(on);
+    }
+
+    /// The watch plane's shared saturation state (live sessions,
+    /// in-flight requests, accept backlog, the net meter). The TCP
+    /// example feeds `accept_queued` from its accept loop through this.
+    #[must_use]
+    pub fn watch_stats(&self) -> &std::sync::Arc<crate::enclave::watch::WatchStats> {
+        self.enclave.watch()
     }
 
     /// Verifies the tamper-evident audit chain end to end, returning

@@ -5,13 +5,31 @@
 //! enclave (as ecalls, so the boundary cost model sees them), and owns
 //! the object stores that hold only ciphertext.
 
-use seg_net::{FrameTransport, NetError};
+use seg_net::{FrameTransport, MeteredTransport, NetError};
 
+use crate::enclave::watch::WatchStats;
 use crate::enclave::SegShareEnclave;
 use crate::error::SegShareError;
 
+/// Decrements the watch plane's live-session gauge on every exit path
+/// out of [`serve_connection`] (clean disconnect, handshake failure,
+/// protocol violation).
+struct SessionGuard<'a>(&'a WatchStats);
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.session_ended();
+    }
+}
+
 /// Runs one connection to completion: the untrusted TLS interface's
 /// record pump. Returns when the peer disconnects.
+///
+/// The transport is wrapped in a [`MeteredTransport`] charging the
+/// enclave's shared [`seg_net::NetMeter`], and the loop feeds the watch
+/// plane's saturation gauges: live sessions for the connection's
+/// lifetime, in-flight requests around each `handle_frame` ecall, and
+/// accept-backlog dequeue when the loop picks the connection up.
 ///
 /// # Errors
 ///
@@ -19,8 +37,14 @@ use crate::error::SegShareError;
 /// protocol violations); a clean peer disconnect is `Ok`.
 pub fn serve_connection<T: FrameTransport>(
     enclave: &SegShareEnclave,
-    mut transport: T,
+    transport: T,
 ) -> Result<(), SegShareError> {
+    let watch = enclave.watch();
+    let mut transport = MeteredTransport::new(transport, std::sync::Arc::clone(watch.net_meter()));
+    watch.accept_dequeued();
+    watch.session_started();
+    let _session_guard = SessionGuard(watch);
+
     let obs = enclave.obs();
     obs.counter("seg_connections_total").inc();
     let frames_out = obs.counter_with("seg_connection_frames_total", vec![("dir", "out")]);
@@ -53,9 +77,12 @@ pub fn serve_connection<T: FrameTransport>(
         };
         frames_in.inc();
         bytes_in.add(frame.len() as u64);
-        enclave
+        watch.request_started();
+        let handled = enclave
             .sgx()
             .boundary()
-            .ecall(|| session.handle_frame(enclave, &frame))?;
+            .ecall(|| session.handle_frame(enclave, &frame));
+        watch.request_ended();
+        handled?;
     }
 }

@@ -20,6 +20,9 @@ pub use tcp::TcpTransport;
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 
@@ -112,6 +115,117 @@ impl FrameTransport for ChannelTransport {
     }
 }
 
+/// A send that blocks at least this long counts as a slow-client byte
+/// stall: the peer (or the in-memory channel standing in for it) is not
+/// draining its receive window.
+pub const DEFAULT_SEND_STALL: Duration = Duration::from_millis(20);
+
+/// Aggregate saturation accounting shared by every [`MeteredTransport`]
+/// wrapping connections of one server.
+///
+/// All fields are plain monotonic or high-water atomics; the values are
+/// byte *counts* and *durations* only — never frame contents — so the
+/// meter can safely be read from the untrusted side.
+#[derive(Debug, Default)]
+pub struct NetMeter {
+    queued_bytes: AtomicU64,
+    sent_bytes: AtomicU64,
+    send_stalls: AtomicU64,
+    send_stall_ns: AtomicU64,
+}
+
+impl NetMeter {
+    /// Creates an idle meter.
+    #[must_use]
+    pub fn new() -> NetMeter {
+        NetMeter::default()
+    }
+
+    /// Bytes handed to `send_frame` calls that have not yet completed,
+    /// summed across all connections sharing the meter. A persistently
+    /// nonzero value means some client is not draining.
+    #[must_use]
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total frame bytes successfully sent.
+    #[must_use]
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of sends that blocked at least the stall threshold.
+    #[must_use]
+    pub fn send_stalls(&self) -> u64 {
+        self.send_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds spent inside stalled sends.
+    #[must_use]
+    pub fn send_stall_ns(&self) -> u64 {
+        self.send_stall_ns.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`FrameTransport`] decorator that charges every send to a shared
+/// [`NetMeter`]: in-flight bytes while the send blocks, plus stall
+/// detection when a send exceeds the threshold (backpressure from a
+/// slow client — a full channel or TCP window).
+#[derive(Debug)]
+pub struct MeteredTransport<T> {
+    inner: T,
+    meter: Arc<NetMeter>,
+    stall_threshold: Duration,
+}
+
+impl<T: FrameTransport> MeteredTransport<T> {
+    /// Wraps `inner`, attributing its sends to `meter` with the
+    /// [`DEFAULT_SEND_STALL`] threshold.
+    pub fn new(inner: T, meter: Arc<NetMeter>) -> MeteredTransport<T> {
+        MeteredTransport::with_stall_threshold(inner, meter, DEFAULT_SEND_STALL)
+    }
+
+    /// Wraps `inner` with an explicit stall threshold.
+    pub fn with_stall_threshold(
+        inner: T,
+        meter: Arc<NetMeter>,
+        stall_threshold: Duration,
+    ) -> MeteredTransport<T> {
+        MeteredTransport {
+            inner,
+            meter,
+            stall_threshold,
+        }
+    }
+}
+
+impl<T: FrameTransport> FrameTransport for MeteredTransport<T> {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        let len = frame.len() as u64;
+        self.meter.queued_bytes.fetch_add(len, Ordering::Relaxed);
+        let start = Instant::now();
+        let result = self.inner.send_frame(frame);
+        let blocked = start.elapsed();
+        self.meter.queued_bytes.fetch_sub(len, Ordering::Relaxed);
+        if result.is_ok() {
+            self.meter.sent_bytes.fetch_add(len, Ordering::Relaxed);
+        }
+        if blocked >= self.stall_threshold {
+            self.meter.send_stalls.fetch_add(1, Ordering::Relaxed);
+            self.meter.send_stall_ns.fetch_add(
+                blocked.as_nanos().min(u64::MAX as u128) as u64,
+                Ordering::Relaxed,
+            );
+        }
+        result
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, NetError> {
+        self.inner.recv_frame()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +256,48 @@ mod tests {
         drop(b);
         assert_eq!(a.send_frame(b"x").unwrap_err(), NetError::Closed);
         assert_eq!(a.recv_frame().unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn metered_transport_counts_sent_bytes_and_passes_frames() {
+        let (a, mut b) = duplex();
+        let meter = Arc::new(NetMeter::new());
+        let mut m = MeteredTransport::new(a, Arc::clone(&meter));
+        m.send_frame(b"hello").unwrap();
+        assert_eq!(b.recv_frame().unwrap(), b"hello");
+        b.send_frame(b"back").unwrap();
+        assert_eq!(m.recv_frame().unwrap(), b"back");
+        assert_eq!(meter.sent_bytes(), 5);
+        assert_eq!(meter.queued_bytes(), 0, "nothing in flight after send");
+        assert_eq!(meter.send_stalls(), 0);
+    }
+
+    #[test]
+    fn blocked_send_is_detected_as_a_client_stall() {
+        let (a, mut b) = duplex();
+        let meter = Arc::new(NetMeter::new());
+        let mut m =
+            MeteredTransport::with_stall_threshold(a, Arc::clone(&meter), Duration::from_millis(5));
+        // Fill the peer's bounded channel so the next send blocks until
+        // the (slow) receiver drains a frame.
+        for _ in 0..DUPLEX_DEPTH {
+            m.send_frame(b"fill").unwrap();
+        }
+        let reader = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            let mut got = Vec::new();
+            while let Ok(f) = b.recv_frame() {
+                got.push(f);
+            }
+            got
+        });
+        m.send_frame(b"overflow").unwrap(); // blocks ~30ms on the full channel
+        drop(m);
+        let got = reader.join().unwrap();
+        assert_eq!(got.len(), DUPLEX_DEPTH + 1);
+        assert_eq!(meter.send_stalls(), 1, "the blocked send was a stall");
+        assert!(meter.send_stall_ns() >= 5_000_000);
+        assert_eq!(meter.sent_bytes(), (DUPLEX_DEPTH * 4 + 8) as u64);
     }
 
     #[test]

@@ -1,0 +1,422 @@
+//! Flight recorder: a bounded in-enclave history of *system state over
+//! time*, for post-hoc saturation diagnosis.
+//!
+//! The trace ring ([`crate::TraceRing`]) answers "what did request X
+//! do"; the flight recorder answers "what was the whole system doing
+//! in the seconds before things went wrong". It keeps:
+//!
+//! - a fixed-size ring of **frames**: periodic windowed
+//!   [`Snapshot::delta`]s, so each frame carries real interval
+//!   quantiles and rates rather than cumulative blur;
+//! - bounded-cardinality **SLO rollups** keyed by principal and object
+//!   *fingerprints* (keyed HMAC outputs, already declassified ids —
+//!   the same ones the trace ring emits): request/error/slow counts
+//!   plus latency sums, capped at [`MAX_SLO_SERIES`] series per axis
+//!   with an explicit overflow bucket, so an adversary-chosen number
+//!   of principals cannot grow enclave memory or the export.
+//!
+//! Ticking is driven opportunistically by request completions (the
+//! enclave has no background threads): [`FlightRecorder::tick_if_due`]
+//! is a single atomic compare on the hot path and only snapshots the
+//! registry when the interval has elapsed.
+//!
+//! # Trust boundary
+//!
+//! Everything stored here is already-declassified aggregate state:
+//! metric ids are compiled in, fingerprints are keyed and opaque.
+//! [`FlightRecorder::dump_json`] is therefore a declassification point
+//! of the same kind as [`Registry::snapshot`] — deliberate, explicit,
+//! and content-free by construction.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::{Registry, Snapshot};
+
+/// Default number of frames retained in the ring.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 64;
+
+/// Default frame interval in microseconds (250 ms: ~16 s of history at
+/// the default capacity).
+pub const DEFAULT_FLIGHT_INTERVAL_US: u64 = 250_000;
+
+/// Hard cap on distinct fingerprint series per rollup axis. Beyond
+/// this, samples fold into the axis's overflow bucket.
+pub const MAX_SLO_SERIES: usize = 64;
+
+/// Per-fingerprint service-level rollup: how one principal (or one
+/// object) experienced the system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SloRollup {
+    /// Completed requests attributed to this fingerprint.
+    pub requests: u64,
+    /// Requests that finished with a client-visible error.
+    pub errors: u64,
+    /// Requests at or above the slow/deadline threshold.
+    pub slow: u64,
+    /// Sum of request latencies in microseconds.
+    pub sum_us: u64,
+    /// Largest single request latency in microseconds.
+    pub max_us: u64,
+}
+
+impl SloRollup {
+    fn note(&mut self, ok: bool, duration_us: u64, slow: bool) {
+        self.requests += 1;
+        if !ok {
+            self.errors += 1;
+        }
+        if slow {
+            self.slow += 1;
+        }
+        self.sum_us += duration_us;
+        self.max_us = self.max_us.max(duration_us);
+    }
+
+    fn push_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"requests\":{},\"errors\":{},\"slow\":{},\"sum_us\":{},\"max_us\":{}}}",
+            self.requests, self.errors, self.slow, self.sum_us, self.max_us
+        ));
+    }
+}
+
+/// One recorded frame: the window of registry activity between the
+/// previous tick and this one.
+#[derive(Debug, Clone)]
+pub struct FlightFrame {
+    /// Monotonic frame number (1-based; survives ring eviction, so
+    /// gaps at the front reveal how much history was dropped).
+    pub seq: u64,
+    /// Recorder-relative timestamp of the tick, microseconds.
+    pub at_us: u64,
+    /// Windowed snapshot ([`Snapshot::delta`] against the previous
+    /// tick's cumulative snapshot; the first frame is cumulative).
+    pub window: Snapshot,
+}
+
+#[derive(Debug, Default)]
+struct FlightInner {
+    frames: VecDeque<FlightFrame>,
+    last: Option<Snapshot>,
+    principals: BTreeMap<u64, SloRollup>,
+    objects: BTreeMap<u64, SloRollup>,
+    principal_overflow: SloRollup,
+    object_overflow: SloRollup,
+}
+
+/// The flight recorder. All methods take `&self`; safe to share via
+/// `Arc` across session threads.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    inner: Mutex<FlightInner>,
+    capacity: usize,
+    interval_us: AtomicU64,
+    last_tick_us: AtomicU64,
+    frames_total: AtomicU64,
+    epoch: Instant,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY, DEFAULT_FLIGHT_INTERVAL_US)
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding up to `capacity` frames, ticking at
+    /// most once per `interval_us` microseconds.
+    pub fn new(capacity: usize, interval_us: u64) -> FlightRecorder {
+        FlightRecorder {
+            inner: Mutex::new(FlightInner::default()),
+            capacity: capacity.max(1),
+            interval_us: AtomicU64::new(interval_us.max(1)),
+            last_tick_us: AtomicU64::new(0),
+            frames_total: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds since the recorder was created (the frame clock).
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Changes the frame interval.
+    pub fn set_interval_us(&self, us: u64) {
+        self.interval_us.store(us.max(1), Ordering::Relaxed);
+    }
+
+    /// Total frames ever recorded (including evicted ones).
+    pub fn frames_total(&self) -> u64 {
+        self.frames_total.load(Ordering::Relaxed)
+    }
+
+    /// Frames currently retained in the ring.
+    pub fn frame_count(&self) -> usize {
+        self.inner.lock().unwrap().frames.len()
+    }
+
+    /// Copies out the retained frames, oldest first.
+    pub fn frames(&self) -> Vec<FlightFrame> {
+        self.inner.lock().unwrap().frames.iter().cloned().collect()
+    }
+
+    /// Attributes one completed request to the per-principal and
+    /// per-object SLO rollups. `principal` / `object` are keyed
+    /// fingerprints (0 = none, skipped); `slow_threshold_us = 0`
+    /// disables slow marking.
+    pub fn note_request(
+        &self,
+        principal: u64,
+        object: u64,
+        ok: bool,
+        duration_us: u64,
+        slow_threshold_us: u64,
+    ) {
+        let slow = slow_threshold_us > 0 && duration_us >= slow_threshold_us;
+        let mut inner = self.inner.lock().unwrap();
+        let FlightInner {
+            principals,
+            objects,
+            principal_overflow,
+            object_overflow,
+            ..
+        } = &mut *inner;
+        let roll = |map: &mut BTreeMap<u64, SloRollup>, overflow: &mut SloRollup, fp: u64| {
+            if fp == 0 {
+                return;
+            }
+            if let Some(r) = map.get_mut(&fp) {
+                r.note(ok, duration_us, slow);
+            } else if map.len() < MAX_SLO_SERIES {
+                map.entry(fp).or_default().note(ok, duration_us, slow);
+            } else {
+                overflow.note(ok, duration_us, slow);
+            }
+        };
+        roll(principals, principal_overflow, principal);
+        roll(objects, object_overflow, object);
+    }
+
+    /// Records a frame if at least one interval elapsed since the last
+    /// tick. Cheap when not due: one atomic load + compare. Returns
+    /// whether a frame was recorded.
+    pub fn tick_if_due(&self, registry: &Registry) -> bool {
+        let now = self.now_us();
+        let last = self.last_tick_us.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < self.interval_us.load(Ordering::Relaxed) {
+            return false;
+        }
+        // One winner per interval; losers skip rather than queue up.
+        if self
+            .last_tick_us
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        self.record_frame(registry, now);
+        true
+    }
+
+    /// Records a frame unconditionally (used right before a dump so
+    /// the bundle always includes the most recent window).
+    pub fn force_tick(&self, registry: &Registry) {
+        let now = self.now_us();
+        self.last_tick_us.store(now, Ordering::Relaxed);
+        self.record_frame(registry, now);
+    }
+
+    fn record_frame(&self, registry: &Registry, at_us: u64) {
+        let snap = registry.snapshot();
+        let mut inner = self.inner.lock().unwrap();
+        let window = match &inner.last {
+            Some(prev) => snap.delta(prev),
+            None => snap.clone(),
+        };
+        let seq = self.frames_total.fetch_add(1, Ordering::Relaxed) + 1;
+        inner.frames.push_back(FlightFrame { seq, at_us, window });
+        while inner.frames.len() > self.capacity {
+            inner.frames.pop_front();
+        }
+        inner.last = Some(snap);
+    }
+
+    /// Hand-rolled JSON export of the retained frames and SLO rollups.
+    ///
+    /// Declassification point: frame contents are windowed metric
+    /// snapshots (compiled-in ids, aggregate values); rollup keys are
+    /// keyed fingerprints rendered as 16 hex digits, matching the
+    /// trace export's idiom.
+    pub fn dump_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::from("{\n\"frames\":[");
+        for (i, f) in inner.frames.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n{{\"seq\":{},\"at_us\":{},\"window\":{}}}",
+                f.seq,
+                f.at_us,
+                f.window.to_json().trim_end()
+            ));
+        }
+        out.push_str("\n],\n\"slo\":{");
+        let axis = |out: &mut String,
+                    name: &str,
+                    map: &BTreeMap<u64, SloRollup>,
+                    overflow: &SloRollup,
+                    trailing: bool| {
+            out.push_str(&format!("\n\"{name}\":{{"));
+            for (i, (fp, r)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n\"{fp:016x}\":"));
+                r.push_json(out);
+            }
+            out.push_str("\n},\n");
+            out.push_str(&format!("\"{name}_overflow\":"));
+            overflow.push_json(out);
+            if trailing {
+                out.push(',');
+            }
+        };
+        axis(
+            &mut out,
+            "principal",
+            &inner.principals,
+            &inner.principal_overflow,
+            true,
+        );
+        axis(
+            &mut out,
+            "object",
+            &inner.objects,
+            &inner.object_overflow,
+            false,
+        );
+        out.push_str("\n}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_windowed_deltas() {
+        let r = Registry::new();
+        let fr = FlightRecorder::new(8, 1);
+        r.counter("seg_frames_total").add(5);
+        fr.force_tick(&r);
+        r.counter("seg_frames_total").add(3);
+        fr.force_tick(&r);
+        let frames = fr.frames();
+        assert_eq!(frames.len(), 2);
+        // First frame is cumulative, second covers only the window.
+        assert_eq!(frames[0].window.counter("seg_frames_total"), Some(5));
+        assert_eq!(frames[1].window.counter("seg_frames_total"), Some(3));
+        assert!(frames[0].seq < frames[1].seq);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_keeps_total() {
+        let r = Registry::new();
+        let fr = FlightRecorder::new(3, 1);
+        for _ in 0..7 {
+            fr.force_tick(&r);
+        }
+        assert_eq!(fr.frame_count(), 3);
+        assert_eq!(fr.frames_total(), 7);
+        let seqs: Vec<u64> = fr.frames().iter().map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn tick_if_due_respects_interval() {
+        let r = Registry::new();
+        let fr = FlightRecorder::new(8, u64::MAX / 2);
+        // The interval can never elapse, so opportunistic ticks no-op.
+        assert!(!fr.tick_if_due(&r));
+        assert_eq!(fr.frames_total(), 0);
+        fr.set_interval_us(1);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(fr.tick_if_due(&r));
+        assert_eq!(fr.frames_total(), 1);
+    }
+
+    #[test]
+    fn slo_rollups_are_cardinality_bounded() {
+        let fr = FlightRecorder::default();
+        // 3 × MAX distinct principals: only MAX series materialize,
+        // the rest folds into the overflow bucket. Nothing is lost.
+        let n = (MAX_SLO_SERIES * 3) as u64;
+        for fp in 1..=n {
+            fr.note_request(fp, 0, true, 10, 0);
+        }
+        let inner = fr.inner.lock().unwrap();
+        assert_eq!(inner.principals.len(), MAX_SLO_SERIES);
+        assert_eq!(inner.principal_overflow.requests, n - MAX_SLO_SERIES as u64);
+        let kept: u64 = inner.principals.values().map(|r| r.requests).sum();
+        assert_eq!(kept + inner.principal_overflow.requests, n);
+    }
+
+    #[test]
+    fn rollup_tracks_errors_and_slow_requests() {
+        let fr = FlightRecorder::default();
+        fr.note_request(7, 9, true, 50, 100);
+        fr.note_request(7, 9, false, 200, 100);
+        let inner = fr.inner.lock().unwrap();
+        let p = inner.principals.get(&7).unwrap();
+        assert_eq!(
+            (p.requests, p.errors, p.slow, p.sum_us, p.max_us),
+            (2, 1, 1, 250, 200)
+        );
+        assert_eq!(inner.objects.get(&9).unwrap().requests, 2);
+    }
+
+    #[test]
+    fn zero_fingerprints_are_skipped() {
+        let fr = FlightRecorder::default();
+        fr.note_request(0, 0, true, 10, 0);
+        let inner = fr.inner.lock().unwrap();
+        assert!(inner.principals.is_empty());
+        assert!(inner.objects.is_empty());
+        assert_eq!(inner.principal_overflow.requests, 0);
+    }
+
+    #[test]
+    fn dump_json_is_balanced_and_fingerprints_are_hex() {
+        let r = Registry::new();
+        let fr = FlightRecorder::new(4, 1);
+        r.counter("seg_frames_total").add(2);
+        r.histogram("seg_pfs_encrypt_ns").record(500);
+        fr.force_tick(&r);
+        fr.note_request(0xdead_beef, 0xcafe, false, 123, 50);
+        let json = fr.dump_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert!(json.contains("\"frames\""), "{json}");
+        assert!(json.contains("\"00000000deadbeef\""), "{json}");
+        assert!(json.contains("\"principal_overflow\""), "{json}");
+        assert!(json.contains("\"seg_frames_total\": 2"), "{json}");
+        assert!(!json.contains('/'), "no path separators in a dump");
+        assert!(!json.contains('@'), "no email-like tokens in a dump");
+    }
+
+    #[test]
+    fn empty_dump_encodes_cleanly() {
+        let json = FlightRecorder::default().dump_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"frames\":["));
+    }
+}

@@ -31,10 +31,12 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 mod hist;
 pub mod prof;
 pub mod trace;
 
+pub use flight::{FlightFrame, FlightRecorder, SloRollup};
 pub use hist::{Histogram, HistogramSummary};
 pub use prof::{ProfEntry, ProfSnapshot, Profiler};
 pub use trace::{

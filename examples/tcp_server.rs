@@ -8,9 +8,12 @@
 //! Pass `--metrics` to print the server's telemetry snapshot
 //! (Prometheus exposition text) after the demo traffic completes,
 //! `--trace` to print the structured request trace (JSON, newest
-//! events last) plus the audit-chain verification result, and
+//! events last) plus the audit-chain verification result,
 //! `--profile` to print the phase profiler's flamegraph-collapsed
-//! output plus a per-phase breakdown of the 1 MB upload.
+//! output plus a per-phase breakdown of the 1 MB upload, and
+//! `--watch` to print the seg-watch plane's saturation gauges and its
+//! correlated contention report (flight-recorder ring, lock top-K,
+//! trace tail, profile — one JSON bundle).
 
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -22,6 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let metrics = std::env::args().any(|a| a == "--metrics");
     let trace = std::env::args().any(|a| a == "--trace");
     let profile = std::env::args().any(|a| a == "--profile");
+    let watch = std::env::args().any(|a| a == "--watch");
     // Cache on: the Prometheus exposition below then includes the
     // seg_cache_* counter family alongside the request/store metrics.
     let config = EnclaveConfig {
@@ -42,6 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::thread::spawn(move || {
             for stream in listener.incoming() {
                 let Ok(stream) = stream else { continue };
+                // The accept loop feeds the watch plane's backlog
+                // gauge; the session's serve loop dequeues it.
+                server.watch_stats().accept_queued();
                 let server = Arc::clone(&server);
                 std::thread::spawn(move || {
                     let _ = server.handle_connection(TcpTransport::new(stream));
@@ -133,6 +140,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "crypto_gcm should dominate a 1 MB upload"
         );
         println!("  (checked: crypto_gcm dominant, self-times account for the wall-clock)");
+    }
+    if watch {
+        let stats = server.watch_stats();
+        println!("\n--- watch plane (saturation) ---");
+        println!(
+            "  live sessions {}  in-flight {}  accept backlog {}",
+            stats.live_sessions(),
+            stats.in_flight(),
+            stats.accept_backlog()
+        );
+        let net = stats.net_meter();
+        println!(
+            "  sent {} B  queued {} B  send stalls {} ({:.1} ms stalled)",
+            net.sent_bytes(),
+            net.queued_bytes(),
+            net.send_stalls(),
+            net.send_stall_ns() as f64 / 1e6
+        );
+        let report = server.watch_report();
+        println!("--- watch report (correlated bundle) ---");
+        println!("{report}");
+        // The report is the widest export the server offers; sanity
+        // check it is complete and honors the trust boundary.
+        for section in [
+            "\"flight\"",
+            "\"lock_top\"",
+            "\"trace_tail\"",
+            "\"profile\"",
+        ] {
+            assert!(report.contains(section), "report missing {section}");
+        }
+        assert!(
+            !report.contains("over-tcp") && !report.contains("alice"),
+            "watch report must never carry request operands"
+        );
+        println!("  (checked: report complete, no request content)");
     }
     Ok(())
 }

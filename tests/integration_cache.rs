@@ -210,10 +210,14 @@ fn cache_off_is_byte_identical_to_seed_behavior() {
     r.group.rollback_everything().unwrap();
     assert_eq!(a.get("/doc").unwrap(), b"old state");
 
-    // And the metrics surface carries no cache counter family at all.
+    // The cache *activity* counters stay absent with the cache off, and
+    // the occupancy gauges export as zero — gauge families are stable
+    // across configurations so dashboards never see series appear and
+    // disappear with a toggle.
     let snap = r.server.enclave().metrics_snapshot();
     assert!(snap.counter("seg_cache_hits_total").is_none());
-    assert!(snap.gauge("seg_cache_bytes").is_none());
+    assert_eq!(snap.gauge("seg_cache_bytes"), Some(0));
+    assert_eq!(snap.gauge("seg_cache_entries"), Some(0));
 }
 
 #[test]

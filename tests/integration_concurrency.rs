@@ -13,10 +13,11 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use seg_fs::Perm;
 use seg_proto::ErrorCode;
-use seg_store::{AdversaryStore, MemStore, ObjectStore};
+use seg_store::{AdversaryStore, MemStore, ObjectStore, StoreError};
 use segshare::{Client, EnclaveConfig, EnrolledUser, FsoSetup, SegShareError, SegShareServer};
 
 /// Paper prototype (audit + rollback tree on) with the object cache —
@@ -384,4 +385,176 @@ fn permuted_multi_object_operations_do_not_deadlock() {
     // The dispatcher survived every interleaving; the audit chain must
     // have recorded a linearization of it.
     assert!(r.server.audit_verify().unwrap() > 0);
+}
+
+// ----------------------------------------------------- watch plane
+
+/// A store that sleeps on every read and write: lock hold times stretch
+/// into milliseconds, so contention becomes measurable instead of
+/// vanishing into nanosecond acquisitions.
+struct DelayStore {
+    inner: MemStore,
+    delay: Duration,
+}
+
+impl DelayStore {
+    fn new(delay: Duration) -> DelayStore {
+        DelayStore {
+            inner: MemStore::new(),
+            delay,
+        }
+    }
+}
+
+impl ObjectStore for DelayStore {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        std::thread::sleep(self.delay);
+        self.inner.get(key)
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        std::thread::sleep(self.delay);
+        self.inner.put(key, value)
+    }
+
+    fn delete(&self, key: &str) -> Result<bool, StoreError> {
+        self.inner.delete(key)
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        self.inner.list()
+    }
+}
+
+/// A rig whose content and group stores sleep `delay` per access.
+fn slow_rig(config: EnclaveConfig, seed: u64, delay: Duration) -> (FsoSetup, SegShareServer) {
+    let setup = FsoSetup::with_stores(
+        "ca",
+        config,
+        seg_sgx::Platform::new_with_seed(seed),
+        Arc::new(DelayStore::new(delay)),
+        Arc::new(DelayStore::new(delay)),
+        Arc::new(MemStore::new()),
+    );
+    let server = setup.server().unwrap();
+    (setup, server)
+}
+
+/// Total lock wait charged to writes on the path key class.
+fn path_write_wait_ns(server: &SegShareServer) -> u64 {
+    server
+        .metrics_snapshot()
+        .histogram("seg_lock_wait_ns{class=\"path\",intent=\"write\"}")
+        .expect("lock-wait family always exports")
+        .sum
+}
+
+#[test]
+fn lock_wait_is_attributed_to_the_contended_key_class() {
+    // The same operation count run two ways: four sessions hammering
+    // ONE path must show substantial write wait on the path class,
+    // while four sessions on disjoint paths must show (near) none —
+    // the attribution the seg-watch plane exists for.
+    let config = EnclaveConfig {
+        watch_deadline_us: 0,
+        watch_global_budget_us: 0,
+        ..EnclaveConfig::paper_prototype()
+    };
+    let delay = Duration::from_millis(2);
+
+    let (setup, server) = slow_rig(config, 407, delay);
+    let alice = setup.enroll_user("alice", "a@x", "Alice").unwrap();
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let mut client = server.connect_local(&alice).unwrap();
+            s.spawn(move || {
+                for j in 0..4usize {
+                    client
+                        .put("/contend", format!("{t}:{j}").as_bytes())
+                        .unwrap();
+                }
+            });
+        }
+    });
+    let overlapping = path_write_wait_ns(&server);
+
+    let (setup, server) = slow_rig(config, 408, delay);
+    let alice = setup.enroll_user("alice", "a@x", "Alice").unwrap();
+    let mut c = server.connect_local(&alice).unwrap();
+    for t in 0..4usize {
+        c.mkdir(&format!("/w{t}")).unwrap();
+    }
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let mut client = server.connect_local(&alice).unwrap();
+            s.spawn(move || {
+                for j in 0..4usize {
+                    client
+                        .put(&format!("/w{t}/f{j}"), format!("{t}:{j}").as_bytes())
+                        .unwrap();
+                }
+            });
+        }
+    });
+    let disjoint = path_write_wait_ns(&server);
+
+    assert!(
+        overlapping > 1_000_000,
+        "overlapping writes must accumulate visible path-class wait, got {overlapping}ns"
+    );
+    assert!(
+        overlapping > 10 * disjoint.max(1),
+        "disjoint writes must wait far less than overlapping ones \
+         (overlapping {overlapping}ns vs disjoint {disjoint}ns)"
+    );
+}
+
+#[test]
+fn watchdog_stall_dumps_a_correlated_bundle_without_leaking_content() {
+    // A 1ms deadline over a 3ms-per-store-access rig: every request
+    // stalls, so the watchdog must capture its correlated bundle — and
+    // that bundle, which leaves the enclave wholesale, must carry only
+    // aggregates and fingerprints, never the user id, email domain, or
+    // path the workload used.
+    let config = EnclaveConfig {
+        watch_deadline_us: 1_000,
+        ..EnclaveConfig::paper_prototype()
+    };
+    let (setup, server) = slow_rig(config, 409, Duration::from_millis(3));
+    let alice = setup
+        .enroll_user("alice", "alice@acme.example", "Alice")
+        .unwrap();
+    let mut a = server.connect_local(&alice).unwrap();
+    a.put("/plans-secret", b"q3-report body").unwrap();
+    assert_eq!(a.get("/plans-secret").unwrap(), b"q3-report body");
+
+    let watch = server.watch_stats();
+    assert!(watch.stalls_request() > 0, "the deadline must have tripped");
+    assert!(watch.dumps() > 0, "the first stall captures a dump");
+    let dump = server.watch_dump().expect("dump stored");
+    for section in [
+        "\"saturation\"",
+        "\"stalls\"",
+        "\"global_held_us\"",
+        "\"lock_top\"",
+        "\"flight\"",
+        "\"trace_tail\"",
+        "\"slow_requests\"",
+        "\"profile\"",
+    ] {
+        assert!(dump.contains(section), "dump missing section {section}");
+    }
+    for secret in ["alice", "plans-secret", "q3-report", "acme.example"] {
+        assert!(
+            !dump.contains(secret),
+            "watch dump leaked request content: {secret}"
+        );
+    }
+    assert!(!dump.contains('@'), "watch dump leaked an email");
+
+    // The on-demand report is the same bundle and honors the same
+    // boundary.
+    let report = server.watch_report();
+    assert!(report.contains("\"flight\""));
+    assert!(!report.contains("plans-secret") && !report.contains('@'));
 }

@@ -196,6 +196,113 @@ fn encoded_snapshots_carry_no_request_content() {
 }
 
 #[test]
+fn watch_plane_families_always_export_with_clean_labels() {
+    // The seg-watch families must be present in every export — zero on
+    // idle or disabled subsystems, never absent — so dashboards see a
+    // stable series set across configurations. And every series the
+    // snapshot emits must satisfy the compiled-in-label hygiene rule.
+    let server = run_flow();
+    let text = server.metrics_snapshot().to_prometheus();
+
+    for family in [
+        "seg_lock_wait_ns",
+        "seg_lock_hold_ns",
+        "seg_lock_global_wait_ns",
+        "seg_lock_global_hold_ns",
+        "seg_lock_global_held_us",
+        "seg_net_live_sessions",
+        "seg_net_inflight_requests",
+        "seg_net_accept_backlog",
+        "seg_net_queued_bytes",
+        "seg_net_send_stalls_total",
+        "seg_net_send_stall_ns_total",
+        "seg_watch_stalls_total",
+        "seg_watch_dumps_total",
+        "seg_watch_enabled",
+        "seg_flight_frames_total",
+        // Cache gauges export as zero even with the cache disabled.
+        "seg_cache_entries",
+        "seg_cache_bytes",
+    ] {
+        assert!(
+            text.contains(family),
+            "family {family} missing from the prometheus export"
+        );
+    }
+
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.gauge("seg_watch_enabled"), Some(1), "always-on");
+    assert_eq!(snap.gauge("seg_cache_entries"), Some(0), "cache disabled");
+    // Lock-wait series carry both label axes with expected values.
+    assert!(
+        snap.histogram("seg_lock_wait_ns{class=\"path\",intent=\"write\"}")
+            .is_some(),
+        "per-class lock-wait series pre-interned"
+    );
+
+    // Label-hygiene lint: every series line is `name{k="v",...} value`
+    // where names and keys are [a-z_][a-z0-9_]* and values [a-z0-9_.]+.
+    let clean_name = |s: &str| {
+        !s.is_empty()
+            && s.starts_with(|c: char| c.is_ascii_lowercase() || c == '_')
+            && s.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    };
+    let clean_value = |s: &str| {
+        !s.is_empty()
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+    };
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let series = line.split_whitespace().next().unwrap();
+        let (name, labels) = match series.find('{') {
+            Some(pos) => (
+                &series[..pos],
+                series[pos + 1..].strip_suffix('}').unwrap_or(""),
+            ),
+            None => (series, ""),
+        };
+        assert!(clean_name(name), "bad metric name in line: {line}");
+        for pair in labels.split(',').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').expect("k=\"v\" pair");
+            let v = v.trim_matches('"');
+            assert!(clean_name(k), "bad label key {k:?} in line: {line}");
+            assert!(
+                clean_value(v) && v.chars().all(|c| !c.is_ascii_uppercase()),
+                "bad label value {v:?} in line: {line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn watch_report_carries_no_request_content() {
+    // The correlated watch bundle is the widest single export the
+    // server offers (metrics + flight ring + traces + profile); it must
+    // honor the same trust boundary as each constituent export.
+    let server = run_flow();
+    let report = server.watch_report();
+    for section in [
+        "\"saturation\"",
+        "\"flight\"",
+        "\"lock_top\"",
+        "\"profile\"",
+    ] {
+        assert!(report.contains(section), "report missing {section}");
+    }
+    for secret in SECRETS {
+        assert!(!report.contains(secret), "watch report leaks {secret:?}");
+    }
+    assert!(
+        !report.contains('@'),
+        "watch report contains an email-like token"
+    );
+}
+
+#[test]
 fn trace_ring_correlates_requests_across_layers() {
     let server = run_flow();
     let events = server.trace_tail(usize::MAX);
