@@ -412,6 +412,31 @@ impl<K: Hash + Eq + Clone, V: Clone> ObjectCache<K, V> {
         true
     }
 
+    /// Copies out up to `max` resident keys, spread across shards
+    /// (each shard contributes at most its proportional share, in
+    /// arbitrary hash order). This powers integrity probes that
+    /// re-verify a sample of resident entries against the backing
+    /// store; it takes each shard lock briefly and never touches LRU
+    /// positions or hit/miss counters.
+    #[must_use]
+    pub fn sample_keys(&self, max: usize) -> Vec<K> {
+        let mut out = Vec::new();
+        if max == 0 {
+            return out;
+        }
+        let per_shard = max.div_ceil(self.shards.len()).max(1);
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for key in shard.map.keys().take(per_shard) {
+                if out.len() == max {
+                    return out;
+                }
+                out.push(key.clone());
+            }
+        }
+        out
+    }
+
     /// Drops every cached entry (generation tags are preserved).
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -618,6 +643,24 @@ mod tests {
         let shard = c.shards[0].lock();
         assert!(shard.protected_bytes <= 80);
         assert_eq!(shard.bytes, 100);
+    }
+
+    #[test]
+    fn sample_keys_is_bounded_and_side_effect_free() {
+        let c = cache(10_000);
+        for k in 0..10 {
+            let key = format!("k{k}");
+            let gen = c.generation(&key);
+            c.insert_if_current(key, gen, val(10), 10);
+        }
+        let before = c.stats();
+        let sample = c.sample_keys(4);
+        assert_eq!(sample.len(), 4);
+        let all = c.sample_keys(usize::MAX);
+        assert_eq!(all.len(), 10);
+        assert!(c.sample_keys(0).is_empty());
+        let after = c.stats();
+        assert_eq!((before.hits, before.misses), (after.hits, after.misses));
     }
 
     #[test]

@@ -48,6 +48,15 @@ pub struct EnclaveConfig {
     /// generation invalidation, charged against the EPC tracker. Off
     /// means byte-identical behavior to a build without the cache.
     pub cache: bool,
+    /// Cadence (µs) of the health plane's background integrity
+    /// scrubber: each period it advances an incremental audit-chain
+    /// verification, re-verifies a budgeted slice of the namespace
+    /// against the rollback tree, probes cache coherence, and — at the
+    /// end of each full pass — scans the stores for orphaned objects.
+    /// Only consulted once a health runner is started
+    /// (`SegShareServer::start_health`); 0 disables the scrubber while
+    /// leaving rollups and the canary active.
+    pub scrub_interval_us: u64,
 }
 
 impl Default for EnclaveConfig {
@@ -63,6 +72,7 @@ impl Default for EnclaveConfig {
             watch_deadline_us: 100_000,
             watch_global_budget_us: 500_000,
             cache: false,
+            scrub_interval_us: 1_000_000,
         }
     }
 }
@@ -88,6 +98,7 @@ impl EnclaveConfig {
             watch_deadline_us: 0,
             watch_global_budget_us: 0,
             cache: false,
+            scrub_interval_us: 0,
         }
     }
 
@@ -107,6 +118,7 @@ impl EnclaveConfig {
             watch_deadline_us: 100_000,
             watch_global_budget_us: 500_000,
             cache: false,
+            scrub_interval_us: 1_000_000,
         }
     }
 
@@ -177,6 +189,7 @@ mod tests {
         let tuned = EnclaveConfig {
             watch_deadline_us: 5,
             watch_global_budget_us: 7,
+            scrub_interval_us: 42,
             ..EnclaveConfig::default()
         };
         assert_eq!(a, tuned.image_bytes());

@@ -215,6 +215,35 @@ struct ChainState {
     head: [u8; 32],
 }
 
+/// Resumable position inside an incremental chain verification — the
+/// running hash after `seq` records. Opaque to callers; hand it back
+/// to [`AuditLog::verify_window`] unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditScrubCursor {
+    seq: u64,
+    prev: [u8; 32],
+}
+
+impl AuditScrubCursor {
+    /// Records verified so far in the current pass.
+    #[must_use]
+    pub fn position(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Outcome of one [`AuditLog::verify_window`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditScrubStep {
+    /// Records re-verified in this window.
+    pub checked: u64,
+    /// Whether this window completed a full pass (head, beyond-head,
+    /// and counter-anchor checks all ran).
+    pub complete: bool,
+    /// Chain length observed during the window.
+    pub chain_len: u64,
+}
+
 /// The enclave-resident audit log. `append` is serialized by an
 /// internal mutex; `verify`/`export` walk the persisted chain.
 pub struct AuditLog {
@@ -430,6 +459,121 @@ impl AuditLog {
         self.walk(true).map(|(_, records)| records)
     }
 
+    /// Advances an incremental chain verification by at most `budget`
+    /// records — the scrubber's entry point. Pass the same cursor back
+    /// on every call; `None` starts a fresh pass from genesis.
+    ///
+    /// Records are immutable once appended and the running hash after
+    /// `seq` records depends only on records `0..seq`, so a cursor
+    /// stays valid across windows even while appends extend the chain.
+    /// When the cursor catches up with the live chain the pass
+    /// completes: the persisted head must authenticate and match the
+    /// re-derived hash *and* the live in-memory state, no record may
+    /// sit beyond the head, and (with whole-FS rollback protection)
+    /// the counter anchor must match the hardware counter — the same
+    /// end-of-chain checks as [`AuditLog::verify`], paid once per pass
+    /// instead of once per call. On completion the cursor resets to
+    /// `None` so the next call starts the next pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegShareError::Integrity`] naming the tamper class,
+    /// exactly as [`AuditLog::verify`] would. The cursor is reset on
+    /// error so a subsequent call re-checks from genesis.
+    pub fn verify_window(
+        &self,
+        cursor: &mut Option<AuditScrubCursor>,
+        budget: u64,
+    ) -> Result<AuditScrubStep, SegShareError> {
+        // The state lock keeps appends out of this window; the window
+        // is budgeted, so the hold time is bounded by the caller.
+        let st = self.state.lock();
+        let mut cur = match cursor.take() {
+            // A restore/reset can shrink the chain under a live cursor;
+            // a stale position simply restarts the pass.
+            Some(c) if c.seq <= st.count => c,
+            _ => AuditScrubCursor {
+                seq: 0,
+                prev: genesis(),
+            },
+        };
+        let mut checked = 0u64;
+        let result = (|| -> Result<bool, SegShareError> {
+            while checked < budget && cur.seq < st.count {
+                let name = record_name(cur.seq);
+                let blob = self
+                    .sgx
+                    .boundary()
+                    .ocall(|| self.store.get(&name))?
+                    .ok_or_else(|| {
+                        tamper(&format!("audit record {} missing (truncation)", cur.seq))
+                    })?;
+                pae_dec(&self.key, &blob, &record_aad(cur.seq, &cur.prev)).map_err(|_| {
+                    tamper(&format!(
+                        "audit record {} failed authentication (bit-flip, reorder, or \
+                         substitution)",
+                        cur.seq
+                    ))
+                })?;
+                cur.prev = chain_hash(&cur.prev, cur.seq, &blob);
+                cur.seq += 1;
+                checked += 1;
+            }
+            if cur.seq < st.count {
+                return Ok(false);
+            }
+            // Caught up: close the pass with the full head checks.
+            let (count, head, anchor) =
+                match self.sgx.boundary().ocall(|| self.store.get(HEAD_NAME))? {
+                    Some(blob) => {
+                        let body = pae_dec(&self.key, &blob, HEAD_AAD)
+                            .map_err(|_| tamper("audit head failed authentication"))?;
+                        decode_head(&body)?
+                    }
+                    None if st.count == 0 => (0, genesis(), 0),
+                    None => return Err(tamper("audit head missing (truncation)")),
+                };
+            if count != st.count || head != st.head {
+                return Err(tamper(
+                    "persisted audit head diverges from live chain (rollback or stale head)",
+                ));
+            }
+            if cur.prev != head {
+                return Err(tamper("audit chain head mismatch"));
+            }
+            let next = record_name(count);
+            if self.sgx.boundary().ocall(|| self.store.exists(&next))? {
+                return Err(tamper(
+                    "audit record beyond sealed head (forged append or rolled-back head)",
+                ));
+            }
+            if self.use_counter {
+                let hw = self.sgx.counter(AUDIT_COUNTER_ID).read();
+                if hw != anchor {
+                    return Err(tamper(
+                        "audit counter anchor mismatch (whole-trail rollback)",
+                    ));
+                }
+            }
+            Ok(true)
+        })();
+        let chain_len = st.count;
+        drop(st);
+        match result {
+            Ok(complete) => {
+                if !complete {
+                    *cursor = Some(cur);
+                }
+                Ok(AuditScrubStep {
+                    checked,
+                    complete,
+                    chain_len,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     fn walk(&self, collect: bool) -> Result<(u64, Vec<AuditRecord>), SegShareError> {
         // Holding the state lock keeps appends out while we compare the
         // persisted chain against the live one.
@@ -579,6 +723,59 @@ mod tests {
         let json = records_json(&records);
         assert!(json.contains("\"op\": \"put_file\""), "{json}");
         assert_eq!(records_json(&[]), "[]\n");
+    }
+
+    #[test]
+    fn verify_window_walks_chain_incrementally() {
+        let store = Arc::new(MemStore::new());
+        let log = audit_log(Arc::clone(&store), false);
+        for i in 0..7 {
+            log.append(&event(i)).unwrap();
+        }
+        let mut cursor = None;
+        let step = log.verify_window(&mut cursor, 3).unwrap();
+        assert_eq!((step.checked, step.complete), (3, false));
+        assert_eq!(cursor.unwrap().position(), 3);
+        // Appends between windows extend the chain without
+        // invalidating the cursor.
+        log.append(&event(7)).unwrap();
+        let step = log.verify_window(&mut cursor, 3).unwrap();
+        assert_eq!((step.checked, step.complete), (3, false));
+        let step = log.verify_window(&mut cursor, 100).unwrap();
+        assert_eq!((step.checked, step.complete), (2, true));
+        assert_eq!(step.chain_len, 8);
+        assert!(cursor.is_none(), "completed pass resets the cursor");
+        // An empty chain completes immediately.
+        let empty = audit_log(Arc::new(MemStore::new()), false);
+        let step = empty.verify_window(&mut None, 10).unwrap();
+        assert_eq!((step.checked, step.complete), (0, true));
+    }
+
+    #[test]
+    fn verify_window_detects_midchain_tamper() {
+        let store = Arc::new(MemStore::new());
+        let log = audit_log(Arc::clone(&store), false);
+        for i in 0..6 {
+            log.append(&event(i)).unwrap();
+        }
+        // Flip a bit in record 4.
+        let name = record_name(4);
+        let mut blob = store.get(&name).unwrap().unwrap();
+        blob[10] ^= 1;
+        store.put(&name, &blob).unwrap();
+        let mut cursor = None;
+        let step = log.verify_window(&mut cursor, 4).unwrap();
+        assert!(!step.complete);
+        let err = log.verify_window(&mut cursor, 4).unwrap_err();
+        assert!(err.to_string().contains("failed authentication"), "{err}");
+        assert!(cursor.is_none(), "error resets the pass");
+        // Truncation of the head is caught at pass completion.
+        let store2 = Arc::new(MemStore::new());
+        let log2 = audit_log(Arc::clone(&store2), false);
+        log2.append(&event(0)).unwrap();
+        store2.delete(&record_name(0)).unwrap();
+        let err = log2.verify_window(&mut None, 10).unwrap_err();
+        assert!(err.to_string().contains("missing (truncation)"), "{err}");
     }
 
     #[test]

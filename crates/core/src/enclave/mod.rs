@@ -10,6 +10,7 @@
 pub mod access_control;
 pub mod audit;
 pub mod file_manager;
+pub mod health;
 pub mod keys;
 pub mod locks;
 pub mod names;
@@ -36,6 +37,7 @@ use crate::error::SegShareError;
 use access_control::AccessControl;
 use audit::{AuditLog, AuditRecord};
 use file_manager::FileManager;
+use health::HealthState;
 use keys::KeyHierarchy;
 use locks::LockManager;
 use session::EnclaveSession;
@@ -81,6 +83,9 @@ pub struct SegShareEnclave {
     /// Watch-plane state: saturation gauges, stall counters, and the
     /// automatic-dump slot (shared with the untrusted serve loop).
     watch: Arc<WatchStats>,
+    /// Health-plane state: SLO monitor, integrity-scrubber progress,
+    /// canary counters, and the healthy/degraded/failing verdict.
+    health: Arc<HealthState>,
     /// Next request correlation id (shared by every session thread).
     request_ids: AtomicU64,
     /// The counting wrappers around the untrusted stores, kept for
@@ -279,6 +284,7 @@ impl SegShareEnclave {
             audit,
             flight: Arc::new(FlightRecorder::default()),
             watch: Arc::new(WatchStats::new()),
+            health: Arc::new(HealthState::new(&config)),
             request_ids: AtomicU64::new(0),
             counted_stores: vec![
                 ("content", content_counted),
@@ -496,6 +502,11 @@ impl SegShareEnclave {
         self.flight
             .note_request(principal, object, ok, elapsed_us, deadline);
         self.flight.tick_if_due(&self.obs);
+        // Opportunistic SLO rollup sample: a registry read, no ocalls,
+        // rate-limited inside the monitor to once per interval.
+        if self.health.enabled() {
+            self.health.monitor().sample_if_due(&self.obs);
+        }
         let stall = if deadline > 0 && elapsed_us >= deadline {
             Some(StallKind::Request)
         } else if self.config.watch_global_budget_us > 0
@@ -745,6 +756,61 @@ impl SegShareEnclave {
         self.obs
             .gauge("seg_watch_enabled")
             .set(u64::from(self.watch.enabled()));
+
+        // Health plane: SLO sampling, scrubber, and canary families —
+        // always exported, an idle health plane reads 0.
+        let health = &self.health;
+        sync(
+            "seg_health_samples_total",
+            vec![],
+            health.monitor().samples(),
+        );
+        sync(
+            "seg_health_canary_probes_total",
+            vec![],
+            health.canary_probes(),
+        );
+        sync(
+            "seg_health_canary_failures_total",
+            vec![],
+            health.canary_failures(),
+        );
+        sync(
+            "seg_slo_alerts_total",
+            vec![],
+            health.monitor().alerts().total(),
+        );
+        sync(
+            "seg_slo_alerts_suppressed_total",
+            vec![],
+            health.monitor().alerts().suppressed(),
+        );
+        sync("seg_scrub_passes_total", vec![], health.scrub_passes());
+        for check in health::ScrubCheck::ALL {
+            sync(
+                "seg_scrub_items_total",
+                vec![("check", check.label())],
+                health.items(check),
+            );
+            sync(
+                "seg_scrub_findings_total",
+                vec![("check", check.label())],
+                health.findings(check),
+            );
+        }
+        self.obs.gauge("seg_health_state").set(health.state_code());
+        self.obs
+            .gauge("seg_health_enabled")
+            .set(u64::from(health.enabled()));
+        self.obs
+            .gauge("seg_slo_alerts_active")
+            .set(health.monitor().active_alerts());
+        self.obs
+            .gauge("seg_health_rollup_slots")
+            .set(health.monitor().rollup_slots());
+        self.obs
+            .gauge("seg_health_canary_latency_us")
+            .set(health.canary_last_latency_us());
 
         self.obs.snapshot()
     }

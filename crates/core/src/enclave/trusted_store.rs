@@ -456,6 +456,80 @@ impl TrustedStore {
         Ok(self.sgx.boundary().ocall(|| store.exists(&key))?)
     }
 
+    // -------------------------------------------------------- scrubbing
+
+    /// A fully verified read that **bypasses the cache** on both lookup
+    /// and fill — the integrity scrubber's read path. A cached body
+    /// would mask store-side tampering exactly where the scrubber must
+    /// detect it, so this always walks raw-get → rollback-tree verify →
+    /// PFS decrypt.
+    pub(crate) fn scrub_read(&self, id: &ObjectId) -> Result<Option<Vec<u8>>, SegShareError> {
+        let _tree = self.tree_shared(id);
+        self.read_verified(id)
+    }
+
+    /// Appends the untrusted-store keys `id` legitimately occupies (the
+    /// body key, plus the hash-record key when the rollback tree covers
+    /// it) — the expected-key side of the scrubber's orphan scan.
+    pub(crate) fn expected_keys(&self, id: &ObjectId, out: &mut Vec<(StoreKind, String)>) {
+        out.push((
+            id.store(),
+            self.keys.storage_key(id, self.config.hide_names),
+        ));
+        if self.tree_enabled_for(id) {
+            out.push((
+                id.store(),
+                self.keys
+                    .hash_record_storage_key(id, self.config.hide_names),
+            ));
+        }
+    }
+
+    /// Lists every key currently in one backing store (one ocall) —
+    /// the observed-key side of the orphan scan.
+    pub(crate) fn list_store(&self, kind: StoreKind) -> Result<Vec<String>, SegShareError> {
+        let store = self.store_for(kind);
+        Ok(self.sgx.boundary().ocall(|| store.list())?)
+    }
+
+    /// Samples up to `max` cache-resident content bodies and re-derives
+    /// each from the backing store through the full verified path: the
+    /// cache-generation coherence probe. A divergence with an unchanged
+    /// generation means either the store was tampered under a live
+    /// cache entry or the write-through invalidation protocol was
+    /// violated — both scrub findings. Probes that race a legitimate
+    /// writer (generation moved) are discarded, not reported.
+    ///
+    /// Returns `(bodies probed, ids that failed coherence)`; empty when
+    /// the cache is disabled.
+    pub(crate) fn scrub_cache_probe(&self, max: usize) -> (u64, Vec<ObjectId>) {
+        let Some(cache) = &self.cache else {
+            return (0, Vec::new());
+        };
+        let mut probed = 0u64;
+        let mut mismatched = Vec::new();
+        for key in cache.sample_keys(max) {
+            let CacheKey::Body(id) = key else {
+                continue;
+            };
+            let cache_key = CacheKey::Body(id.clone());
+            let gen_before = cache.generation(&cache_key);
+            let Some(CachedValue::Body(cached)) = cache.get(&cache_key) else {
+                continue;
+            };
+            probed += 1;
+            let fresh = self.scrub_read(&id);
+            if cache.generation(&cache_key) != gen_before {
+                continue;
+            }
+            match fresh {
+                Ok(Some(body)) if body.as_slice() == &cached[..] => {}
+                _ => mismatched.push(id),
+            }
+        }
+        (probed, mismatched)
+    }
+
     // ------------------------------------------------------ hash records
 
     fn read_hash_record(&self, id: &ObjectId) -> Result<Option<HashRecord>, SegShareError> {

@@ -87,5 +87,6 @@ pub mod untrusted;
 pub use client::Client;
 pub use config::EnclaveConfig;
 pub use enclave::audit::{AuditLog, AuditRecord};
+pub use enclave::health::{HealthState, ScrubCheck, ScrubReport};
 pub use error::SegShareError;
-pub use server::{EnrolledUser, FsoSetup, SegShareServer};
+pub use server::{EnrolledUser, FsoSetup, HealthOptions, SegShareServer};

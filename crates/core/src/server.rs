@@ -1,7 +1,10 @@
 //! Deployment plumbing: the file-system owner's setup (CA, attestation,
 //! enrollment) and the running server.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use seg_crypto::ed25519::{PublicKey, SecretKey, Signature};
 use seg_crypto::rng::SystemRng;
@@ -129,7 +132,7 @@ impl FsoSetup {
             Arc::clone(&self.dedup),
         )?;
         self.certify(&enclave, &self.platform)?;
-        Ok(SegShareServer { enclave })
+        Ok(SegShareServer::new(enclave))
     }
 
     fn certify(
@@ -191,7 +194,7 @@ impl FsoSetup {
             root_key,
         )?;
         self.certify(&enclave, replica_platform)?;
-        Ok(SegShareServer { enclave })
+        Ok(SegShareServer::new(enclave))
     }
 
     /// Enrolls a user: the CA validates the identity out of band and
@@ -231,9 +234,51 @@ impl FsoSetup {
     }
 }
 
+/// Options for the background health runner
+/// ([`SegShareServer::start_health`]).
+#[derive(Clone)]
+pub struct HealthOptions {
+    /// An enrolled user reserved for the synthetic canary. When set,
+    /// the runner probes the full loopback request path (TLS
+    /// handshake, dispatch, store round-trip) against the canary's
+    /// reserved `/canary` namespace on every canary interval.
+    pub canary: Option<EnrolledUser>,
+    /// The runner's sleep quantum (µs) between health ticks.
+    pub tick_us: u64,
+    /// Minimum microseconds between two canary probes.
+    pub canary_interval_us: u64,
+}
+
+impl Default for HealthOptions {
+    fn default() -> HealthOptions {
+        HealthOptions {
+            canary: None,
+            tick_us: 20_000,
+            canary_interval_us: 1_000_000,
+        }
+    }
+}
+
+impl std::fmt::Debug for HealthOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthOptions")
+            .field("canary", &self.canary.is_some())
+            .field("tick_us", &self.tick_us)
+            .field("canary_interval_us", &self.canary_interval_us)
+            .finish()
+    }
+}
+
+/// The background health thread: stop flag plus join handle.
+struct HealthRunner {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
 /// A running SeGShare server: the enclave plus its untrusted host.
 pub struct SegShareServer {
     enclave: Arc<SegShareEnclave>,
+    health_runner: Mutex<Option<HealthRunner>>,
 }
 
 impl std::fmt::Debug for SegShareServer {
@@ -245,6 +290,13 @@ impl std::fmt::Debug for SegShareServer {
 }
 
 impl SegShareServer {
+    fn new(enclave: Arc<SegShareEnclave>) -> SegShareServer {
+        SegShareServer {
+            enclave,
+            health_runner: Mutex::new(None),
+        }
+    }
+
     /// The enclave (statistics, configuration, counters).
     #[must_use]
     pub fn enclave(&self) -> &Arc<SegShareEnclave> {
@@ -328,6 +380,51 @@ impl SegShareServer {
         self.enclave.watch()
     }
 
+    /// Starts the background health runner: a thread that advances
+    /// the flight recorder and SLO rollups even while the server is
+    /// idle, drives the integrity scrubber on
+    /// [`EnclaveConfig::scrub_interval_us`], and (when
+    /// [`HealthOptions::canary`] is set) issues synthetic loopback
+    /// probes through the full request path. Idempotent — a second
+    /// call while a runner lives is a no-op.
+    pub fn start_health(&self, opts: HealthOptions) {
+        let mut slot = self.health_runner.lock();
+        if slot.is_some() {
+            return;
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let enclave = Arc::clone(&self.enclave);
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || run_health_loop(&enclave, &opts, &flag));
+        *slot = Some(HealthRunner { stop, handle });
+    }
+
+    /// Stops and joins the background health runner (no-op if none is
+    /// running). Also invoked on drop.
+    pub fn stop_health(&self) {
+        let runner = self.health_runner.lock().take();
+        if let Some(runner) = runner {
+            runner.stop.store(true, Ordering::Relaxed);
+            let _ = runner.handle.join();
+        }
+    }
+
+    /// Enables or disables the health plane (rollup sampling, the
+    /// tick-driven scrubber, and canary probes). On by default;
+    /// benchmarks toggle this to measure the plane's overhead.
+    pub fn set_health(&self, on: bool) {
+        self.enclave.health().set_enabled(on);
+    }
+
+    /// The health plane's full report — verdict, scrubber and canary
+    /// counters, alerts, burn rates, and the multi-resolution rollup
+    /// history — as one JSON document (see
+    /// [`SegShareEnclave::health_report`]).
+    #[must_use]
+    pub fn health_report(&self) -> String {
+        self.enclave.health_report()
+    }
+
     /// Verifies the tamper-evident audit chain end to end, returning
     /// the record count (0 when auditing is disabled).
     ///
@@ -398,4 +495,74 @@ impl SegShareServer {
             .map_err(|_| SegShareError::Pki(seg_pki::PkiError::BadSignature))?;
         self.enclave.rebuild_after_restore()
     }
+}
+
+impl Drop for SegShareServer {
+    fn drop(&mut self) {
+        self.stop_health();
+    }
+}
+
+/// The health runner's thread body: tick, scrub, probe, sleep.
+fn run_health_loop(enclave: &Arc<SegShareEnclave>, opts: &HealthOptions, stop: &AtomicBool) {
+    let mut canary: Option<Client<ChannelTransport>> = None;
+    let mut last_probe = 0u64;
+    let mut seq = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let _ = enclave.health_tick();
+        if let Some(user) = &opts.canary {
+            let now = enclave.health().monitor().now_us();
+            if enclave.health().enabled()
+                && (last_probe == 0 || now.saturating_sub(last_probe) >= opts.canary_interval_us)
+            {
+                last_probe = now;
+                seq += 1;
+                let started = std::time::Instant::now();
+                let ok = canary_probe(&mut canary, enclave, user, seq);
+                let latency_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                enclave.health().canary_result(ok, latency_us);
+                if !ok {
+                    // Reconnect from scratch on the next probe: a dead
+                    // transport never heals.
+                    canary = None;
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_micros(opts.tick_us.max(1)));
+    }
+}
+
+/// One canary probe: (re)connect if needed, then a put+get round-trip
+/// against the canary's reserved namespace, verifying the read-back.
+fn canary_probe(
+    slot: &mut Option<Client<ChannelTransport>>,
+    enclave: &Arc<SegShareEnclave>,
+    user: &EnrolledUser,
+    seq: u64,
+) -> bool {
+    if slot.is_none() {
+        let (client_t, server_t) = duplex();
+        let serve = Arc::clone(enclave);
+        std::thread::spawn(move || {
+            // Session errors surface to the client as closed transports.
+            let _ = serve_connection(&serve, server_t);
+        });
+        match Client::connect(client_t, user) {
+            Ok(mut client) => {
+                // The reserved canary directory; `AlreadyExists` after
+                // the first connect is the expected steady state.
+                let _ = client.mkdir("/canary");
+                *slot = Some(client);
+            }
+            Err(_) => return false,
+        }
+    }
+    let Some(client) = slot.as_mut() else {
+        return false;
+    };
+    let body = seq.to_le_bytes();
+    if client.put("/canary/probe", &body).is_err() {
+        return false;
+    }
+    matches!(client.get("/canary/probe"), Ok(got) if got == body)
 }

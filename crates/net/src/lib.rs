@@ -132,6 +132,19 @@ pub struct NetMeter {
     sent_bytes: AtomicU64,
     send_stalls: AtomicU64,
     send_stall_ns: AtomicU64,
+    /// Wall-clock µs of the last completed send (0 = never). Lets an
+    /// observer distinguish "no traffic because idle" from "no traffic
+    /// because wedged" without watching the counters over time.
+    last_send_us: AtomicU64,
+}
+
+/// Wall-clock microseconds (the meter's idle-tracking time base; the
+/// meter outlives any single connection, so a steady external clock
+/// beats a per-instance epoch).
+fn wall_us() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros().min(u64::MAX as u128) as u64)
 }
 
 impl NetMeter {
@@ -165,6 +178,17 @@ impl NetMeter {
     #[must_use]
     pub fn send_stall_ns(&self) -> u64 {
         self.send_stall_ns.load(Ordering::Relaxed)
+    }
+
+    /// Microseconds since the last completed send, or 0 if the meter
+    /// has never seen one. A large value alongside live sessions and
+    /// queued bytes reads "wedged", not "idle".
+    #[must_use]
+    pub fn idle_us(&self) -> u64 {
+        match self.last_send_us.load(Ordering::Relaxed) {
+            0 => 0,
+            last => wall_us().saturating_sub(last),
+        }
     }
 }
 
@@ -210,6 +234,7 @@ impl<T: FrameTransport> FrameTransport for MeteredTransport<T> {
         self.meter.queued_bytes.fetch_sub(len, Ordering::Relaxed);
         if result.is_ok() {
             self.meter.sent_bytes.fetch_add(len, Ordering::Relaxed);
+            self.meter.last_send_us.store(wall_us(), Ordering::Relaxed);
         }
         if blocked >= self.stall_threshold {
             self.meter.send_stalls.fetch_add(1, Ordering::Relaxed);
@@ -298,6 +323,19 @@ mod tests {
         assert_eq!(meter.send_stalls(), 1, "the blocked send was a stall");
         assert!(meter.send_stall_ns() >= 5_000_000);
         assert_eq!(meter.sent_bytes(), (DUPLEX_DEPTH * 4 + 8) as u64);
+    }
+
+    #[test]
+    fn idle_tracking_follows_sends() {
+        let (a, mut b) = duplex();
+        let meter = Arc::new(NetMeter::new());
+        let mut m = MeteredTransport::new(a, Arc::clone(&meter));
+        assert_eq!(meter.idle_us(), 0, "never-used meter reads 0, not huge");
+        m.send_frame(b"tick").unwrap();
+        assert_eq!(b.recv_frame().unwrap(), b"tick");
+        assert!(meter.idle_us() < 1_000_000, "just sent: near-zero idle");
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(meter.idle_us() >= 10_000, "idle grows while nothing sends");
     }
 
     #[test]

@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod flight;
+pub mod health;
 mod hist;
 pub mod prof;
 pub mod trace;
 
 pub use flight::{FlightFrame, FlightRecorder, SloRollup};
+pub use health::{Alert, AlertRing, BurnRule, HealthConfig, HealthMonitor, SloObjective};
 pub use hist::{Histogram, HistogramSummary};
 pub use prof::{ProfEntry, ProfSnapshot, Profiler};
 pub use trace::{

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use seg_obs::Snapshot;
-use segshare::{EnclaveConfig, FsoSetup};
+use segshare::{EnclaveConfig, FsoSetup, HealthOptions};
 
 /// Dashboard refresh interval.
 const TICK: Duration = Duration::from_millis(450);
@@ -26,6 +26,8 @@ const RUN_FOR: Duration = Duration::from_secs(3);
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = EnclaveConfig {
         cache: true,
+        // Fast enough that the dashboard sees whole scrub passes.
+        scrub_interval_us: 100_000,
         ..EnclaveConfig::default()
     };
     let setup = FsoSetup::new_in_memory("top-ca", config);
@@ -34,6 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..3 {
         setup.enroll_user(&format!("m{i}"), &format!("m{i}@x"), "M")?;
     }
+    // The health plane runs alongside the workload: SLO rollups,
+    // the integrity scrubber, and a loopback canary probe.
+    let canary = setup.enroll_user("canary", "c@x", "Canary")?;
+    server.start_health(HealthOptions {
+        canary: Some(canary),
+        tick_us: 10_000,
+        canary_interval_us: 200_000,
+    });
     {
         let mut c = server.connect_local(&alice)?;
         c.mkdir("/hot")?;
@@ -96,6 +106,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stop.store(true, Ordering::Relaxed);
         Ok(())
     })?;
+    server.stop_health();
+
+    // Final health verdict over the whole run: a clean mixed workload
+    // must scrub clean and stay in the healthy state.
+    let health = server.enclave().health();
+    println!("--- health ---");
+    println!(
+        "  state {}  scrub passes {}  findings {}  canary {}/{} ok  slo alerts {}",
+        health.state_label(),
+        health.scrub_passes(),
+        health.findings_total(),
+        health.canary_probes() - health.canary_failures(),
+        health.canary_probes(),
+        health.monitor().alerts().total(),
+    );
+    assert_eq!(health.findings_total(), 0, "clean workload scrubs clean");
 
     // Final correlated bundle: the same report the stall watchdog dumps.
     let report = server.watch_report();
@@ -174,6 +200,19 @@ fn print_window(server: &segshare::SegShareServer, win: &Snapshot, tick: Duratio
         stats.accept_backlog(),
         net.queued_bytes(),
         server.enclave().locks().global_held_us(),
+    );
+
+    // Health plane: state machine verdict, scrub progress, canary
+    // round-trips, and any firing SLO burn-rate alerts.
+    let health = server.enclave().health();
+    println!(
+        "  health {}  scrub passes {}  findings {}  canary {}/{}  slo active {}",
+        health.state_label(),
+        health.scrub_passes(),
+        health.findings_total(),
+        health.canary_probes() - health.canary_failures(),
+        health.canary_probes(),
+        health.monitor().active_alerts(),
     );
 
     // Cumulative top contended stripes.

@@ -10,31 +10,45 @@
 //! `--trace` to print the structured request trace (JSON, newest
 //! events last) plus the audit-chain verification result,
 //! `--profile` to print the phase profiler's flamegraph-collapsed
-//! output plus a per-phase breakdown of the 1 MB upload, and
+//! output plus a per-phase breakdown of the 1 MB upload,
 //! `--watch` to print the seg-watch plane's saturation gauges and its
 //! correlated contention report (flight-recorder ring, lock top-K,
-//! trace tail, profile — one JSON bundle).
+//! trace tail, profile — one JSON bundle), and
+//! `--health` to run the background health plane (SLO sampler,
+//! integrity scrubber, loopback canary) and print its report.
 
 use std::net::TcpListener;
 use std::sync::Arc;
 
 use seg_net::TcpTransport;
-use segshare::{Client, EnclaveConfig, FsoSetup};
+use segshare::{Client, EnclaveConfig, FsoSetup, HealthOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let metrics = std::env::args().any(|a| a == "--metrics");
     let trace = std::env::args().any(|a| a == "--trace");
     let profile = std::env::args().any(|a| a == "--profile");
     let watch = std::env::args().any(|a| a == "--watch");
+    let health = std::env::args().any(|a| a == "--health");
     // Cache on: the Prometheus exposition below then includes the
     // seg_cache_* counter family alongside the request/store metrics.
+    // An aggressive scrub cadence lets `--health` complete full
+    // integrity passes within the demo's lifetime.
     let config = EnclaveConfig {
         cache: true,
+        scrub_interval_us: if health { 10_000 } else { 1_000_000 },
         ..EnclaveConfig::default()
     };
     let setup = FsoSetup::new_in_memory("ca", config);
     let server = Arc::new(setup.server()?);
     let alice = setup.enroll_user("alice", "a@x", "Alice")?;
+    if health {
+        let canary = setup.enroll_user("canary", "canary@x", "Canary")?;
+        server.start_health(HealthOptions {
+            canary: Some(canary),
+            tick_us: 5_000,
+            canary_interval_us: 50_000,
+        });
+    }
 
     // The untrusted host terminates TCP; each accepted connection gets
     // a session thread pumping opaque TLS frames into the enclave.
@@ -124,7 +138,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             self_sum_ns as f64 * 100.0 / wall_ns.max(1) as f64,
         );
         // Sanity-check the attribution: nothing lost, nothing double
-        // counted, and crypto dominates a 1 MB upload as expected.
+        // counted, and the top phase is one of the two known heavy
+        // hitters. Measured profiles (BENCH_perf.json) put
+        // rollback_tree self-time ~3.6x crypto_gcm across the op mix —
+        // the hash-record update per chunk, not AES-GCM, is the
+        // bottleneck — so asserting crypto dominance would be stale.
         let drift = (wall_ns as f64 - self_sum_ns as f64).abs() / wall_ns.max(1) as f64;
         assert!(
             drift <= 0.10,
@@ -134,12 +152,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .phase_breakdown(&upload_ops)
             .first()
             .map(|&(leaf, _)| leaf);
-        assert_eq!(
-            dominant,
-            Some("crypto_gcm"),
-            "crypto_gcm should dominate a 1 MB upload"
+        assert!(
+            matches!(dominant, Some("rollback_tree") | Some("crypto_gcm")),
+            "a 1 MB upload is dominated by integrity or crypto work, got {dominant:?}"
         );
-        println!("  (checked: crypto_gcm dominant, self-times account for the wall-clock)");
+        println!(
+            "  (checked: dominant phase is {}, self-times account for the wall-clock)",
+            dominant.unwrap_or("?")
+        );
     }
     if watch {
         let stats = server.watch_stats();
@@ -176,6 +196,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "watch report must never carry request operands"
         );
         println!("  (checked: report complete, no request content)");
+    }
+    if health {
+        // Let the background runner finish at least one full scrub
+        // pass and a few canary probes over the idle server.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let h = server.enclave().health();
+            if h.scrub_passes() >= 1 && h.canary_probes() >= 2 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "health runner made no progress"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let report = server.health_report();
+        println!("\n--- health report (SLO + scrub + canary) ---");
+        println!("{report}");
+        // The report is a declassification point like the others:
+        // states, counters and fingerprints — never request content.
+        for section in [
+            "\"state\"",
+            "\"scrub\"",
+            "\"canary\"",
+            "\"slo\"",
+            "\"history\"",
+        ] {
+            assert!(report.contains(section), "report missing {section}");
+        }
+        assert!(
+            !report.contains("over-tcp") && !report.contains("alice"),
+            "health report must never carry request operands"
+        );
+        assert!(
+            report.contains("\"state\":\"healthy\""),
+            "an untampered demo server is healthy"
+        );
+        server.stop_health();
+        println!("  (checked: report complete, server healthy, no request content)");
     }
     Ok(())
 }

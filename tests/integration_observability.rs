@@ -223,6 +223,21 @@ fn watch_plane_families_always_export_with_clean_labels() {
         // Cache gauges export as zero even with the cache disabled.
         "seg_cache_entries",
         "seg_cache_bytes",
+        // Health-plane families export even when no runner ever
+        // started: zero samples, zero scrub passes, healthy state.
+        "seg_health_samples_total",
+        "seg_health_canary_probes_total",
+        "seg_health_canary_failures_total",
+        "seg_health_state",
+        "seg_health_enabled",
+        "seg_health_rollup_slots",
+        "seg_health_canary_latency_us",
+        "seg_slo_alerts_total",
+        "seg_slo_alerts_suppressed_total",
+        "seg_slo_alerts_active",
+        "seg_scrub_passes_total",
+        "seg_scrub_items_total",
+        "seg_scrub_findings_total",
     ] {
         assert!(
             text.contains(family),
@@ -233,6 +248,17 @@ fn watch_plane_families_always_export_with_clean_labels() {
     let snap = server.metrics_snapshot();
     assert_eq!(snap.gauge("seg_watch_enabled"), Some(1), "always-on");
     assert_eq!(snap.gauge("seg_cache_entries"), Some(0), "cache disabled");
+    assert_eq!(snap.gauge("seg_health_enabled"), Some(1), "always-on");
+    assert_eq!(snap.gauge("seg_health_state"), Some(0), "healthy at rest");
+    // The scrub families pre-intern one series per check class, all
+    // zero until a runner drives the scrubber.
+    for check in ["audit", "tree", "cache", "orphan"] {
+        assert_eq!(
+            snap.counter(&format!("seg_scrub_findings_total{{check=\"{check}\"}}")),
+            Some(0),
+            "idle scrub findings for {check}"
+        );
+    }
     // Lock-wait series carry both label axes with expected values.
     assert!(
         snap.histogram("seg_lock_wait_ns{class=\"path\",intent=\"write\"}")
@@ -299,6 +325,31 @@ fn watch_report_carries_no_request_content() {
     assert!(
         !report.contains('@'),
         "watch report contains an email-like token"
+    );
+}
+
+#[test]
+fn health_report_carries_no_request_content() {
+    // The health bundle (verdict, scrub counters, alerts, SLO burn
+    // rates, rollup history) honors the same trust boundary.
+    let server = run_flow();
+    server.enclave().scrub_step();
+    let report = server.health_report();
+    for section in [
+        "\"state\"",
+        "\"scrub\"",
+        "\"canary\"",
+        "\"slo\"",
+        "\"history\"",
+    ] {
+        assert!(report.contains(section), "report missing {section}");
+    }
+    for secret in SECRETS {
+        assert!(!report.contains(secret), "health report leaks {secret:?}");
+    }
+    assert!(
+        !report.contains('/') && !report.contains('@'),
+        "health report contains a path- or email-like token"
     );
 }
 
