@@ -103,6 +103,12 @@ const WATCH_MAX_OVERHEAD: f64 = 0.02;
 /// the background integrity scrubber, and the loopback canary) may
 /// cost on the same mix.
 const HEALTH_MAX_OVERHEAD: f64 = 0.02;
+/// Maximum fractional slowdown the metering plane (per-request cost
+/// attribution) may cost on the same mix.
+const METER_MAX_OVERHEAD: f64 = 0.02;
+/// Minimum true-top-8 principals the meter sketch must recall on the
+/// Zipf-skewed multi-principal workload (more principals than slots).
+const METER_MIN_RECALL: usize = 7;
 
 /// Windowed lock-wait attribution from one 8-thread fine-mode run:
 /// the seg-watch evidence that overlapping scopes (and only they) pay
@@ -154,6 +160,31 @@ impl HealthOverheadEvidence {
     fn overhead(&self) -> f64 {
         self.on_s / self.off_s - 1.0
     }
+}
+
+/// Same adjacent-pair-median comparison for the metering plane.
+struct MeterOverheadEvidence {
+    on_s: f64,
+    off_s: f64,
+}
+
+impl MeterOverheadEvidence {
+    fn overhead(&self) -> f64 {
+        self.on_s / self.off_s - 1.0
+    }
+}
+
+/// Attribution evidence from the Zipf-skewed multi-principal run: how
+/// well the bounded sketch recovered the true heaviest talkers while
+/// tracking fewer slots than principals, plus the declassified report
+/// (the CI artifact).
+struct MeterAttributionEvidence {
+    principals: usize,
+    ops: u64,
+    recalled_top8: usize,
+    tracked: u64,
+    evictions: u64,
+    report: String,
 }
 
 /// The enclave configuration for the scaling workloads: audit off
@@ -585,6 +616,167 @@ fn run_health_overhead(pairs: usize) -> HealthOverheadEvidence {
     }
 }
 
+/// Measures the metering plane's cost on the standard small-op mix —
+/// the same operation-level, order-alternated median scheme as
+/// [`run_watch_overhead`]: `set_meter(false)` reduces the per-request
+/// cost to one relaxed atomic load, while "on" pays the full counter
+/// sweep, operand HMACs, and sketch update.
+fn run_meter_overhead(
+    rig: &Rig,
+    client: &mut segshare::Client<seg_net::ChannelTransport>,
+    pairs: usize,
+) -> MeterOverheadEvidence {
+    let p4k: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+    client.put("/meter-probe", &p4k).expect("prefill");
+    client.put("/meter-probe-w", &p4k).expect("prefill");
+    let probe = |client: &mut segshare::Client<seg_net::ChannelTransport>| {
+        let start = Instant::now();
+        client.put("/meter-probe-w", &p4k).expect("upload");
+        let got = client.get("/meter-probe").expect("download");
+        assert_eq!(got.len(), p4k.len());
+        start.elapsed().as_secs_f64()
+    };
+    for _ in 0..16 {
+        probe(client); // warmup, untimed
+    }
+    let mut on_times = Vec::with_capacity(pairs);
+    let mut off_times = Vec::with_capacity(pairs);
+    for i in 0..pairs {
+        for flip in [false, true] {
+            let on = (i % 2 == 0) ^ flip;
+            rig.server.set_meter(on);
+            let elapsed = probe(client);
+            if on {
+                on_times.push(elapsed);
+            } else {
+                off_times.push(elapsed);
+            }
+        }
+    }
+    rig.server.set_meter(true);
+    let median = |times: &mut Vec<f64>| {
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+    MeterOverheadEvidence {
+        on_s: median(&mut on_times),
+        off_s: median(&mut off_times),
+    }
+}
+
+/// Runs a Zipf(1.0)-skewed multi-principal workload — more enrolled
+/// principals than the sketch has slots — and checks the meter's
+/// recall of the true heaviest talkers. Op budgets are deterministic
+/// (rank r gets a share ∝ 1/r), so the true top-8 is principals 0–7 by
+/// construction and recall needs no reference sketch.
+fn run_meter_attribution(quick: bool) -> MeterAttributionEvidence {
+    let rig = Rig::new(EnclaveConfig::paper_prototype());
+    let principals = if quick { 80 } else { 96 };
+    let total_ops = if quick { 800 } else { 1600 };
+    let weights: Vec<f64> = (1..=principals).map(|r| 1.0 / r as f64).collect();
+    let wsum: f64 = weights.iter().sum();
+    let p4k: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+    let mut expected_top8 = Vec::new();
+    let mut total = 0u64;
+    for (i, w) in weights.iter().enumerate() {
+        let ops = ((total_ops as f64 * w / wsum).round() as usize).max(1);
+        let name = format!("tenant{i:03}");
+        let user = rig
+            .setup
+            .enroll_user(&name, &format!("{name}@bench"), &name)
+            .expect("enroll tenant");
+        let mut client = rig.server.connect_local(&user).expect("connect tenant");
+        let dir = format!("/t{i:03}");
+        client.mkdir(&dir).expect("mkdir");
+        for j in 0..ops {
+            if j % 3 == 2 {
+                let back = format!("{dir}/f{}", j - 1);
+                let got = client.get(&back).expect("download");
+                assert_eq!(got.len(), p4k.len());
+            } else {
+                client.put(&format!("{dir}/f{j}"), &p4k).expect("upload");
+            }
+        }
+        total += ops as u64 + 1; // +1 for the mkdir
+        if i < 8 {
+            let uid = seg_fs::UserId::new(&name).expect("valid id");
+            expected_top8.push(rig.server.enclave().fingerprint_user(&uid));
+        }
+    }
+    let meter = rig.server.enclave().meter();
+    let reported: Vec<u64> = meter.top_principals(8).iter().map(|s| s.fp).collect();
+    let recalled = expected_top8
+        .iter()
+        .filter(|fp| reported.contains(fp))
+        .count();
+    let stats = meter.stats();
+    MeterAttributionEvidence {
+        principals,
+        ops: total,
+        recalled_top8: recalled,
+        tracked: stats.principals.tracked,
+        evictions: stats.principals.evictions,
+        report: rig.server.meter_report(),
+    }
+}
+
+fn check_meter_overhead(meter: &MeterOverheadEvidence) -> Vec<String> {
+    let overhead = meter.overhead();
+    println!(
+        "== meter plane overhead == on={} off={} ({:+.2}%; gate: <= {:.0}%)",
+        fmt_s(meter.on_s),
+        fmt_s(meter.off_s),
+        overhead * 100.0,
+        METER_MAX_OVERHEAD * 100.0,
+    );
+    if overhead <= METER_MAX_OVERHEAD {
+        Vec::new()
+    } else {
+        vec![format!(
+            "meter: plane overhead {:.2}% exceeds the {:.0}% budget",
+            overhead * 100.0,
+            METER_MAX_OVERHEAD * 100.0,
+        )]
+    }
+}
+
+fn check_meter_attribution(attr: &MeterAttributionEvidence) -> Vec<String> {
+    println!(
+        "== meter attribution == {} principals, {} ops (Zipf 1.0): \
+         recalled {}/8 true top talkers, {} tracked slots, {} evictions \
+         (gate: >= {METER_MIN_RECALL}/8, tracked <= {})",
+        attr.principals,
+        attr.ops,
+        attr.recalled_top8,
+        attr.tracked,
+        attr.evictions,
+        seg_obs::METER_SLOTS,
+    );
+    let mut failures = Vec::new();
+    if attr.recalled_top8 < METER_MIN_RECALL {
+        failures.push(format!(
+            "meter: sketch recalled only {}/8 true top talkers (floor {METER_MIN_RECALL})",
+            attr.recalled_top8,
+        ));
+    }
+    if attr.tracked > seg_obs::METER_SLOTS as u64 {
+        failures.push(format!(
+            "meter: {} tracked slots exceed the {} cardinality bound",
+            attr.tracked,
+            seg_obs::METER_SLOTS,
+        ));
+    }
+    if attr.evictions == 0 {
+        failures.push(format!(
+            "meter: no evictions despite {} principals over {} slots — the workload \
+             never exercised the bounded-memory path",
+            attr.principals,
+            seg_obs::METER_SLOTS,
+        ));
+    }
+    failures
+}
+
 fn check_health_overhead(health: &HealthOverheadEvidence) -> Vec<String> {
     let overhead = health.overhead();
     println!(
@@ -800,6 +992,14 @@ fn main() {
     let health_overhead = run_health_overhead(if quick { 300 } else { 800 });
     failures.extend(check_health_overhead(&health_overhead));
 
+    // Meter-plane overhead on the same mix, then the Zipf-skewed
+    // multi-principal attribution run on a dedicated rig (see
+    // `run_meter_attribution`).
+    let meter_overhead = run_meter_overhead(&rig, &mut client, if quick { 300 } else { 800 });
+    failures.extend(check_meter_overhead(&meter_overhead));
+    let meter_attr = run_meter_attribution(quick);
+    failures.extend(check_meter_attribution(&meter_attr));
+
     // Thread-scaling matrix: per-object locks vs the coarse global
     // lock, on a store-latency-bound rig (see `run_concurrency`).
     let conc_points = run_concurrency(if quick { 2 } else { 3 }, if quick { 8 } else { 12 });
@@ -829,6 +1029,8 @@ fn main() {
         &contention,
         &watch_overhead,
         &health_overhead,
+        &meter_overhead,
+        &meter_attr,
     );
     let report_path = root.join("BENCH_perf.json");
     std::fs::write(&report_path, &report).expect("write BENCH_perf.json");
@@ -857,6 +1059,13 @@ fn main() {
     let health_path = root.join("results/health_report.json");
     std::fs::write(&health_path, &health_overhead.report).expect("write health_report.json");
     println!("wrote {} (health-plane report)", health_path.display());
+
+    // The attribution rig's declassified meter report: top-K talkers,
+    // heaviest groups, hottest prefixes, fairness split — uploaded by
+    // CI next to the other plane artifacts.
+    let meter_path = root.join("results/meter_report.json");
+    std::fs::write(&meter_path, &meter_attr.report).expect("write meter_report.json");
+    println!("wrote {} (meter-plane report)", meter_path.display());
 
     let baseline_path = root.join("results/bench_baseline.json");
     if update_baseline {
@@ -1016,6 +1225,8 @@ fn build_report(
     contention: &[ContentionEvidence],
     watch: &WatchOverheadEvidence,
     health: &HealthOverheadEvidence,
+    meter: &MeterOverheadEvidence,
+    meter_attr: &MeterAttributionEvidence,
 ) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"gcm_mbps\": {local_mbps:.1},");
@@ -1179,6 +1390,23 @@ fn build_report(
         health.overhead(),
         health.scrub_passes,
         health.canary_probes,
+    );
+
+    // The metering plane's measured cost plus the Zipf attribution
+    // evidence (recall of true top talkers under bounded cardinality).
+    let _ = writeln!(
+        out,
+        "  \"meter\": {{\"on_s\": {:.9}, \"off_s\": {:.9}, \"overhead\": {:.6}, \
+         \"budget\": {METER_MAX_OVERHEAD}, \"principals\": {}, \"ops\": {}, \
+         \"recalled_top8\": {}, \"tracked\": {}, \"evictions\": {}}},",
+        meter.on_s,
+        meter.off_s,
+        meter.overhead(),
+        meter_attr.principals,
+        meter_attr.ops,
+        meter_attr.recalled_top8,
+        meter_attr.tracked,
+        meter_attr.evictions,
     );
 
     let _ = writeln!(out, "  \"unbalanced_phases\": {}", profile.unbalanced);

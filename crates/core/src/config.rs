@@ -57,6 +57,11 @@ pub struct EnclaveConfig {
     /// (`SegShareServer::start_health`); 0 disables the scrubber while
     /// leaving rollups and the canary active.
     pub scrub_interval_us: u64,
+    /// The metering plane (`seg-meter`): per-request cost vectors
+    /// attributed to the requesting principal and touched group/path
+    /// prefix in cardinality-bounded top-K sketches. Operational
+    /// accounting, runtime-togglable via `SegShareServer::set_meter`.
+    pub meter: bool,
 }
 
 impl Default for EnclaveConfig {
@@ -73,6 +78,7 @@ impl Default for EnclaveConfig {
             watch_global_budget_us: 500_000,
             cache: false,
             scrub_interval_us: 1_000_000,
+            meter: true,
         }
     }
 }
@@ -99,6 +105,7 @@ impl EnclaveConfig {
             watch_global_budget_us: 0,
             cache: false,
             scrub_interval_us: 0,
+            meter: false,
         }
     }
 
@@ -119,6 +126,7 @@ impl EnclaveConfig {
             watch_global_budget_us: 500_000,
             cache: false,
             scrub_interval_us: 1_000_000,
+            meter: true,
         }
     }
 
@@ -190,6 +198,7 @@ mod tests {
             watch_deadline_us: 5,
             watch_global_budget_us: 7,
             scrub_interval_us: 42,
+            meter: false,
             ..EnclaveConfig::default()
         };
         assert_eq!(a, tuned.image_bytes());

@@ -377,6 +377,13 @@ impl AuditLog {
         })
     }
 
+    /// Cumulative sealed bytes appended (record + head blobs). Read by
+    /// the metering plane to attribute audit I/O per principal.
+    #[must_use]
+    pub(crate) fn bytes_appended(&self) -> u64 {
+        self.bytes_total.get()
+    }
+
     /// Number of records in the live chain.
     #[must_use]
     pub fn len(&self) -> u64 {

@@ -26,7 +26,7 @@ use parking_lot::RwLock;
 use seg_crypto::ed25519::{PublicKey, SecretKey};
 use seg_crypto::rng::{SecureRandom, SystemRng};
 use seg_crypto::sha256::Sha256;
-use seg_obs::{events_json, FlightRecorder, Registry, TraceEvent, TraceRing};
+use seg_obs::{events_json, CostVector, FlightRecorder, Meter, Registry, TraceEvent, TraceRing};
 use seg_pki::{Certificate, Csr, Identity};
 use seg_sgx::{Enclave, EnclaveImage, Platform, Quote};
 use seg_store::{CountingStore, ObjectStore};
@@ -86,6 +86,10 @@ pub struct SegShareEnclave {
     /// Health-plane state: SLO monitor, integrity-scrubber progress,
     /// canary counters, and the healthy/degraded/failing verdict.
     health: Arc<HealthState>,
+    /// Metering plane (`seg-meter`): per-request cost vectors
+    /// attributed to principal/group/prefix fingerprints in
+    /// cardinality-bounded top-K sketches.
+    meter: Arc<Meter>,
     /// Next request correlation id (shared by every session thread).
     request_ids: AtomicU64,
     /// The counting wrappers around the untrusted stores, kept for
@@ -95,6 +99,17 @@ pub struct SegShareEnclave {
 
 /// A counting wrapper around one of the untrusted object stores.
 type CountedStore = Arc<CountingStore<Arc<dyn ObjectStore>>>;
+
+/// Dispatch-entry baseline of the global counters the metering plane
+/// differences to assemble one request's cost vector.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MeterProbe {
+    cache_hits: u64,
+    cache_misses: u64,
+    store_reads: u64,
+    store_writes: u64,
+    audit_bytes: u64,
+}
 
 impl std::fmt::Debug for SegShareEnclave {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -285,6 +300,7 @@ impl SegShareEnclave {
             flight: Arc::new(FlightRecorder::default()),
             watch: Arc::new(WatchStats::new()),
             health: Arc::new(HealthState::new(&config)),
+            meter: Arc::new(Meter::new(config.meter)),
             request_ids: AtomicU64::new(0),
             counted_stores: vec![
                 ("content", content_counted),
@@ -579,6 +595,92 @@ impl SegShareEnclave {
         out
     }
 
+    // ------------------------------------------------------- meter plane
+
+    /// The metering plane (per-principal/group/prefix cost attribution).
+    #[must_use]
+    pub fn meter(&self) -> &Arc<Meter> {
+        &self.meter
+    }
+
+    /// Reads the global counters the meter differences per request:
+    /// cache hits/misses, store read/write op counts, and sealed audit
+    /// bytes. One cheap atomic-load sweep, no ocalls.
+    fn meter_counters(&self) -> MeterProbe {
+        let cache = self.store.cache_stats();
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for (_, counted) in &self.counted_stores {
+            let s = counted.stats();
+            reads = reads.saturating_add(s.gets + s.exists + s.lists);
+            writes = writes.saturating_add(s.puts + s.deletes + s.renames);
+        }
+        MeterProbe {
+            cache_hits: cache.as_ref().map_or(0, |c| c.hits),
+            cache_misses: cache.as_ref().map_or(0, |c| c.misses),
+            store_reads: reads,
+            store_writes: writes,
+            audit_bytes: self.audit.as_ref().map_or(0, |log| log.bytes_appended()),
+        }
+    }
+
+    /// Captures the dispatch-entry baseline for one request's cost
+    /// vector. `None` when metering is disabled — the request then pays
+    /// exactly one relaxed atomic load.
+    pub(crate) fn meter_begin(&self) -> Option<MeterProbe> {
+        if !self.meter.enabled() {
+            return None;
+        }
+        Some(self.meter_counters())
+    }
+
+    /// Closes one request's cost vector and attributes it: global
+    /// counters are differenced against the dispatch-entry baseline,
+    /// crypto and lock-wait time read back from the profiler's
+    /// per-request accumulator (no second instrumentation pass), and
+    /// the result is recorded against the principal, touched group, and
+    /// touched path-prefix fingerprints.
+    ///
+    /// Counter deltas are per-thread reads of global counters, so
+    /// concurrent requests can shift a few units of cache/store/audit
+    /// activity between each other; totals stay conserved, and the
+    /// sketches only need ranks, not exact per-key I/O.
+    pub(crate) fn meter_finish(
+        &self,
+        probe: MeterProbe,
+        principal: u64,
+        group: u64,
+        prefix: u64,
+        req_bytes: u64,
+        resp_bytes: u64,
+    ) {
+        let now = self.meter_counters();
+        let (crypto_ns, _) = seg_obs::prof::request_phase_totals("crypto_gcm");
+        let (_, lock_wait_ns) = seg_obs::prof::request_phase_totals("lock_wait");
+        let cost = CostVector {
+            ops: 1,
+            req_bytes,
+            resp_bytes,
+            crypto_ns,
+            lock_wait_ns,
+            cache_hits: now.cache_hits.saturating_sub(probe.cache_hits),
+            cache_misses: now.cache_misses.saturating_sub(probe.cache_misses),
+            store_reads: now.store_reads.saturating_sub(probe.store_reads),
+            store_writes: now.store_writes.saturating_sub(probe.store_writes),
+            audit_bytes: now.audit_bytes.saturating_sub(probe.audit_bytes),
+        };
+        self.meter.record(principal, group, prefix, &cost);
+    }
+
+    /// The metering plane's JSON report: top-K talkers, heaviest
+    /// groups, and hottest path prefixes per cost dimension, plus the
+    /// fairness summary. A declassification point of the same kind as
+    /// [`SegShareEnclave::watch_report`] — keys are keyed fingerprints,
+    /// values are aggregates.
+    #[must_use]
+    pub fn meter_report(&self) -> String {
+        self.meter.report_json()
+    }
+
     /// The audit log, when `EnclaveConfig::audit` is enabled.
     #[must_use]
     pub fn audit(&self) -> Option<&Arc<AuditLog>> {
@@ -811,6 +913,36 @@ impl SegShareEnclave {
         self.obs
             .gauge("seg_health_canary_latency_us")
             .set(health.canary_last_latency_us());
+
+        // Meter plane: sketch occupancy and overflow families — always
+        // exported, a disabled meter reads 0 (stable dashboards).
+        self.obs
+            .gauge("seg_meter_enabled")
+            .set(u64::from(self.meter.enabled()));
+        sync("seg_meter_samples_total", vec![], self.meter.samples());
+        let meter_stats = self.meter.stats();
+        for (axis, s) in [
+            ("principal", meter_stats.principals),
+            ("group", meter_stats.groups),
+            ("prefix", meter_stats.prefixes),
+        ] {
+            self.obs
+                .gauge_with("seg_meter_tracked", vec![("axis", axis)])
+                .set(s.tracked);
+            self.obs
+                .gauge_with("seg_meter_min_tracked_ops", vec![("axis", axis)])
+                .set(s.min_est);
+            sync(
+                "seg_meter_evictions_total",
+                vec![("axis", axis)],
+                s.evictions,
+            );
+            sync(
+                "seg_meter_overflow_ops_total",
+                vec![("axis", axis)],
+                s.overflow_ops,
+            );
+        }
 
         self.obs.snapshot()
     }

@@ -183,7 +183,8 @@ impl EnclaveSession {
                     Request::decode(&plaintext)?
                 };
                 seg_obs::prof::set_root_op(request.op_name());
-                let responses = self.handle_request(enclave, &user, request)?;
+                let wire_len = plaintext.len() as u64;
+                let responses = self.handle_request(enclave, &user, request, wire_len)?;
                 for response in responses {
                     let encoded = {
                         let _ser = seg_obs::prof::phase("serialize");
@@ -263,6 +264,7 @@ impl EnclaveSession {
         enclave: &SegShareEnclave,
         user: &UserId,
         request: Request,
+        wire_len: u64,
     ) -> Result<Vec<Response>, SegShareError> {
         // The span label is the compiled-in operation name — never the
         // request's operands (seg-obs trust-boundary rule); operands are
@@ -271,6 +273,21 @@ impl EnclaveSession {
         let request_id = enclave.next_request_id();
         let principal = enclave.fingerprint_user(user);
         let object = request_object(&request).map_or(0, |name| enclave.fingerprint_name(name));
+        // Meter operands resolve before the request is consumed: the
+        // touched group and the top-level path component, each reduced
+        // to the same keyed fingerprints the span carries (0 = the
+        // request touches no operand of that kind). Skipped entirely —
+        // including the HMACs — while metering is off.
+        let probe = enclave.meter_begin();
+        let (group, prefix) = if probe.is_some() {
+            (
+                request_group(&request).map_or(0, |g| enclave.fingerprint_name(g)),
+                self.request_prefix(&request)
+                    .map_or(0, |p| enclave.fingerprint_name(&p)),
+            )
+        } else {
+            (0, 0)
+        };
         let result =
             self.handle_request_inner(enclave, user, request, request_id, principal, object);
         // The watch plane sees every request outcome: SLO rollups keyed
@@ -281,7 +298,21 @@ impl EnclaveSession {
             Ok(responses) if !responses.iter().any(|r| matches!(r, Response::Error { .. }))
         );
         enclave.watch_request_done(principal, object, ok, started.elapsed());
+        if let Some(probe) = probe {
+            let resp_bytes = result.as_deref().map_or(0, response_bytes);
+            enclave.meter_finish(probe, principal, group, prefix, wire_len, resp_bytes);
+        }
         result
+    }
+
+    /// The top-level path component a request touches (the metering
+    /// plane's prefix axis), e.g. `"/docs"` for `/docs/a/b.txt`. `Data`
+    /// chunks attribute to the active upload's target.
+    fn request_prefix(&self, request: &Request) -> Option<String> {
+        match request {
+            Request::Data { .. } => self.upload.as_ref().map(|u| path_prefix(u.path().as_str())),
+            _ => request_path(request).map(path_prefix),
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -960,6 +991,65 @@ fn request_object(request: &Request) -> Option<&str> {
         | Request::RemoveGroupOwner { group, .. } => Some(group),
         _ => None,
     }
+}
+
+/// The path operand a request carries, if any (`Move` attributes to its
+/// source, like [`request_object`]).
+fn request_path(request: &Request) -> Option<&str> {
+    match request {
+        Request::MkDir { path }
+        | Request::PutFile { path, .. }
+        | Request::Get { path }
+        | Request::Remove { path }
+        | Request::SetPerm { path, .. }
+        | Request::SetInherit { path, .. }
+        | Request::AddOwner { path, .. }
+        | Request::RemoveOwner { path, .. } => Some(path),
+        Request::Move { from, .. } => Some(from),
+        _ => None,
+    }
+}
+
+/// The group operand a request touches, if any — the metering plane's
+/// per-group attribution axis. Group-membership operations name the
+/// target group; ACL operations name the group being granted/revoked.
+fn request_group(request: &Request) -> Option<&str> {
+    match request {
+        Request::SetPerm { group, .. }
+        | Request::AddOwner { group, .. }
+        | Request::RemoveOwner { group, .. }
+        | Request::AddUser { group, .. }
+        | Request::RemoveUser { group, .. }
+        | Request::AddGroupOwner { group, .. }
+        | Request::DeleteGroup { group }
+        | Request::RemoveGroupOwner { group, .. } => Some(group),
+        _ => None,
+    }
+}
+
+/// Reduces a path to its top-level component (`/docs/a/b.txt` →
+/// `/docs`); the root itself stays `/`. Only the fingerprint of the
+/// result ever leaves the enclave.
+fn path_prefix(path: &str) -> String {
+    let first = path.trim_start_matches('/').split('/').next().unwrap_or("");
+    format!("/{first}")
+}
+
+/// Payload bytes a response hands back to the client: announced
+/// download sizes, inline chunk/listing content, and error detail.
+fn response_bytes(responses: &[Response]) -> u64 {
+    responses
+        .iter()
+        .map(|r| match r {
+            Response::Ok => 0,
+            Response::FileStart { size } => *size,
+            Response::Data { bytes } => bytes.len() as u64,
+            Response::Listing { entries } => entries.iter().map(|e| e.name.len() as u64 + 1).sum(),
+            Response::Error { message, .. } => message.len() as u64,
+            // `Response` is non_exhaustive; unknown payloads count 0.
+            _ => 0,
+        })
+        .sum()
 }
 
 /// Maps a dispatch outcome onto the audit decision taxonomy: granted,

@@ -425,6 +425,23 @@ impl SegShareServer {
         self.enclave.health_report()
     }
 
+    /// Enables or disables the metering plane (per-request cost
+    /// attribution to principal/group/prefix fingerprints). Defaults
+    /// to [`EnclaveConfig::meter`]; the accumulated sketches survive a
+    /// disable. Benchmarks toggle this to measure the plane's overhead.
+    pub fn set_meter(&self, on: bool) {
+        self.enclave.meter().set_enabled(on);
+    }
+
+    /// The metering plane's report — top-K talkers, heaviest groups,
+    /// hottest path prefixes per cost dimension, and the fairness
+    /// summary — as one JSON document (see
+    /// [`SegShareEnclave::meter_report`]).
+    #[must_use]
+    pub fn meter_report(&self) -> String {
+        self.enclave.meter_report()
+    }
+
     /// Verifies the tamper-evident audit chain end to end, returning
     /// the record count (0 when auditing is disabled).
     ///

@@ -100,7 +100,7 @@ pub struct FlightFrame {
 #[derive(Debug, Default)]
 struct FlightInner {
     frames: VecDeque<FlightFrame>,
-    last: Option<Snapshot>,
+    window: crate::DeltaWindow,
     principals: BTreeMap<u64, SloRollup>,
     objects: BTreeMap<u64, SloRollup>,
     principal_overflow: SloRollup,
@@ -233,16 +233,15 @@ impl FlightRecorder {
     fn record_frame(&self, registry: &Registry, at_us: u64) {
         let snap = registry.snapshot();
         let mut inner = self.inner.lock().unwrap();
-        let window = match &inner.last {
-            Some(prev) => snap.delta(prev),
-            None => snap.clone(),
-        };
+        // Shared delta source (`DeltaWindow`): the first frame is the
+        // cumulative snapshot by design — since-boot context beats an
+        // empty window in a crash bundle.
+        let (window, _first) = inner.window.advance(snap);
         let seq = self.frames_total.fetch_add(1, Ordering::Relaxed) + 1;
         inner.frames.push_back(FlightFrame { seq, at_us, window });
         while inner.frames.len() > self.capacity {
             inner.frames.pop_front();
         }
-        inner.last = Some(snap);
     }
 
     /// Hand-rolled JSON export of the retained frames and SLO rollups.

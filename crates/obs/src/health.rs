@@ -352,7 +352,7 @@ struct SloState {
 
 #[derive(Debug)]
 struct MonitorInner {
-    prev: Option<Snapshot>,
+    window: crate::DeltaWindow,
     series: SeriesSet,
     levels: Vec<Level>,
     slo: Vec<SloState>,
@@ -403,7 +403,7 @@ impl HealthMonitor {
             alerts: AlertRing::new(config.alert_min_interval_us),
             config,
             inner: Mutex::new(MonitorInner {
-                prev: None,
+                window: crate::DeltaWindow::new(),
                 series: SeriesSet::default(),
                 levels,
                 slo,
@@ -498,21 +498,17 @@ impl HealthMonitor {
     fn sample_now(&self, registry: &Registry, now_us: u64) {
         let snap = registry.snapshot();
         let mut inner = self.inner.lock().unwrap();
-        let delta = match &inner.prev {
-            Some(prev) => snap.delta(prev),
-            None => {
-                // First sample: establish the baseline; the first delta
-                // window starts here rather than attributing all of
-                // boot-to-now to one slot.
-                for level in &mut inner.levels {
-                    level.accum.opened_at_us = now_us;
-                }
-                inner.prev = Some(snap);
-                self.samples.fetch_add(1, Ordering::Relaxed);
-                return;
+        // Shared delta source (`DeltaWindow`): the first sample is
+        // baseline-only — retention windows start here rather than
+        // attributing all of boot-to-now to one slot.
+        let (delta, first) = inner.window.advance(snap);
+        if first {
+            for level in &mut inner.levels {
+                level.accum.opened_at_us = now_us;
             }
-        };
-        inner.prev = Some(snap);
+            self.samples.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         self.feed_levels(&mut inner, &delta, now_us);
         self.evaluate_slo(&mut inner, &delta, now_us);
         self.samples.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,736 @@
+//! `seg-meter`: cardinality-bounded per-principal resource accounting.
+//!
+//! Every observability plane so far answers *what* the system is doing
+//! (metrics), *what one request did* (trace), *where the time went*
+//! (prof), and *whether the system is keeping up* (watch/health). This
+//! module answers **who is costing what**: each completed request's
+//! cost vector — ops, bytes moved, crypto and lock-wait nanoseconds,
+//! cache and store activity, audit bytes — is attributed to the
+//! requesting principal and the touched group / path prefix.
+//!
+//! # Bounded memory under adversarial cardinality
+//!
+//! Principals, groups, and prefixes are client-controlled in number, so
+//! exact per-key tables would let an adversary grow enclave memory
+//! without bound. Each attribution axis therefore keeps a
+//! **SpaceSaving-style top-K sketch** ([`MeterAxis`]) of at most
+//! [`METER_SLOTS`] tracked keys (the same 64-series idiom as the flight
+//! recorder's SLO rollups):
+//!
+//! - a tracked key's op **estimate** only over-counts, never under:
+//!   `true ≤ est ≤ true + err`, with the per-slot error bound `err`
+//!   inherited from the evicted minimum at takeover;
+//! - `err` never exceeds the smallest tracked estimate, so heavy
+//!   hitters are provably separated from the noise floor;
+//! - the full cost vector is an **exact rollup while tracked**; evicted
+//!   rollups fold into the axis's overflow bucket, so cost totals are
+//!   conserved: `Σ tracked + overflow = everything attributed`.
+//!
+//! # Trust boundary
+//!
+//! Keys are keyed fingerprints (the same HMAC outputs trace, audit,
+//! and flight carry), rendered as 16 hex digits; cost values are
+//! aggregate counts and durations. [`Meter::report_json`] is a
+//! declassification point of the same kind as the flight recorder's
+//! dump: deliberate, explicit, and content-free by construction.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Hard cap on tracked keys per attribution axis, matching the flight
+/// recorder's [`crate::flight::MAX_SLO_SERIES`] idiom. Memory per axis
+/// is `METER_SLOTS × sizeof(slot)` regardless of how many distinct
+/// principals, groups, or prefixes ever appear.
+pub const METER_SLOTS: usize = 64;
+
+/// Dimension names of a [`CostVector`], in field order. Compiled-in
+/// strings, valid as metric label values (`[a-z0-9_.]`).
+pub const COST_DIMS: [&str; 10] = [
+    "ops",
+    "req_bytes",
+    "resp_bytes",
+    "crypto_ns",
+    "lock_wait_ns",
+    "cache_hits",
+    "cache_misses",
+    "store_reads",
+    "store_writes",
+    "audit_bytes",
+];
+
+/// The per-request cost vector: what one request (or an aggregate of
+/// requests) cost the system, in every dimension the existing planes
+/// already measure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostVector {
+    /// Completed requests.
+    pub ops: u64,
+    /// Decrypted request bytes entering dispatch.
+    pub req_bytes: u64,
+    /// Payload bytes handed back (announced download sizes included).
+    pub resp_bytes: u64,
+    /// Wall-clock nanoseconds inside AES-GCM phases.
+    pub crypto_ns: u64,
+    /// Nanoseconds spent waiting for object locks.
+    pub lock_wait_ns: u64,
+    /// Object-cache hits consumed.
+    pub cache_hits: u64,
+    /// Object-cache misses caused.
+    pub cache_misses: u64,
+    /// Untrusted-store read-side operations (get/exists/list).
+    pub store_reads: u64,
+    /// Untrusted-store write-side operations (put/delete/rename).
+    pub store_writes: u64,
+    /// Sealed audit-trail bytes appended on this principal's behalf.
+    pub audit_bytes: u64,
+}
+
+impl CostVector {
+    /// Adds `other` into `self`, saturating per dimension.
+    pub fn add(&mut self, other: &CostVector) {
+        self.ops = self.ops.saturating_add(other.ops);
+        self.req_bytes = self.req_bytes.saturating_add(other.req_bytes);
+        self.resp_bytes = self.resp_bytes.saturating_add(other.resp_bytes);
+        self.crypto_ns = self.crypto_ns.saturating_add(other.crypto_ns);
+        self.lock_wait_ns = self.lock_wait_ns.saturating_add(other.lock_wait_ns);
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+        self.cache_misses = self.cache_misses.saturating_add(other.cache_misses);
+        self.store_reads = self.store_reads.saturating_add(other.store_reads);
+        self.store_writes = self.store_writes.saturating_add(other.store_writes);
+        self.audit_bytes = self.audit_bytes.saturating_add(other.audit_bytes);
+    }
+
+    /// The value of dimension `i` (index into [`COST_DIMS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= COST_DIMS.len()`.
+    #[must_use]
+    pub fn dim(&self, i: usize) -> u64 {
+        [
+            self.ops,
+            self.req_bytes,
+            self.resp_bytes,
+            self.crypto_ns,
+            self.lock_wait_ns,
+            self.cache_hits,
+            self.cache_misses,
+            self.store_reads,
+            self.store_writes,
+            self.audit_bytes,
+        ][i]
+    }
+
+    fn push_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, name) in COST_DIMS.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{}", self.dim(i)));
+        }
+        out.push('}');
+    }
+}
+
+/// One tracked key of a [`MeterAxis`]: the SpaceSaving counter pair
+/// plus the exact cost rollup accumulated while the key was tracked.
+#[derive(Debug, Clone, Copy)]
+pub struct MeterSlot {
+    /// Keyed fingerprint of the principal / group / prefix.
+    pub fp: u64,
+    /// SpaceSaving op-count estimate: `true ≤ est ≤ true + err`.
+    pub est: u64,
+    /// Over-count bound inherited from the evicted minimum.
+    pub err: u64,
+    /// Exact cost rollup since this key was (last) admitted.
+    pub costs: CostVector,
+}
+
+/// One attribution axis: a SpaceSaving top-K sketch over keyed
+/// fingerprints with exact cost rollups for tracked slots and an
+/// overflow rollup conserving everything evicted.
+#[derive(Debug)]
+pub struct MeterAxis {
+    slots: Vec<MeterSlot>,
+    capacity: usize,
+    overflow: CostVector,
+    evictions: u64,
+    updates: u64,
+}
+
+impl Default for MeterAxis {
+    fn default() -> MeterAxis {
+        MeterAxis::new(METER_SLOTS)
+    }
+}
+
+impl MeterAxis {
+    /// An empty axis tracking at most `capacity` keys.
+    #[must_use]
+    pub fn new(capacity: usize) -> MeterAxis {
+        MeterAxis {
+            slots: Vec::new(),
+            capacity: capacity.max(1),
+            overflow: CostVector::default(),
+            evictions: 0,
+            updates: 0,
+        }
+    }
+
+    /// Attributes one request's costs to `fp` (0 = "no operand of this
+    /// kind", skipped). The SpaceSaving update: tracked keys increment
+    /// in place; new keys fill free slots; once full, the minimum
+    /// estimate is evicted (its exact rollup folds into the overflow
+    /// bucket) and the newcomer inherits `est = min + 1, err = min`.
+    pub fn record(&mut self, fp: u64, cost: &CostVector) {
+        if fp == 0 {
+            return;
+        }
+        self.updates += 1;
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.fp == fp) {
+            slot.est += 1;
+            slot.costs.add(cost);
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.push(MeterSlot {
+                fp,
+                est: 1,
+                err: 0,
+                costs: *cost,
+            });
+            return;
+        }
+        let (min_idx, min_est) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.est)
+            .map(|(i, s)| (i, s.est))
+            .expect("a full axis has slots");
+        self.overflow.add(&self.slots[min_idx].costs);
+        self.evictions += 1;
+        self.slots[min_idx] = MeterSlot {
+            fp,
+            est: min_est + 1,
+            err: min_est,
+            costs: *cost,
+        };
+    }
+
+    /// Number of currently tracked keys (≤ capacity).
+    #[must_use]
+    pub fn tracked(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Keys evicted from the sketch so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Attribution updates recorded (nonzero fingerprints only).
+    #[must_use]
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The smallest tracked estimate — the noise floor every slot's
+    /// error bound stays at or below. 0 while the axis has free slots.
+    #[must_use]
+    pub fn min_est(&self) -> u64 {
+        if self.slots.len() < self.capacity {
+            return 0;
+        }
+        self.slots.iter().map(|s| s.est).min().unwrap_or(0)
+    }
+
+    /// The overflow rollup: exact costs of every evicted key.
+    #[must_use]
+    pub fn overflow(&self) -> &CostVector {
+        &self.overflow
+    }
+
+    /// A slot by fingerprint, if tracked.
+    #[must_use]
+    pub fn slot(&self, fp: u64) -> Option<&MeterSlot> {
+        self.slots.iter().find(|s| s.fp == fp)
+    }
+
+    /// The top `k` tracked slots by dimension `dim` (index into
+    /// [`COST_DIMS`]; 0 ranks by the op estimate, other dimensions by
+    /// their exact rollup value), descending, ties broken by
+    /// fingerprint for determinism.
+    #[must_use]
+    pub fn top(&self, dim: usize, k: usize) -> Vec<MeterSlot> {
+        let mut sorted: Vec<MeterSlot> = self.slots.clone();
+        sorted.sort_by_key(|s| {
+            let v = if dim == 0 { s.est } else { s.costs.dim(dim) };
+            (std::cmp::Reverse(v), s.fp)
+        });
+        sorted.truncate(k);
+        sorted
+    }
+
+    /// Sum of the exact op rollups across tracked slots.
+    #[must_use]
+    pub fn tracked_ops(&self) -> u64 {
+        self.slots.iter().map(|s| s.costs.ops).sum()
+    }
+}
+
+/// Per-axis summary for the metric families (`seg_meter_*`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AxisStats {
+    /// Currently tracked keys.
+    pub tracked: u64,
+    /// Keys evicted so far.
+    pub evictions: u64,
+    /// Ops attributed to evicted keys (the overflow bucket).
+    pub overflow_ops: u64,
+    /// The sketch's current noise floor (smallest tracked estimate).
+    pub min_est: u64,
+}
+
+/// Snapshot of every axis's summary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeterStats {
+    /// The per-principal ("talkers") axis.
+    pub principals: AxisStats,
+    /// The per-group axis.
+    pub groups: AxisStats,
+    /// The per-path-prefix axis.
+    pub prefixes: AxisStats,
+}
+
+#[derive(Debug)]
+struct MeterInner {
+    totals: CostVector,
+    principals: MeterAxis,
+    groups: MeterAxis,
+    prefixes: MeterAxis,
+}
+
+/// The metering plane: three bounded attribution axes behind one lock,
+/// fed once per completed request. All methods take `&self`; safe to
+/// share via `Arc` across session threads. Disabled, [`Meter::record`]
+/// is a single relaxed atomic load.
+#[derive(Debug)]
+pub struct Meter {
+    enabled: AtomicBool,
+    samples: AtomicU64,
+    inner: Mutex<MeterInner>,
+}
+
+impl Default for Meter {
+    fn default() -> Meter {
+        Meter::new(true)
+    }
+}
+
+impl Meter {
+    /// Creates a meter with [`METER_SLOTS`] slots per axis.
+    #[must_use]
+    pub fn new(enabled: bool) -> Meter {
+        Meter {
+            enabled: AtomicBool::new(enabled),
+            samples: AtomicU64::new(0),
+            inner: Mutex::new(MeterInner {
+                totals: CostVector::default(),
+                principals: MeterAxis::default(),
+                groups: MeterAxis::default(),
+                prefixes: MeterAxis::default(),
+            }),
+        }
+    }
+
+    /// Whether attribution is currently recording.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables attribution at runtime. Disabling keeps the
+    /// accumulated state (and the exported families) intact.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Requests attributed so far.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// Attributes one request's cost vector to its principal, touched
+    /// group, and touched path prefix (each a keyed fingerprint, 0 =
+    /// none). A no-op while disabled.
+    pub fn record(&self, principal: u64, group: u64, prefix: u64, cost: &CostVector) {
+        if !self.enabled() {
+            return;
+        }
+        self.samples.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap();
+        inner.totals.add(cost);
+        inner.principals.record(principal, cost);
+        inner.groups.record(group, cost);
+        inner.prefixes.record(prefix, cost);
+    }
+
+    /// Grand totals across every attributed request (including ones
+    /// whose operands carried no group or prefix).
+    #[must_use]
+    pub fn totals(&self) -> CostVector {
+        self.inner.lock().unwrap().totals
+    }
+
+    /// Per-axis summaries for the `seg_meter_*` metric families.
+    #[must_use]
+    pub fn stats(&self) -> MeterStats {
+        let inner = self.inner.lock().unwrap();
+        let axis = |a: &MeterAxis| AxisStats {
+            tracked: a.tracked() as u64,
+            evictions: a.evictions(),
+            overflow_ops: a.overflow().ops,
+            min_est: a.min_est(),
+        };
+        MeterStats {
+            principals: axis(&inner.principals),
+            groups: axis(&inner.groups),
+            prefixes: axis(&inner.prefixes),
+        }
+    }
+
+    /// The top `k` principals by op estimate (the "talkers" list).
+    #[must_use]
+    pub fn top_principals(&self, k: usize) -> Vec<MeterSlot> {
+        self.inner.lock().unwrap().principals.top(0, k)
+    }
+
+    /// The top `k` groups by op estimate.
+    #[must_use]
+    pub fn top_groups(&self, k: usize) -> Vec<MeterSlot> {
+        self.inner.lock().unwrap().groups.top(0, k)
+    }
+
+    /// The top `k` path prefixes by op estimate.
+    #[must_use]
+    pub fn top_prefixes(&self, k: usize) -> Vec<MeterSlot> {
+        self.inner.lock().unwrap().prefixes.top(0, k)
+    }
+
+    /// Hand-rolled JSON report: per-axis top-K with estimates, error
+    /// bounds, and exact cost rollups; per-dimension leader boards; and
+    /// a fairness summary (tracked vs overflow share per axis).
+    ///
+    /// Declassification point: fingerprints render as 16 hex digits
+    /// (the trace/flight idiom), dimension names are compiled in,
+    /// values are aggregates.
+    #[must_use]
+    pub fn report_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "\"enabled\":{},\n\"samples\":{},\n\"slots\":{},\n\"totals\":",
+            self.enabled(),
+            self.samples(),
+            METER_SLOTS,
+        ));
+        inner.totals.push_json(&mut out);
+        out.push_str(",\n");
+        for (name, axis) in [
+            ("principals", &inner.principals),
+            ("groups", &inner.groups),
+            ("prefixes", &inner.prefixes),
+        ] {
+            out.push_str(&format!("\"{name}\":{{"));
+            out.push_str(&format!(
+                "\"tracked\":{},\"evictions\":{},\"min_tracked_ops\":{},\"overflow\":",
+                axis.tracked(),
+                axis.evictions(),
+                axis.min_est(),
+            ));
+            axis.overflow().push_json(&mut out);
+            out.push_str(",\n\"top\":[");
+            for (i, s) in axis.top(0, 16).iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n{{\"fp\":\"{:016x}\",\"ops_est\":{},\"err\":{},\"costs\":",
+                    s.fp, s.est, s.err
+                ));
+                s.costs.push_json(&mut out);
+                out.push('}');
+            }
+            out.push_str("\n],\n\"top_by\":{");
+            for (d, dim) in COST_DIMS.iter().enumerate().skip(1) {
+                if d > 1 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n\"{dim}\":["));
+                for (i, s) in axis.top(d, 5).iter().enumerate() {
+                    if s.costs.dim(d) == 0 {
+                        break;
+                    }
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"fp\":\"{:016x}\",\"value\":{}}}",
+                        s.fp,
+                        s.costs.dim(d)
+                    ));
+                }
+                out.push(']');
+            }
+            out.push_str("\n}},\n");
+        }
+        out.push_str("\"fairness\":{");
+        for (i, (name, axis)) in [
+            ("principals", &inner.principals),
+            ("groups", &inner.groups),
+            ("prefixes", &inner.prefixes),
+        ]
+        .iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            let tracked = axis.tracked_ops();
+            let overflow = axis.overflow().ops;
+            let total = (tracked + overflow).max(1);
+            let top8: u64 = axis.top(0, 8).iter().map(|s| s.costs.ops).sum();
+            out.push_str(&format!(
+                "\n\"{name}\":{{\"attributed_ops\":{},\"tracked_share_milli\":{},\
+                 \"overflow_share_milli\":{},\"top8_share_milli\":{}}}",
+                tracked + overflow,
+                tracked * 1000 / total,
+                overflow * 1000 / total,
+                top8 * 1000 / total,
+            ));
+        }
+        out.push_str("\n}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_cost() -> CostVector {
+        CostVector {
+            ops: 1,
+            req_bytes: 10,
+            ..CostVector::default()
+        }
+    }
+
+    #[test]
+    fn tracked_keys_roll_up_exactly() {
+        let mut axis = MeterAxis::new(4);
+        for _ in 0..5 {
+            axis.record(7, &unit_cost());
+        }
+        let s = axis.slot(7).unwrap();
+        assert_eq!((s.est, s.err), (5, 0));
+        assert_eq!(s.costs.ops, 5);
+        assert_eq!(s.costs.req_bytes, 50);
+        assert_eq!(axis.overflow().ops, 0);
+    }
+
+    #[test]
+    fn eviction_inherits_min_and_conserves_costs() {
+        let mut axis = MeterAxis::new(2);
+        for _ in 0..3 {
+            axis.record(1, &unit_cost());
+        }
+        axis.record(2, &unit_cost());
+        // Axis full; key 3 evicts the minimum (key 2, est 1).
+        axis.record(3, &unit_cost());
+        assert!(axis.slot(2).is_none());
+        let s = axis.slot(3).unwrap();
+        assert_eq!((s.est, s.err), (2, 1));
+        assert_eq!(s.costs.ops, 1, "rollup is exact since admission");
+        assert_eq!(axis.overflow().ops, 1, "evicted rollup folds into overflow");
+        assert_eq!(axis.evictions(), 1);
+        // Conservation: tracked + overflow == updates.
+        assert_eq!(axis.tracked_ops() + axis.overflow().ops, axis.updates());
+    }
+
+    #[test]
+    fn estimates_upper_bound_true_counts() {
+        let mut axis = MeterAxis::new(4);
+        let mut truth = std::collections::BTreeMap::new();
+        // Adversarial rotation: more keys than slots, skewed counts.
+        for round in 0..200u64 {
+            let fp = 1 + (round % 9);
+            let reps = if fp <= 2 { 3 } else { 1 };
+            for _ in 0..reps {
+                axis.record(fp, &unit_cost());
+                *truth.entry(fp).or_insert(0u64) += 1;
+            }
+        }
+        let min = axis.min_est();
+        for fp in 1..=9u64 {
+            if let Some(s) = axis.slot(fp) {
+                let t = truth[&fp];
+                assert!(s.est >= t, "estimate {} under-counts true {}", s.est, t);
+                assert!(
+                    s.est - s.err <= t,
+                    "lower bound {} exceeds true {t}",
+                    s.est - s.err
+                );
+                assert!(s.err <= min, "error {} above noise floor {min}", s.err);
+            }
+        }
+        assert_eq!(axis.tracked(), 4, "memory stays at capacity");
+        assert_eq!(axis.tracked_ops() + axis.overflow().ops, axis.updates());
+    }
+
+    #[test]
+    fn zero_fingerprints_are_skipped() {
+        let mut axis = MeterAxis::new(2);
+        axis.record(0, &unit_cost());
+        assert_eq!(axis.tracked(), 0);
+        assert_eq!(axis.updates(), 0);
+        let meter = Meter::new(true);
+        meter.record(0, 0, 0, &unit_cost());
+        // The request still counts toward samples and grand totals.
+        assert_eq!(meter.samples(), 1);
+        assert_eq!(meter.totals().ops, 1);
+        assert_eq!(meter.stats().principals.tracked, 0);
+    }
+
+    #[test]
+    fn disabled_meter_records_nothing() {
+        let meter = Meter::new(false);
+        meter.record(1, 2, 3, &unit_cost());
+        assert_eq!(meter.samples(), 0);
+        assert_eq!(meter.totals(), CostVector::default());
+        meter.set_enabled(true);
+        meter.record(1, 2, 3, &unit_cost());
+        assert_eq!(meter.samples(), 1);
+        assert_eq!(meter.stats().groups.tracked, 1);
+    }
+
+    #[test]
+    fn zipf_workload_recovers_true_top_ten() {
+        // Zipf(1.0) over 1,000 principals, 64 slots: the sketch must
+        // recover at least 9 of the true top-10 by op count — the
+        // tentpole's acceptance bar, at the sketch level.
+        let n = 1_000usize;
+        let weights: Vec<f64> = (1..=n).map(|r| 1.0 / r as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        // Deterministic xorshift so the test cannot flake.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let meter = Meter::new(true);
+        let mut truth = vec![0u64; n + 1];
+        for _ in 0..60_000 {
+            let u = next();
+            let rank = cdf.partition_point(|&c| c < u) + 1;
+            let fp = rank as u64; // rank doubles as fingerprint
+            truth[rank.min(n)] += 1;
+            meter.record(fp, 0, 0, &unit_cost());
+        }
+        let mut by_truth: Vec<usize> = (1..=n).collect();
+        by_truth.sort_by_key(|&r| std::cmp::Reverse(truth[r]));
+        let true_top: Vec<u64> = by_truth[..10].iter().map(|&r| r as u64).collect();
+        let reported: Vec<u64> = meter.top_principals(10).iter().map(|s| s.fp).collect();
+        let recalled = true_top.iter().filter(|fp| reported.contains(fp)).count();
+        assert!(
+            recalled >= 9,
+            "recovered {recalled}/10 true heavy hitters: {reported:?} vs {true_top:?}"
+        );
+        // The heavy hitters' estimates are near-exact under this skew.
+        for &fp in &true_top[..3] {
+            let s = meter
+                .inner
+                .lock()
+                .unwrap()
+                .principals
+                .slot(fp)
+                .copied()
+                .unwrap();
+            assert!(s.est - s.err <= truth[fp as usize] && truth[fp as usize] <= s.est);
+        }
+    }
+
+    #[test]
+    fn report_json_is_balanced_and_fingerprints_are_hex() {
+        let meter = Meter::new(true);
+        for i in 1..=100u64 {
+            meter.record(
+                i,
+                i % 7,
+                i % 3,
+                &CostVector {
+                    ops: 1,
+                    req_bytes: i,
+                    crypto_ns: 10 * i,
+                    ..CostVector::default()
+                },
+            );
+        }
+        let json = meter.report_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        for section in [
+            "\"samples\":100",
+            "\"totals\"",
+            "\"principals\"",
+            "\"groups\"",
+            "\"prefixes\"",
+            "\"top_by\"",
+            "\"fairness\"",
+            "\"overflow\"",
+            "\"min_tracked_ops\"",
+        ] {
+            assert!(json.contains(section), "missing {section} in {json}");
+        }
+        assert!(json.contains("\"0000000000000001\""), "{json}");
+        assert!(!json.contains('/'), "no path separators in a report");
+        assert!(!json.contains('@'), "no email-like tokens in a report");
+    }
+
+    #[test]
+    fn empty_report_encodes_cleanly() {
+        let json = Meter::new(true).report_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"samples\":0"), "{json}");
+    }
+
+    #[test]
+    fn fairness_shares_sum_to_whole() {
+        let meter = Meter::new(true);
+        for i in 1..=300u64 {
+            meter.record(i, 0, 0, &unit_cost());
+        }
+        let json = meter.report_json();
+        // 300 distinct principals over 64 slots: both buckets nonzero.
+        let stats = meter.stats();
+        assert_eq!(stats.principals.tracked, METER_SLOTS as u64);
+        assert!(stats.principals.evictions > 0);
+        assert!(json.contains("\"tracked_share_milli\""), "{json}");
+        assert!(json.contains("\"overflow_share_milli\""), "{json}");
+    }
+}

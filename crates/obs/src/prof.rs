@@ -408,6 +408,31 @@ pub fn charge(name: &'static str, ns: u64) {
     });
 }
 
+/// Sums `(self_ns, sim_ns)` over the current request's already-closed
+/// phases whose path contains `name`. While a root [`OpGuard`] is open,
+/// the thread-local accumulator holds exactly this request's phases, so
+/// this reads back what the request has spent so far in e.g.
+/// `"crypto_gcm"` (wall-clock self time) or `"lock_wait"` (simulated
+/// time fed via [`charge`]) — the metering plane's cost probes, reusing
+/// the profiler's instrumentation instead of adding a second pass.
+/// Self times of distinct paths never overlap, so the sum is exact.
+/// Returns `(0, 0)` without an active root.
+#[must_use]
+pub fn request_phase_totals(name: &'static str) -> (u64, u64) {
+    TLS.with(|t| {
+        let t = t.borrow();
+        if t.profiler.is_none() {
+            return (0, 0);
+        }
+        t.acc
+            .iter()
+            .filter(|e| e.path.contains(&name))
+            .fold((0u64, 0u64), |(s, sim), e| {
+                (s.saturating_add(e.self_ns), sim.saturating_add(e.sim_ns))
+            })
+    })
+}
+
 /// One (operation, phase-path) aggregate in a [`ProfSnapshot`].
 #[derive(Debug, Clone)]
 pub struct ProfEntry {
@@ -722,6 +747,36 @@ mod tests {
             "pre-rename phases must be re-keyed under the final op"
         );
         assert!(snap.entries.iter().all(|e| e.op() != "request"));
+    }
+
+    #[test]
+    fn request_phase_totals_reads_closed_phases_mid_request() {
+        assert_eq!(
+            request_phase_totals("crypto_gcm"),
+            (0, 0),
+            "no active root: nothing to read"
+        );
+        let p = Arc::new(Profiler::new());
+        {
+            let _root = OpGuard::begin(&p, "get");
+            {
+                let _g = phase("crypto_gcm");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            charge("lock_wait", 1234);
+            let (crypto_self, _) = request_phase_totals("crypto_gcm");
+            assert!(
+                crypto_self > 0,
+                "closed phase self time visible mid-request"
+            );
+            let (lock_self, lock_sim) = request_phase_totals("lock_wait");
+            assert_eq!((lock_self, lock_sim), (0, 1234));
+        }
+        assert_eq!(
+            request_phase_totals("crypto_gcm"),
+            (0, 0),
+            "root closed: accumulator flushed"
+        );
     }
 
     #[test]

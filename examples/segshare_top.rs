@@ -147,6 +147,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "watch report must never carry request operands"
     );
     println!("  (checked: report complete, no request content)");
+
+    // The meter's view of the same run: every request attributed, and
+    // the report carries fingerprints only — no path, group, or user
+    // operand from the workload above.
+    let meter_report = server.meter_report();
+    println!("--- meter report ---");
+    println!(
+        "  {} bytes; {} requests attributed",
+        meter_report.len(),
+        server.enclave().meter().samples(),
+    );
+    assert!(
+        server.enclave().meter().samples() > 0,
+        "workload was metered"
+    );
+    assert!(
+        !meter_report.contains("hot")
+            && !meter_report.contains("cold")
+            && !meter_report.contains("alice")
+            && !meter_report.contains("team"),
+        "meter report must never carry request operands"
+    );
+    println!("  (checked: requests attributed, no request content)");
     Ok(())
 }
 
@@ -214,6 +237,34 @@ fn print_window(server: &segshare::SegShareServer, win: &Snapshot, tick: Duratio
         health.canary_probes(),
         health.monitor().active_alerts(),
     );
+
+    // Tenants: the meter plane's heaviest principals, groups, and path
+    // prefixes (cumulative op estimates; keys are keyed fingerprints,
+    // `~err` marks a slot's SpaceSaving over-count bound).
+    let meter = server.enclave().meter();
+    let fmt_top = |slots: Vec<seg_obs::MeterSlot>| -> String {
+        slots
+            .iter()
+            .map(|s| {
+                if s.err > 0 {
+                    format!("{:016x} {}op~{}", s.fp, s.est, s.err)
+                } else {
+                    format!("{:016x} {}op", s.fp, s.est)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("  tenants ({} requests metered):", meter.samples());
+    for (axis, top) in [
+        ("talkers", meter.top_principals(3)),
+        ("groups", meter.top_groups(3)),
+        ("prefixes", meter.top_prefixes(3)),
+    ] {
+        if !top.is_empty() {
+            println!("    {axis:<9} {}", fmt_top(top));
+        }
+    }
 
     // Cumulative top contended stripes.
     let top = server.enclave().locks().contended_stripes(3);

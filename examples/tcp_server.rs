@@ -15,7 +15,9 @@
 //! correlated contention report (flight-recorder ring, lock top-K,
 //! trace tail, profile — one JSON bundle), and
 //! `--health` to run the background health plane (SLO sampler,
-//! integrity scrubber, loopback canary) and print its report.
+//! integrity scrubber, loopback canary) and print its report, and
+//! `--meter` to print the seg-meter plane's per-principal/group/prefix
+//! cost attribution report (top-K talkers + fairness summary).
 
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -29,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = std::env::args().any(|a| a == "--profile");
     let watch = std::env::args().any(|a| a == "--watch");
     let health = std::env::args().any(|a| a == "--health");
+    let meter = std::env::args().any(|a| a == "--meter");
     // Cache on: the Prometheus exposition below then includes the
     // seg_cache_* counter family alongside the request/store metrics.
     // An aggressive scrub cadence lets `--health` complete full
@@ -236,6 +239,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         server.stop_health();
         println!("  (checked: report complete, server healthy, no request content)");
+    }
+    if meter {
+        let report = server.meter_report();
+        println!("\n--- meter report (per-tenant cost attribution) ---");
+        println!("{report}");
+        // Declassification check, same as the other planes: axes,
+        // rollups and fingerprints — never request operands.
+        for section in [
+            "\"totals\"",
+            "\"principals\"",
+            "\"groups\"",
+            "\"prefixes\"",
+            "\"fairness\"",
+        ] {
+            assert!(report.contains(section), "report missing {section}");
+        }
+        assert!(
+            !report.contains("over-tcp") && !report.contains("alice"),
+            "meter report must never carry request operands"
+        );
+        // The demo traffic ran as one principal (plus the canary when
+        // `--health` is on); the sketch must have attributed exactly
+        // those talkers.
+        let tracked = report
+            .find("\"principals\":{\"tracked\":")
+            .map(|at| {
+                report[at + 24..]
+                    .chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+            })
+            .and_then(|n| n.parse::<u64>().ok())
+            .expect("report carries the principal slot count");
+        let expected = if health { 2 } else { 1 };
+        assert_eq!(
+            tracked, expected,
+            "the demo principals must be tracked, nothing else"
+        );
+        println!("  (checked: report complete, demo principal attributed, no request content)");
     }
     Ok(())
 }

@@ -238,6 +238,14 @@ fn watch_plane_families_always_export_with_clean_labels() {
         "seg_scrub_passes_total",
         "seg_scrub_items_total",
         "seg_scrub_findings_total",
+        // Meter-plane families export in every configuration so the
+        // series set stays stable whether metering is on or off.
+        "seg_meter_enabled",
+        "seg_meter_samples_total",
+        "seg_meter_tracked",
+        "seg_meter_min_tracked_ops",
+        "seg_meter_evictions_total",
+        "seg_meter_overflow_ops_total",
     ] {
         assert!(
             text.contains(family),
@@ -248,6 +256,14 @@ fn watch_plane_families_always_export_with_clean_labels() {
     let snap = server.metrics_snapshot();
     assert_eq!(snap.gauge("seg_watch_enabled"), Some(1), "always-on");
     assert_eq!(snap.gauge("seg_cache_entries"), Some(0), "cache disabled");
+    assert_eq!(snap.gauge("seg_meter_enabled"), Some(1), "default config");
+    for axis in ["principal", "group", "prefix"] {
+        assert!(
+            snap.gauge(&format!("seg_meter_tracked{{axis=\"{axis}\"}}"))
+                .is_some(),
+            "per-axis meter gauge pre-interned for {axis}"
+        );
+    }
     assert_eq!(snap.gauge("seg_health_enabled"), Some(1), "always-on");
     assert_eq!(snap.gauge("seg_health_state"), Some(0), "healthy at rest");
     // The scrub families pre-intern one series per check class, all
@@ -486,4 +502,54 @@ fn profile_exports_carry_no_request_content() {
             );
         }
     }
+}
+
+#[test]
+fn meter_families_export_zeroed_when_disabled() {
+    // A config with metering off must still export every seg_meter_*
+    // family — all zero — so dashboards keep a stable series set and
+    // an operator can see at a glance that the plane is off.
+    let setup = FsoSetup::new_in_memory(
+        "obs-meter-off",
+        EnclaveConfig {
+            meter: false,
+            ..EnclaveConfig::default()
+        },
+    );
+    let server = setup.server().expect("setup");
+    let alice = setup
+        .enroll_user("alice", "alice@acme.example", "Alice")
+        .expect("enroll");
+    let mut a = server.connect_local(&alice).expect("connect");
+    a.mkdir("/plans-secret/").expect("mkdir");
+    a.put("/plans-secret/q3-report", b"body").expect("upload");
+    drop(a);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.gauge("seg_meter_enabled"), Some(0), "metering off");
+    assert_eq!(
+        snap.counter("seg_meter_samples_total"),
+        Some(0),
+        "no request is attributed while disabled"
+    );
+    for axis in ["principal", "group", "prefix"] {
+        for (family, value) in [
+            (format!("seg_meter_tracked{{axis=\"{axis}\"}}"), 0),
+            (format!("seg_meter_min_tracked_ops{{axis=\"{axis}\"}}"), 0),
+        ] {
+            assert_eq!(snap.gauge(&family), Some(value), "zeroed {family}");
+        }
+        for family in [
+            format!("seg_meter_evictions_total{{axis=\"{axis}\"}}"),
+            format!("seg_meter_overflow_ops_total{{axis=\"{axis}\"}}"),
+        ] {
+            assert_eq!(snap.counter(&family), Some(0), "zeroed {family}");
+        }
+    }
+    // The report also exports in the disabled state — explicitly
+    // marked disabled, with empty axes rather than absent sections.
+    let report = server.meter_report();
+    assert!(report.contains("\"enabled\":false"), "report marks off");
+    assert!(report.contains("\"samples\":0"), "report shows no samples");
 }
