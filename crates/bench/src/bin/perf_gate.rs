@@ -110,6 +110,147 @@ const METER_MAX_OVERHEAD: f64 = 0.02;
 /// Zipf-skewed multi-principal workload (more principals than slots).
 const METER_MIN_RECALL: usize = 7;
 
+/// Simulated fsync latency for the durability workloads. In-memory and
+/// tmpfs-backed files "sync" in microseconds, which hides what group
+/// commit buys; real deployments pay hundreds of microseconds to
+/// milliseconds per fsync (§VI runs against remote storage). 800 µs is
+/// a modest local-SSD figure and is charged identically to both modes.
+const DUR_FSYNC_US: u64 = 800;
+/// Concurrent client sessions in the durability comparison.
+const DUR_SESSIONS: usize = 8;
+/// Minimum aggregate-throughput ratio (request-batched group commit vs
+/// naive per-operation fsync) at [`DUR_SESSIONS`] sessions.
+const DUR_MIN_SPEEDUP: f64 = 5.0;
+
+/// One measured point of the durability comparison.
+struct DurabilityPoint {
+    mode: &'static str,
+    ops_per_s: f64,
+    fsyncs: u64,
+    batches: u64,
+}
+
+/// Runs `DUR_SESSIONS` concurrent sessions of 4 KiB uploads against a
+/// WAL-backed rig and returns aggregate throughput plus the backend's
+/// fsync/batch tallies. `batch` selects request batching + the group
+/// commit thread (one sealed frame per request, fsyncs coalesced
+/// across sessions) versus the naive durable baseline (every store
+/// operation is its own synchronous commit frame and fsync).
+fn run_durability_point(batch: bool, ops: usize, tag: &str) -> DurabilityPoint {
+    let dir = std::env::temp_dir().join(format!("seg-bench-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("wal dir");
+    let wal = seg_store::WalConfig {
+        group_commit: batch,
+        sim_fsync_us: DUR_FSYNC_US,
+        ..seg_store::WalConfig::default()
+    };
+    // Paper-prototype feature set; whole-FS rollback stays off so the
+    // comparison prices the durability plane, not counter batching.
+    let rig = Rig::with_wal(
+        EnclaveConfig {
+            batch,
+            ..EnclaveConfig::paper_prototype()
+        },
+        &dir,
+        wal,
+    );
+    let payload: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+    let mut clients = Vec::with_capacity(DUR_SESSIONS);
+    for t in 0..DUR_SESSIONS {
+        let mut client = rig.client();
+        let dir = format!("/s{t}");
+        client.mkdir(&dir).expect("mkdir");
+        clients.push((client, dir));
+    }
+    let base = rig.server.metrics_snapshot();
+    let barrier = Barrier::new(DUR_SESSIONS + 1);
+    let elapsed = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .into_iter()
+            .map(|(mut client, dir)| {
+                let barrier = &barrier;
+                let payload = &payload;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for j in 0..ops {
+                        client.put(&format!("{dir}/f{j}"), payload).expect("upload");
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+        start.elapsed().as_secs_f64()
+    });
+    let delta = rig.server.metrics_snapshot().delta(&base);
+    let counter = |rendered: &str| delta.counter(rendered).unwrap_or(0);
+    let point = DurabilityPoint {
+        mode: if batch { "group_commit" } else { "naive_fsync" },
+        ops_per_s: (DUR_SESSIONS * ops) as f64 / elapsed,
+        fsyncs: counter("seg_store_fsyncs_total{store=\"content\"}"),
+        batches: counter("seg_store_batches_total{store=\"content\"}"),
+    };
+    drop(rig);
+    let _ = std::fs::remove_dir_all(&dir);
+    point
+}
+
+fn run_durability(quick: bool) -> Vec<DurabilityPoint> {
+    let ops = if quick { 8 } else { 16 };
+    vec![
+        run_durability_point(false, ops, "naive"),
+        run_durability_point(true, ops, "group"),
+    ]
+}
+
+/// The durability acceptance check: request batching plus group commit
+/// must deliver at least [`DUR_MIN_SPEEDUP`]× the naive per-operation
+/// fsync baseline's aggregate throughput at [`DUR_SESSIONS`] sessions.
+/// Fsync-latency-bound by construction, so the bar holds on any host.
+fn check_durability(points: &[DurabilityPoint]) -> Vec<String> {
+    println!(
+        "== durability (WAL backend, {DUR_SESSIONS} sessions, simulated fsync {DUR_FSYNC_US} µs) =="
+    );
+    for p in points {
+        println!(
+            "  {:<13} {:>7.1} ops/s  fsyncs={:<6} batches={}",
+            p.mode, p.ops_per_s, p.fsyncs, p.batches,
+        );
+    }
+    let find = |mode: &str| {
+        points
+            .iter()
+            .find(|p| p.mode == mode)
+            .expect("durability comparison covers this mode")
+    };
+    let naive = find("naive_fsync");
+    let group = find("group_commit");
+    let speedup = group.ops_per_s / naive.ops_per_s;
+    println!(
+        "  -> group commit vs per-op fsync at {DUR_SESSIONS} sessions: {speedup:.2}x \
+         (gate: >= {DUR_MIN_SPEEDUP:.1}x)"
+    );
+    let mut failures = Vec::new();
+    if speedup < DUR_MIN_SPEEDUP {
+        failures.push(format!(
+            "durability: group-commit/naive speedup at {DUR_SESSIONS} sessions is \
+             {speedup:.2}x, below the {DUR_MIN_SPEEDUP:.1}x floor"
+        ));
+    }
+    if group.batches == 0 {
+        failures.push(
+            "durability: the group-commit run sealed no batches — request batching \
+             never engaged"
+                .to_string(),
+        );
+    }
+    failures
+}
+
 /// Windowed lock-wait attribution from one 8-thread fine-mode run:
 /// the seg-watch evidence that overlapping scopes (and only they) pay
 /// for the parent directory's write lock. This is the instrumented
@@ -1000,6 +1141,12 @@ fn main() {
     let meter_attr = run_meter_attribution(quick);
     failures.extend(check_meter_attribution(&meter_attr));
 
+    // Durability comparison: request-batched group commit vs naive
+    // per-operation fsync, both on WAL-backed rigs with the same
+    // simulated fsync cost (see `run_durability_point`).
+    let dur_points = run_durability(quick);
+    failures.extend(check_durability(&dur_points));
+
     // Thread-scaling matrix: per-object locks vs the coarse global
     // lock, on a store-latency-bound rig (see `run_concurrency`).
     let conc_points = run_concurrency(if quick { 2 } else { 3 }, if quick { 8 } else { 12 });
@@ -1027,6 +1174,7 @@ fn main() {
         &cache_evidence,
         &conc_points,
         &contention,
+        &dur_points,
         &watch_overhead,
         &health_overhead,
         &meter_overhead,
@@ -1223,6 +1371,7 @@ fn build_report(
     cache_evidence: &[CacheEvidence],
     conc_points: &[ConcurrencyPoint],
     contention: &[ContentionEvidence],
+    dur_points: &[DurabilityPoint],
     watch: &WatchOverheadEvidence,
     health: &HealthOverheadEvidence,
     meter: &MeterOverheadEvidence,
@@ -1367,6 +1516,35 @@ fn build_report(
         }
         let _ = writeln!(out, "      ]\n    }}{comma}");
     }
+    out.push_str("  },\n");
+
+    // The durability comparison: aggregate throughput and backend
+    // fsync/batch tallies for group commit vs per-operation fsync on
+    // identical WAL rigs, plus the derived speedup the gate enforces.
+    out.push_str("  \"durability\": {\n");
+    let _ = writeln!(out, "    \"fsync_us\": {DUR_FSYNC_US},");
+    let _ = writeln!(out, "    \"sessions\": {DUR_SESSIONS},");
+    out.push_str("    \"points\": [\n");
+    for (i, p) in dur_points.iter().enumerate() {
+        let comma = if i + 1 < dur_points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"mode\": \"{}\", \"ops_per_s\": {:.3}, \"fsyncs\": {}, \"batches\": {}}}{comma}",
+            p.mode, p.ops_per_s, p.fsyncs, p.batches,
+        );
+    }
+    out.push_str("    ],\n");
+    let speedup = |mode: &str| {
+        dur_points
+            .iter()
+            .find(|p| p.mode == mode)
+            .map_or(0.0, |p| p.ops_per_s)
+    };
+    let _ = writeln!(
+        out,
+        "    \"speedup_group_commit\": {:.3}",
+        speedup("group_commit") / speedup("naive_fsync").max(f64::MIN_POSITIVE),
+    );
     out.push_str("  },\n");
 
     // The watch plane's measured cost on the standard small-op mix.

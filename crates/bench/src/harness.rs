@@ -175,6 +175,28 @@ impl Rig {
         }
     }
 
+    /// Builds a deployment over a fresh write-ahead-logged store in
+    /// `dir` with `wal` tuning — the rig for the durability workloads
+    /// (group commit vs per-operation fsync).
+    #[must_use]
+    pub fn with_wal(
+        config: EnclaveConfig,
+        dir: impl AsRef<std::path::Path>,
+        wal: seg_store::WalConfig,
+    ) -> Rig {
+        let setup = FsoSetup::new_wal_with("bench-ca", config, seg_sgx::Platform::new(), dir, wal)
+            .expect("wal store opens");
+        let server = setup.server().expect("setup succeeds");
+        let alice = setup
+            .enroll_user("alice", "alice@bench", "Alice")
+            .expect("enroll succeeds");
+        Rig {
+            setup,
+            server,
+            alice,
+        }
+    }
+
     /// Builds a deployment whose three stores each add `delay` per
     /// round-trip (see [`LatencyStore`]) — the rig for the concurrency
     /// scaling workloads.

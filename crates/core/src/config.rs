@@ -62,6 +62,14 @@ pub struct EnclaveConfig {
     /// prefix in cardinality-bounded top-K sketches. Operational
     /// accounting, runtime-togglable via `SegShareServer::set_meter`.
     pub meter: bool,
+    /// Group-commit write batching (the durability plane): each
+    /// request's store writes accumulate into one `WriteBatch` sealed
+    /// at the dispatch commit point, so a durable backend fsyncs a
+    /// request's blob + tree records + metadata + audit append as a
+    /// single atomic unit, and concurrent requests coalesce into one
+    /// fsync. A no-op on purely in-memory stores; §V-E counter
+    /// increments are deferred to the durability point when set.
+    pub batch: bool,
 }
 
 impl Default for EnclaveConfig {
@@ -79,6 +87,7 @@ impl Default for EnclaveConfig {
             cache: false,
             scrub_interval_us: 1_000_000,
             meter: true,
+            batch: false,
         }
     }
 }
@@ -106,6 +115,7 @@ impl EnclaveConfig {
             cache: false,
             scrub_interval_us: 0,
             meter: false,
+            batch: false,
         }
     }
 
@@ -127,6 +137,7 @@ impl EnclaveConfig {
             cache: false,
             scrub_interval_us: 1_000_000,
             meter: true,
+            batch: false,
         }
     }
 
@@ -210,6 +221,13 @@ mod tests {
             ..EnclaveConfig::default()
         };
         assert_eq!(a, cached.image_bytes());
+        // Batching changes durability scheduling, not the protocol or
+        // any key derivation — operational, outside the measurement.
+        let batched = EnclaveConfig {
+            batch: true,
+            ..EnclaveConfig::default()
+        };
+        assert_eq!(a, batched.image_bytes());
     }
 
     #[test]

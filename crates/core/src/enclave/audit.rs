@@ -251,7 +251,15 @@ pub struct AuditLog {
     store: Arc<dyn ObjectStore>,
     sgx: Arc<Enclave>,
     use_counter: bool,
+    /// Batch (group-commit) mode: the head anchors `hw + 1` and the
+    /// hardware increment is deferred to the durability point
+    /// ([`AuditLog::commit_pending_anchor`]), mirroring the rollback
+    /// tree's deferred root counters.
+    batch: bool,
     state: Mutex<ChainState>,
+    /// The anchor value the latest batch-mode head names while its
+    /// deferred increment is outstanding.
+    pending_anchor: Mutex<Option<u64>>,
     records_total: seg_obs::Counter,
     bytes_total: seg_obs::Counter,
     append_ns: Arc<seg_obs::Histogram>,
@@ -298,6 +306,7 @@ impl AuditLog {
         store: Arc<dyn ObjectStore>,
         sgx: Arc<Enclave>,
         use_counter: bool,
+        batch: bool,
         obs: &seg_obs::Registry,
     ) -> Result<AuditLog, SegShareError> {
         let (mut state, anchor, had_head) = match sgx.boundary().ocall(|| store.get(HEAD_NAME))? {
@@ -317,7 +326,18 @@ impl AuditLog {
             }
         };
         let ctr = sgx.counter(AUDIT_COUNTER_ID);
-        let hw = if use_counter { ctr.read() } else { 0 };
+        let mut hw = if use_counter { ctr.read() } else { 0 };
+        if batch && use_counter && anchor == hw + 1 {
+            // Batch-mode crash window: the head (and its record) became
+            // durable but the deferred increment was lost. The head
+            // anchors exactly one ahead — a position only the genuinely
+            // newest head can occupy, since every older head's anchor is
+            // already covered by the counter. Catch up by one; any
+            // larger gap still reads as rollback below.
+            ctr.increment()?;
+            sgx.boundary().charge(ctr.increment_latency_ns());
+            hw = anchor;
+        }
         let orphan_name = record_name(state.count);
         match sgx.boundary().ocall(|| store.get(&orphan_name))? {
             Some(blob) => {
@@ -370,7 +390,9 @@ impl AuditLog {
             store,
             sgx,
             use_counter,
+            batch,
             state: Mutex::new(state),
+            pending_anchor: Mutex::new(None),
             records_total: obs.counter("seg_audit_records_total"),
             bytes_total: obs.counter("seg_audit_bytes_total"),
             append_ns: obs.histogram("seg_audit_append_ns"),
@@ -397,15 +419,43 @@ impl AuditLog {
     }
 
     /// Appends one sealed record and advances the sealed head.
+    /// Production callers go through [`AuditLog::append_sealing`]; this
+    /// shorthand exists for the chain tests below.
     ///
     /// # Errors
     ///
     /// Propagates storage and counter failures; on error the in-memory
     /// chain state is left unchanged, so a retry re-seals the same
     /// position.
+    #[cfg(test)]
     pub(crate) fn append(&self, ev: &AuditEvent) -> Result<(), SegShareError> {
+        self.append_sealing(ev, || {})
+    }
+
+    /// [`AuditLog::append`] with a batch-boundary hook: `seal_batch`
+    /// runs *inside the chain state lock*, after the head write — so
+    /// the group-commit frame boundary always falls between appends and
+    /// chain order equals log order. The hook runs even when the append
+    /// fails (fail-closed: whatever the request's batch already holds
+    /// is still sealed and made durable).
+    pub(crate) fn append_sealing(
+        &self,
+        ev: &AuditEvent,
+        seal_batch: impl FnOnce(),
+    ) -> Result<(), SegShareError> {
         let start = Instant::now();
         let mut st = self.state.lock();
+        let result = self.append_locked(&mut st, ev);
+        seal_batch();
+        drop(st);
+        let bytes = result?;
+        self.records_total.inc();
+        self.bytes_total.add(bytes);
+        self.append_ns.record_duration(start.elapsed());
+        Ok(())
+    }
+
+    fn append_locked(&self, st: &mut ChainState, ev: &AuditEvent) -> Result<u64, SegShareError> {
         let seq = st.count;
         let blob = pae_enc(
             &self.key,
@@ -416,15 +466,24 @@ impl AuditLog {
         let name = record_name(seq);
         self.sgx.boundary().ocall(|| self.store.put(&name, &blob))?;
         let new_head = chain_hash(&st.head, seq, &blob);
-        let anchor = if self.use_counter {
+        let anchor = if !self.use_counter {
+            0
+        } else if self.batch {
+            // Deferred anchor: the head names the post-commit value; the
+            // hardware increment happens once the batch is durable
+            // (`commit_pending_anchor`), so a crash beforehand leaves
+            // the counter matching the last durable head.
+            let mut pending = self.pending_anchor.lock();
+            let target = pending.unwrap_or_else(|| self.sgx.counter(AUDIT_COUNTER_ID).read() + 1);
+            *pending = Some(target);
+            target
+        } else {
             let ctr = self.sgx.counter(AUDIT_COUNTER_ID);
             let value = ctr.increment()?;
             // Real counter increments cost tens of milliseconds; charge
             // them like the rollback root counter does.
             self.sgx.boundary().charge(ctr.increment_latency_ns());
             value
-        } else {
-            0
         };
         let head_blob = pae_enc(
             &self.key,
@@ -437,11 +496,33 @@ impl AuditLog {
             .ocall(|| self.store.put(HEAD_NAME, &head_blob))?;
         st.count = seq + 1;
         st.head = new_head;
-        drop(st);
-        self.records_total.inc();
-        self.bytes_total.add((blob.len() + head_blob.len()) as u64);
-        self.append_ns.record_duration(start.elapsed());
+        Ok((blob.len() + head_blob.len()) as u64)
+    }
+
+    /// Performs the deferred counter increment for the latest batch-mode
+    /// head. Runs at the durability point, after the group commit's
+    /// fsync acknowledged the batch; the increment lands before the
+    /// pending marker clears, so a concurrent verifier always sees
+    /// either the pending target or matching hardware.
+    pub(crate) fn commit_pending_anchor(&self) -> Result<(), SegShareError> {
+        let target = *self.pending_anchor.lock();
+        let Some(target) = target else {
+            return Ok(());
+        };
+        let ctr = self.sgx.counter(AUDIT_COUNTER_ID);
+        while ctr.read() < target {
+            ctr.increment()?;
+            self.sgx.boundary().charge(ctr.increment_latency_ns());
+        }
+        *self.pending_anchor.lock() = None;
         Ok(())
+    }
+
+    /// Whether `anchor` is the registered pending target — the
+    /// one-ahead window a batch-mode head legitimately occupies between
+    /// its write and the post-durability increment.
+    fn anchor_pending(&self, anchor: u64) -> bool {
+        self.batch && *self.pending_anchor.lock() == Some(anchor)
     }
 
     /// Walks the persisted chain and proves it intact, returning the
@@ -556,7 +637,7 @@ impl AuditLog {
             }
             if self.use_counter {
                 let hw = self.sgx.counter(AUDIT_COUNTER_ID).read();
-                if hw != anchor {
+                if hw != anchor && !self.anchor_pending(anchor) {
                     return Err(tamper(
                         "audit counter anchor mismatch (whole-trail rollback)",
                     ));
@@ -629,7 +710,7 @@ impl AuditLog {
         }
         if self.use_counter {
             let hw = self.sgx.counter(AUDIT_COUNTER_ID).read();
-            if hw != anchor {
+            if hw != anchor && !self.anchor_pending(anchor) {
                 return Err(tamper(
                     "audit counter anchor mismatch (whole-trail rollback)",
                 ));
@@ -693,6 +774,7 @@ mod tests {
             Arc::clone(store) as Arc<dyn ObjectStore>,
             sgx,
             use_counter,
+            false,
             &seg_obs::Registry::new(),
         )
     }
@@ -844,6 +926,58 @@ mod tests {
         let log = load_log(&platform, &store, true).expect("recovery");
         assert_eq!(log.len(), 2);
         assert_eq!(log.verify().unwrap(), 2);
+    }
+
+    /// Loads a batch-mode (deferred-anchor) log on `platform`.
+    fn load_batch_log(
+        platform: &Platform,
+        store: &Arc<MemStore>,
+    ) -> Result<AuditLog, SegShareError> {
+        let sgx = Arc::new(platform.launch(&EnclaveImage::from_code(b"audit-test")));
+        AuditLog::load(
+            PaeKey::from_bytes(&[9u8; 16]),
+            Arc::clone(store) as Arc<dyn ObjectStore>,
+            sgx,
+            true,
+            true,
+            &seg_obs::Registry::new(),
+        )
+    }
+
+    /// Batch mode defers the anchor increment to the durability point:
+    /// verification accepts the one-ahead window while the increment is
+    /// pending, and a crash inside the window is adopted (counter
+    /// caught up by one) at the next load — while a genuine rollback
+    /// past that window still fails.
+    #[test]
+    fn batch_pending_anchor_window_and_adoption() {
+        let platform = Platform::new_with_seed(46);
+        let store = Arc::new(MemStore::new());
+        let log = load_batch_log(&platform, &store).expect("fresh load");
+        log.append(&event(0)).unwrap();
+        // Pending window: head anchors hw + 1, verify accepts.
+        assert_eq!(log.verify().unwrap(), 1);
+        log.commit_pending_anchor().unwrap();
+        assert_eq!(log.verify().unwrap(), 1);
+        // Crash with the increment outstanding.
+        log.append(&event(1)).unwrap();
+        drop(log);
+        let log = load_batch_log(&platform, &store).expect("adoption");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.verify().unwrap(), 2);
+        // A rollback of head + records past the adopted state fails.
+        let old = store.snapshot();
+        log.append(&event(2)).unwrap();
+        log.commit_pending_anchor().unwrap();
+        log.append(&event(3)).unwrap();
+        log.commit_pending_anchor().unwrap();
+        drop(log);
+        store.restore(old);
+        let err = load_batch_log(&platform, &store).unwrap_err();
+        assert!(
+            matches!(&err, SegShareError::Integrity(m) if m.contains("rollback")),
+            "{err:?}"
+        );
     }
 
     /// §V-E across restart: rolling the trail back to an old-but-valid

@@ -234,6 +234,9 @@ impl FileManager {
             Some(hmac) => {
                 // §V-A deduplication: name the blob by its content HMAC.
                 let hname = hex(&hmac.finalize());
+                // An overwrite drops the old content's reference; read
+                // the old indirection before it is replaced.
+                let old_hname = self.dedup_hname(&path)?;
                 let blob_id = ObjectId::DedupBlob(hname.clone());
                 if !self.store.exists(&blob_id)? {
                     // First copy: re-encrypt the staged blob under the
@@ -253,6 +256,8 @@ impl FileManager {
                 body.push(MARKER_DEDUP);
                 body.extend_from_slice(hname.as_bytes());
                 self.store.write(&file_id, &body)?;
+                self.store
+                    .dedup_ref_update(Some(&hname), old_hname.as_deref())?;
             }
         }
 
@@ -335,6 +340,28 @@ impl FileManager {
         Ok(out)
     }
 
+    /// The dedup blob name referenced by the indirection at `path`, or
+    /// `None` when no file exists there or its body is inline. Only
+    /// meaningful with dedup on, where indirections are one small record.
+    fn dedup_hname(&self, path: &SegPath) -> Result<Option<String>, SegShareError> {
+        let Some(body) = self.store.read(&ObjectId::FileData(path.clone()))? else {
+            return Ok(None);
+        };
+        if body.first() != Some(&MARKER_DEDUP) {
+            return Ok(None);
+        }
+        String::from_utf8(body[1..].to_vec())
+            .map(Some)
+            .map_err(|_| SegShareError::Integrity(format!("{path}: malformed dedup indirection")))
+    }
+
+    /// §V-A extension: reclaims dedup blobs whose reference count has
+    /// dropped to zero. Returns the number of blobs deleted. Callers
+    /// serialize this against request dispatch (the global lock scope).
+    pub fn blob_gc(&self) -> Result<u64, SegShareError> {
+        self.store.blob_gc()
+    }
+
     // ---------------------------------------------------------- removal
 
     /// Removes a content file or an *empty* directory.
@@ -358,11 +385,17 @@ impl FileManager {
             if !self.file_exists(path)? {
                 return Err(bad(ErrorCode::NotFound, format!("no file at {path}")));
             }
+            // Other files may reference the same dedup blob, so removal
+            // only drops this file's reference; blobs whose count
+            // reaches zero are reclaimed later by [`FileManager::blob_gc`].
+            let dedup = if self.store.config().dedup {
+                self.dedup_hname(path)?
+            } else {
+                None
+            };
             self.remove_child_from_parent(path)?;
             self.store.delete(&ObjectId::FileData(path.clone()))?;
-            // Dedup blobs are intentionally left in place: other files
-            // may reference the same content (the paper defines no
-            // dedup-store garbage collection).
+            self.store.dedup_ref_update(None, dedup.as_deref())?;
         }
         self.store.delete(&ObjectId::Acl(path.clone()))?;
         Ok(())
@@ -677,5 +710,64 @@ mod tests {
         let f = components(EnclaveConfig::default());
         assert!(f.files.remove(&p("/ghost")).is_err());
         assert!(f.files.open_download(&p("/ghost")).is_err());
+    }
+
+    #[test]
+    fn blob_gc_reclaims_only_unreferenced_blobs() {
+        let f = components(EnclaveConfig {
+            dedup: true,
+            ..EnclaveConfig::default()
+        });
+        let shared = vec![0x42u8; 30_000];
+        let lonely = vec![0x43u8; 30_000];
+        upload(&f, "/one", &shared);
+        upload(&f, "/two", &shared);
+        upload(&f, "/three", &lonely);
+        // Everything still referenced: GC finds nothing.
+        assert_eq!(f.files.blob_gc().unwrap(), 0);
+        // One of two references gone: the shared blob survives.
+        f.files.remove(&p("/one")).unwrap();
+        assert_eq!(f.files.blob_gc().unwrap(), 0);
+        assert_eq!(f.files.read_file(&p("/two")).unwrap(), shared);
+        // Last references gone: both blobs are reclaimed, exactly once.
+        f.files.remove(&p("/two")).unwrap();
+        f.files.remove(&p("/three")).unwrap();
+        assert_eq!(f.files.blob_gc().unwrap(), 2);
+        assert_eq!(f.files.blob_gc().unwrap(), 0);
+    }
+
+    #[test]
+    fn overwrite_moves_dedup_reference() {
+        let f = components(EnclaveConfig {
+            dedup: true,
+            ..EnclaveConfig::default()
+        });
+        let old = vec![0x11u8; 20_000];
+        let new = vec![0x22u8; 20_000];
+        upload(&f, "/doc", &old);
+        // Overwriting releases the old content's reference...
+        upload(&f, "/doc", &new);
+        assert_eq!(f.files.blob_gc().unwrap(), 1);
+        assert_eq!(f.files.read_file(&p("/doc")).unwrap(), new);
+        // ...and re-uploading identical content is refcount-neutral.
+        upload(&f, "/doc", &new);
+        assert_eq!(f.files.blob_gc().unwrap(), 0);
+        assert_eq!(f.files.read_file(&p("/doc")).unwrap(), new);
+    }
+
+    #[test]
+    fn rename_keeps_dedup_reference_alive() {
+        let f = components(EnclaveConfig {
+            dedup: true,
+            ..EnclaveConfig::default()
+        });
+        let content = vec![0x55u8; 20_000];
+        upload(&f, "/before", &content);
+        f.files.rename(&p("/before"), &p("/after")).unwrap();
+        // The indirection moved verbatim: net-zero refcount change.
+        assert_eq!(f.files.blob_gc().unwrap(), 0);
+        assert_eq!(f.files.read_file(&p("/after")).unwrap(), content);
+        f.files.remove(&p("/after")).unwrap();
+        assert_eq!(f.files.blob_gc().unwrap(), 1);
     }
 }

@@ -21,7 +21,7 @@ pub mod watch;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use seg_crypto::ed25519::{PublicKey, SecretKey};
 use seg_crypto::rng::{SecureRandom, SystemRng};
@@ -29,7 +29,7 @@ use seg_crypto::sha256::Sha256;
 use seg_obs::{events_json, CostVector, FlightRecorder, Meter, Registry, TraceEvent, TraceRing};
 use seg_pki::{Certificate, Csr, Identity};
 use seg_sgx::{Enclave, EnclaveImage, Platform, Quote};
-use seg_store::{CountingStore, ObjectStore};
+use seg_store::{CommitTicket, CountingStore, ObjectStore};
 
 use crate::config::EnclaveConfig;
 use crate::error::SegShareError;
@@ -95,6 +95,16 @@ pub struct SegShareEnclave {
     /// The counting wrappers around the untrusted stores, kept for
     /// per-store attribution in [`SegShareEnclave::metrics_snapshot`].
     counted_stores: Vec<(&'static str, CountedStore)>,
+    /// Serializes batch commit windows (batch mode, the durability
+    /// plane). Held from [`SegShareEnclave::batch_begin`] through the
+    /// seal — and, with whole-FS rollback protection, through the
+    /// deferred counter increments in [`SegShareEnclave::batch_wait`] —
+    /// so frame order in the shared log equals dependency order on the
+    /// shared root hash records, and a root record is never more than
+    /// one ahead of its hardware counter. Always the *outermost* lock:
+    /// taken before any [`LockManager`] scope, tree lock, or audit
+    /// state lock.
+    batch_commit: Mutex<()>,
 }
 
 /// A counting wrapper around one of the untrusted object stores.
@@ -270,6 +280,7 @@ impl SegShareEnclave {
                 Arc::clone(&content),
                 Arc::clone(&sgx),
                 config.rollback_whole_fs,
+                config.batch,
                 &obs,
             )?))
         } else {
@@ -307,8 +318,27 @@ impl SegShareEnclave {
                 ("group", group_counted),
                 ("dedup", dedup_counted),
             ],
+            batch_commit: Mutex::new(()),
         });
-        enclave.files.init_file_system()?;
+        // Batch-mode crash recovery: a root hash record one ahead of
+        // its hardware counter is the previous process's durable-but-
+        // unacknowledged batch; catch the counter up before the first
+        // verified read could mistake it for a rollback.
+        //
+        // First-boot initialization writes several coupled objects
+        // (directory bodies plus their hash records); in batch mode
+        // they must land in one commit frame, or a crash mid-launch
+        // recovers a root directory without its hash record and every
+        // later request fails verification.
+        {
+            let guard = enclave.batch_begin(true);
+            enclave.store.adopt_root_counters()?;
+            enclave.files.init_file_system()?;
+            if guard.is_some() {
+                let tickets = enclave.batch_seal()?;
+                enclave.batch_wait(tickets)?;
+            }
+        }
         Ok(enclave)
     }
 
@@ -712,9 +742,54 @@ impl SegShareEnclave {
             .map_or_else(|| Ok(Vec::new()), |log| log.export())
     }
 
-    /// Appends one audit record for a dispatched request; a no-op when
-    /// auditing is disabled.
-    pub(crate) fn audit_request(
+    // -------------------------------------------- durability plane (batch)
+
+    /// Opens one request's batch commit window (batch mode): acquires
+    /// the commit mutex and begins a thread transaction on every store
+    /// handle, so the request's puts and deletes accumulate into one
+    /// atomic commit unit. Returns `None` (and does nothing) when batch
+    /// mode is off, or for read-only requests outside whole-FS rollback
+    /// mode (with the §V-E counters on, even reads append counted audit
+    /// records, so every request commits through the window). Must be
+    /// called *before* any dispatch lock scope — the commit mutex is
+    /// the outermost lock.
+    pub(crate) fn batch_begin(&self, mutates: bool) -> Option<MutexGuard<'_, ()>> {
+        if !self.config.batch || !(mutates || self.config.rollback_whole_fs) {
+            return None;
+        }
+        let guard = self.batch_commit.lock();
+        for (_, counted) in &self.counted_stores {
+            counted.tx_begin();
+        }
+        Some(guard)
+    }
+
+    /// Seals the current thread's transaction on every store handle,
+    /// collecting the commit tickets to wait on. Idempotent: sealing on
+    /// shared-backend views seals the one underlying transaction once,
+    /// and a thread with no open transaction collects nothing.
+    pub(crate) fn batch_seal(&self) -> Result<Vec<CommitTicket>, SegShareError> {
+        let mut tickets = Vec::new();
+        if !self.config.batch {
+            return Ok(tickets);
+        }
+        for (_, counted) in &self.counted_stores {
+            if let Some(ticket) = self.sgx.boundary().ocall(|| counted.tx_seal())? {
+                tickets.push(ticket);
+            }
+        }
+        Ok(tickets)
+    }
+
+    /// [`SegShareEnclave::audit_request`] with the batch seal run
+    /// inside the audit chain's state lock, right after the head write
+    /// — so the frame boundary falls between appends and audit chain
+    /// order equals log order. Returns the append result and the seal
+    /// result separately; the seal runs even when the append fails
+    /// (fail-closed: whatever the batch holds is still made durable).
+    /// With auditing disabled the seal simply runs directly.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn audit_request_sealed(
         &self,
         request_id: u64,
         op: &'static str,
@@ -722,19 +797,78 @@ impl SegShareEnclave {
         object: u64,
         decision: seg_obs::TraceDecision,
         code: &'static str,
-    ) -> Result<(), SegShareError> {
+    ) -> (
+        Result<(), SegShareError>,
+        Result<Vec<CommitTicket>, SegShareError>,
+    ) {
         let Some(log) = self.audit.as_ref() else {
-            return Ok(());
+            return (Ok(()), self.batch_seal());
         };
-        log.append(&audit::AuditEvent {
-            time: self.now(),
-            request_id,
-            op,
-            principal,
-            object,
-            decision,
-            code,
-        })
+        let mut sealed: Result<Vec<CommitTicket>, SegShareError> = Ok(Vec::new());
+        let appended = log.append_sealing(
+            &audit::AuditEvent {
+                time: self.now(),
+                request_id,
+                op,
+                principal,
+                object,
+                decision,
+                code,
+            },
+            || sealed = self.batch_seal(),
+        );
+        (appended, sealed)
+    }
+
+    /// The request's durability point: waits for the group commit to
+    /// fsync the sealed batch, then performs the deferred §V-E counter
+    /// increments (rollback-tree roots and audit anchor). In whole-FS
+    /// mode the caller still holds the commit guard here, so no later
+    /// batch can write records more than one ahead of the hardware.
+    pub(crate) fn batch_wait(&self, tickets: Vec<CommitTicket>) -> Result<(), SegShareError> {
+        for ticket in tickets {
+            self.sgx.boundary().ocall(|| ticket.wait())?;
+        }
+        self.store.commit_pending_counters()?;
+        if let Some(log) = self.audit.as_ref() {
+            log.commit_pending_anchor()?;
+        }
+        Ok(())
+    }
+
+    /// Reclaims dedup blobs whose reference count dropped to zero,
+    /// returning how many were deleted. GC mutates an unbounded object
+    /// set (the refcount index plus any number of blobs), so it runs
+    /// under the exclusive global scope, inside its own batch commit
+    /// window — a crash mid-GC either keeps or drops the whole pass.
+    pub fn blob_gc(&self) -> Result<u64, SegShareError> {
+        let guard = self.batch_begin(true);
+        let reclaimed = {
+            let _scope = self.locks.acquire_global();
+            self.files.blob_gc()
+        };
+        let sealed = self.batch_seal();
+        let durable = match (guard, sealed) {
+            (None, sealed) => sealed.map(|_| ()),
+            (Some(guard), Err(seal_err)) => {
+                drop(guard);
+                Err(seal_err)
+            }
+            (Some(guard), Ok(tickets)) => {
+                if self.config.rollback_whole_fs {
+                    let wait = self.batch_wait(tickets);
+                    drop(guard);
+                    wait
+                } else {
+                    drop(guard);
+                    self.batch_wait(tickets)
+                }
+            }
+        };
+        match durable {
+            Ok(()) => reclaimed,
+            Err(err) => reclaimed.and(Err(err)),
+        }
     }
 
     /// Captures a telemetry snapshot after folding in the externally
@@ -796,6 +930,23 @@ impl SegShareEnclave {
                 "seg_store_bytes_written_total",
                 vec![("store", store)],
                 s.bytes_written,
+            );
+            // Durability plane. Always exported (zero on in-memory
+            // backends) so the family is stable across store choices.
+            // Views sharing one WAL backend each report the shared
+            // log's totals.
+            sync("seg_store_batches_total", vec![("store", store)], s.batches);
+            sync(
+                "seg_store_batch_ops_total",
+                vec![("store", store)],
+                s.batch_ops,
+            );
+            let io = counted.io_stats();
+            sync("seg_store_fsyncs_total", vec![("store", store)], io.fsyncs);
+            sync(
+                "seg_store_fsync_bytes_total",
+                vec![("store", store)],
+                io.fsync_bytes,
             );
         }
 

@@ -50,6 +50,10 @@ pub enum ObjectId {
     MemberList(UserId),
     /// A deduplicated content blob, named by its content HMAC hex.
     DedupBlob(String),
+    /// The dedup store's reference-count index: blob name → count of
+    /// files whose indirection points at it. Enables garbage collection
+    /// of unreferenced blobs without scanning the content store.
+    DedupIndex,
 }
 
 impl ObjectId {
@@ -59,7 +63,7 @@ impl ObjectId {
         match self {
             ObjectId::DirData(_) | ObjectId::FileData(_) | ObjectId::Acl(_) => StoreKind::Content,
             ObjectId::GroupRoot | ObjectId::GroupList | ObjectId::MemberList(_) => StoreKind::Group,
-            ObjectId::DedupBlob(_) => StoreKind::Dedup,
+            ObjectId::DedupBlob(_) | ObjectId::DedupIndex => StoreKind::Dedup,
         }
     }
 
@@ -75,6 +79,7 @@ impl ObjectId {
             ObjectId::GroupList => "G:".to_string(),
             ObjectId::MemberList(u) => format!("M:{u}"),
             ObjectId::DedupBlob(name) => format!("B:{name}"),
+            ObjectId::DedupIndex => "X:".to_string(),
         }
     }
 
@@ -102,7 +107,7 @@ impl ObjectId {
             },
             ObjectId::GroupRoot => None,
             ObjectId::GroupList | ObjectId::MemberList(_) => Some(ObjectId::GroupRoot),
-            ObjectId::DedupBlob(_) => None,
+            ObjectId::DedupBlob(_) | ObjectId::DedupIndex => None,
         }
     }
 
@@ -132,6 +137,7 @@ mod tests {
             ObjectId::GroupList,
             ObjectId::MemberList(UserId::new("a").unwrap()),
             ObjectId::DedupBlob("abcd".to_string()),
+            ObjectId::DedupIndex,
         ];
         for (i, a) in ids.iter().enumerate() {
             for (j, b) in ids.iter().enumerate() {
@@ -163,6 +169,7 @@ mod tests {
         assert_eq!(ObjectId::GroupList.tree_parent(), Some(ObjectId::GroupRoot));
         assert_eq!(ObjectId::GroupRoot.tree_parent(), None);
         assert_eq!(ObjectId::DedupBlob("x".to_string()).tree_parent(), None);
+        assert_eq!(ObjectId::DedupIndex.tree_parent(), None);
     }
 
     #[test]
@@ -173,6 +180,7 @@ mod tests {
             ObjectId::DedupBlob("x".to_string()).store(),
             StoreKind::Dedup
         );
+        assert_eq!(ObjectId::DedupIndex.store(), StoreKind::Dedup);
     }
 
     #[test]

@@ -11,12 +11,14 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use parking_lot::MutexGuard;
 use seg_crypto::ed25519::{PublicKey, SecretKey};
 use seg_crypto::rng::SystemRng;
 use seg_fs::{Access, ChildKind, GroupId, Perm, SegPath, UserId};
 use seg_obs::TraceDecision;
 use seg_pki::Certificate;
 use seg_proto::{ErrorCode, Request, Response, CHUNK_LEN};
+use seg_store::CommitTicket;
 use seg_tls::{ServerHandshake, TlsChannel};
 
 use crate::error::SegShareError;
@@ -346,22 +348,30 @@ impl EnclaveSession {
                 "upload interrupted by another request",
             ))]);
         }
+        // The batch commit window (batch mode only) opens before any
+        // dispatch lock scope — the commit mutex is the outermost lock.
+        let guard = enclave.batch_begin(request_mutates(&request));
         let result = self.dispatch(enclave, user, &request);
         // Record the decision before the response leaves the enclave; an
         // audit-append failure outranks the operation's own outcome so
-        // the trail never silently misses a decision (fail closed).
+        // the trail never silently misses a decision (fail closed). In
+        // batch mode the request's writes are sealed into their commit
+        // frame inside the audit append, so audit chain order equals
+        // log order.
         let (decision, code) = audit_outcome(&result);
-        let result = match enclave.audit_request(
+        let (appended, sealed) = enclave.audit_request_sealed(
             request_id,
             request.op_name(),
             principal,
             object,
             decision,
             code,
-        ) {
+        );
+        let result = match appended {
             Ok(()) => result,
             Err(audit_err) => Err(audit_err),
         };
+        let result = finish_batch(enclave, guard, sealed, result);
         match result {
             Ok(responses) => {
                 span.finish_ok();
@@ -410,6 +420,10 @@ impl EnclaveSession {
             // commit is the actual mutation, so it gets its own record
             // bound to the same upload target.
             let object = enclave.fingerprint_name(upload.path().as_str());
+            // The staged chunks never touched the store, so the commit
+            // is the upload's only mutation — it gets its own batch
+            // window, opened before the lock scope.
+            let guard = enclave.batch_begin(true);
             // The commit links the file into its parent directory, so
             // the scope covers both the file's objects and the parent
             // dirfile (same scope shape as the PutFile header).
@@ -422,17 +436,19 @@ impl EnclaveSession {
                 Err(err) => Err(err),
             };
             let (decision, code) = audit_outcome(&result);
-            let result = match enclave.audit_request(
+            let (appended, sealed) = enclave.audit_request_sealed(
                 request_id,
                 "put_commit",
                 principal,
                 object,
                 decision,
                 code,
-            ) {
+            );
+            let result = match appended {
                 Ok(()) => result,
                 Err(audit_err) => Err(audit_err),
             };
+            let result = finish_batch(enclave, guard, sealed, result);
             match result {
                 Ok(responses) => Ok(responses),
                 Err(err) if !is_fatal(&err) => Ok(vec![error_response(err)]),
@@ -907,6 +923,51 @@ impl EnclaveSession {
 
 fn parse_path(s: &str) -> Result<SegPath, SegShareError> {
     SegPath::parse(s).map_err(|e| bad_request(e.to_string()))
+}
+
+/// Whether a request can write to the store. Only `Get` is read-only;
+/// anything unknown is treated as mutating (fail safe).
+fn request_mutates(request: &Request) -> bool {
+    !matches!(request, Request::Get { .. })
+}
+
+/// Completes a request's batch commit window: waits for the group
+/// commit to make the sealed frame durable, then releases the commit
+/// mutex. In whole-FS rollback mode the wait (and the deferred §V-E
+/// counter increments inside it) happens *under* the guard, so the
+/// counters can never run more than one batch ahead of the durable
+/// records; otherwise the guard drops first so concurrent sessions'
+/// seals coalesce into shared group-commit fsyncs. A durability error
+/// outranks a successful dispatch but never masks an earlier error.
+fn finish_batch(
+    enclave: &SegShareEnclave,
+    guard: Option<MutexGuard<'_, ()>>,
+    sealed: Result<Vec<CommitTicket>, SegShareError>,
+    result: Result<Vec<Response>, SegShareError>,
+) -> Result<Vec<Response>, SegShareError> {
+    let durable = match (guard, sealed) {
+        // No window was opened: nothing was sealed, nothing to wait for
+        // (but a seal error still fails the request).
+        (None, sealed) => sealed.map(|_| ()),
+        (Some(guard), Err(seal_err)) => {
+            drop(guard);
+            Err(seal_err)
+        }
+        (Some(guard), Ok(tickets)) => {
+            if enclave.config().rollback_whole_fs {
+                let wait = enclave.batch_wait(tickets);
+                drop(guard);
+                wait
+            } else {
+                drop(guard);
+                enclave.batch_wait(tickets)
+            }
+        }
+    };
+    match durable {
+        Ok(()) => result,
+        Err(err) => result.and(Err(err)),
+    }
 }
 
 /// Lock requests for everything stored at `path` (dirfile or content

@@ -30,10 +30,10 @@
 //! monotonic counter, incremented on every update, so rolling back the
 //! entire store (root included) is detected on the next read.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use seg_crypto::mset::{MsetHash, MSET_HASH_LEN};
 use seg_crypto::pae::{pae_dec, pae_enc};
@@ -226,6 +226,17 @@ pub struct TrustedStore {
     /// `rebuild_tree`, which takes content before group), never nested.
     content_tree: RwLock<()>,
     group_tree: RwLock<()>,
+    /// Deferred monotonic-counter increments (batch mode, §V-E): maps a
+    /// counter id to the value its root hash record already names. The
+    /// hardware increment happens at the group-commit durability point
+    /// ([`TrustedStore::commit_pending_counters`]), so a crash before
+    /// the batch is durable leaves hardware matching the old on-disk
+    /// state, and a crash after leaves a record exactly one ahead —
+    /// adopted once at the next launch. The dispatch layer's commit
+    /// serialization keeps the record-vs-hardware gap at most one.
+    pending_counters: Mutex<HashMap<u64, u64>>,
+    /// Serializes read-modify-write cycles on the dedup refcount index.
+    dedup_index: Mutex<()>,
     // Cached telemetry handles (hot path: one atomic add per record).
     pfs_encrypt_ns: Arc<seg_obs::Histogram>,
     pfs_decrypt_ns: Arc<seg_obs::Histogram>,
@@ -266,6 +277,8 @@ impl TrustedStore {
             cache,
             content_tree: RwLock::new(()),
             group_tree: RwLock::new(()),
+            pending_counters: Mutex::new(HashMap::new()),
+            dedup_index: Mutex::new(()),
             pfs_encrypt_ns: obs.histogram("seg_pfs_encrypt_ns"),
             pfs_decrypt_ns: obs.histogram("seg_pfs_decrypt_ns"),
             tree_update_ns: obs.histogram("seg_rollback_tree_update_ns"),
@@ -711,16 +724,90 @@ impl TrustedStore {
 
     /// Increments the store's monotonic counter and records the value in
     /// the root hash record (§V-E).
+    ///
+    /// In batch mode the record names the post-commit value (`hw + 1`)
+    /// but the hardware increment is *deferred* to
+    /// [`TrustedStore::commit_pending_counters`], run once the batch is
+    /// durable — so the counter can never run ahead of what the store
+    /// actually holds across a crash.
     fn bump_root_counter(&self, root: &ObjectId) -> Result<(), SegShareError> {
         let ctr = self.sgx.counter(counter_id(root.store()));
-        let value = ctr.increment()?;
-        // Real counter increments cost tens of milliseconds; charge it.
-        self.sgx.boundary().charge(ctr.increment_latency_ns());
+        let value = if self.config.batch {
+            let cid = counter_id(root.store());
+            let mut pending = self.pending_counters.lock();
+            let target = pending.get(&cid).copied().unwrap_or_else(|| ctr.read() + 1);
+            pending.insert(cid, target);
+            target
+        } else {
+            let value = ctr.increment()?;
+            // Real counter increments cost tens of milliseconds; charge it.
+            self.sgx.boundary().charge(ctr.increment_latency_ns());
+            value
+        };
         let mut rec = self
             .read_hash_record(root)?
             .ok_or_else(|| integrity(root, "missing root hash record"))?;
         rec.counter = value;
         self.write_hash_record(root, &rec)
+    }
+
+    /// Performs the deferred monotonic-counter increments registered by
+    /// batch-mode [`bump_root_counter`](Self::bump_root_counter) calls.
+    /// Runs at the durability point, *after* the group commit's fsync
+    /// acknowledged the batch. Each counter is incremented to its
+    /// target before its map entry is removed, so a concurrent verifier
+    /// always sees either the pending target or matching hardware.
+    pub(crate) fn commit_pending_counters(&self) -> Result<(), SegShareError> {
+        loop {
+            let entry = self
+                .pending_counters
+                .lock()
+                .iter()
+                .next()
+                .map(|(k, v)| (*k, *v));
+            let Some((cid, target)) = entry else {
+                return Ok(());
+            };
+            let ctr = self.sgx.counter(cid);
+            while ctr.read() < target {
+                ctr.increment()?;
+                self.sgx.boundary().charge(ctr.increment_latency_ns());
+            }
+            self.pending_counters.lock().remove(&cid);
+        }
+    }
+
+    /// Whether `value` is a registered pending target for `cid` — the
+    /// one-ahead window a batch-mode root record legitimately occupies
+    /// between its write and the post-durability increment.
+    fn counter_pending(&self, cid: u64, value: u64) -> bool {
+        self.config.batch && self.pending_counters.lock().get(&cid) == Some(&value)
+    }
+
+    /// Launch-time adoption of a root record whose deferred increment
+    /// was lost to a crash: the record naming exactly `hw + 1` is the
+    /// batch the previous process made durable but never acknowledged
+    /// with an increment, so the counter catches up by one. Any larger
+    /// gap stays — and reads then fail §V-E verification, exactly as a
+    /// rollback must. Mirrors the audit trail's orphan adoption.
+    pub(crate) fn adopt_root_counters(&self) -> Result<(), SegShareError> {
+        if !(self.config.batch && self.config.rollback_whole_fs) {
+            return Ok(());
+        }
+        for root in [
+            ObjectId::DirData(seg_fs::SegPath::root()),
+            ObjectId::GroupRoot,
+        ] {
+            let Some(rec) = self.read_hash_record(&root)? else {
+                continue;
+            };
+            let ctr = self.sgx.counter(counter_id(root.store()));
+            if rec.counter == ctr.read() + 1 {
+                ctr.increment()?;
+                self.sgx.boundary().charge(ctr.increment_latency_ns());
+            }
+        }
+        Ok(())
     }
 
     /// Enumerates a directory node's tree children from its decoded body.
@@ -835,8 +922,11 @@ impl TrustedStore {
             let rec = self
                 .read_hash_record(&root)?
                 .ok_or_else(|| integrity(&root, "missing root hash record"))?;
-            let hw = self.sgx.counter(counter_id(root.store())).read();
-            if rec.counter != hw {
+            let cid = counter_id(root.store());
+            let hw = self.sgx.counter(cid).read();
+            // A record exactly one ahead is legitimate while its batch's
+            // deferred increment is pending (batch mode only).
+            if rec.counter != hw && !self.counter_pending(cid, rec.counter) {
                 return Err(integrity(
                     &root,
                     "monotonic counter mismatch (whole file system rollback)",
@@ -1102,6 +1192,11 @@ impl TrustedStore {
             self.bump_root_counter(&ObjectId::DirData(seg_fs::SegPath::root()))?;
             self.bump_root_counter(&ObjectId::GroupRoot)?;
         }
+        // Restoration runs outside any request batch; perform the
+        // deferred increments right away.
+        if self.config.batch {
+            self.commit_pending_counters()?;
+        }
         Ok(())
     }
 
@@ -1133,6 +1228,93 @@ impl TrustedStore {
             },
         )?;
         Ok(main)
+    }
+
+    // ---------------------------------------------- dedup refcount index
+
+    /// Loads the dedup refcount index (blob HMAC-name → number of
+    /// content files whose indirection references it). Absent means
+    /// empty — stores predating the index simply never collect their
+    /// orphan blobs.
+    fn dedup_index_load(&self) -> Result<HashMap<String, u64>, SegShareError> {
+        let Some(body) = self.read(&ObjectId::DedupIndex)? else {
+            return Ok(HashMap::new());
+        };
+        let mut d = Decoder::new(&body);
+        d.tag(b"DIX1")?;
+        let count = d.u32()?;
+        let mut index = HashMap::with_capacity(count as usize);
+        for _ in 0..count {
+            let name = d.str()?.to_string();
+            let refs = d.u64()?;
+            index.insert(name, refs);
+        }
+        d.finish()?;
+        Ok(index)
+    }
+
+    fn dedup_index_save(&self, index: &HashMap<String, u64>) -> Result<(), SegShareError> {
+        let mut e = Encoder::new();
+        e.tag(b"DIX1");
+        e.u32(index.len() as u32);
+        let mut names: Vec<&String> = index.keys().collect();
+        names.sort();
+        for name in names {
+            e.str(name);
+            e.u64(index[name]);
+        }
+        self.write(&ObjectId::DedupIndex, &e.finish())
+    }
+
+    /// Adjusts dedup blob reference counts in one atomic index update:
+    /// `inc` gains a reference, `dec` loses one. Counts saturate at
+    /// zero — a decrement for a name the index never tracked (uploads
+    /// predating the index) is a no-op, never a collection trigger.
+    pub(crate) fn dedup_ref_update(
+        &self,
+        inc: Option<&str>,
+        dec: Option<&str>,
+    ) -> Result<(), SegShareError> {
+        if inc.is_none() && dec.is_none() {
+            return Ok(());
+        }
+        let _lock = self.dedup_index.lock();
+        let mut index = self.dedup_index_load()?;
+        if let Some(name) = inc {
+            *index.entry(name.to_string()).or_insert(0) += 1;
+        }
+        if let Some(name) = dec {
+            if let Some(refs) = index.get_mut(name) {
+                *refs = refs.saturating_sub(1);
+            }
+        }
+        self.dedup_index_save(&index)
+    }
+
+    /// Collects dedup blobs whose reference count reached zero,
+    /// deleting both the blob and its index entry. The caller holds the
+    /// global dispatch lock, so no upload can re-reference a blob
+    /// mid-collection; the index mutex additionally serializes against
+    /// direct white-box callers. Returns the number of blobs reclaimed.
+    pub(crate) fn blob_gc(&self) -> Result<u64, SegShareError> {
+        let _lock = self.dedup_index.lock();
+        let mut index = self.dedup_index_load()?;
+        let dead: Vec<String> = index
+            .iter()
+            .filter(|&(_, &refs)| refs == 0)
+            .map(|(name, _)| name.clone())
+            .collect();
+        if dead.is_empty() {
+            return Ok(0);
+        }
+        let mut reclaimed = 0u64;
+        for name in dead {
+            self.delete(&ObjectId::DedupBlob(name.clone()))?;
+            index.remove(&name);
+            reclaimed += 1;
+        }
+        self.dedup_index_save(&index)?;
+        Ok(reclaimed)
     }
 }
 

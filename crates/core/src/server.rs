@@ -7,13 +7,13 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use seg_crypto::ed25519::{PublicKey, SecretKey, Signature};
-use seg_crypto::rng::SystemRng;
+use seg_crypto::rng::{DeterministicRng, SystemRng};
 use seg_crypto::sha256::Sha256;
 use seg_fs::UserId;
 use seg_net::{duplex, ChannelTransport, FrameTransport};
 use seg_pki::{Certificate, CertificateAuthority, Identity};
 use seg_sgx::Platform;
-use seg_store::{MemStore, ObjectStore};
+use seg_store::{MemStore, ObjectStore, PrefixStore, WalConfig, WalStore};
 
 use crate::client::Client;
 use crate::config::EnclaveConfig;
@@ -81,6 +81,75 @@ impl FsoSetup {
         )
     }
 
+    /// A setup over one shared write-ahead-logged store rooted at
+    /// `dir`: the three logical stores become prefixed views of a
+    /// single log, so one request's writes across all of them commit
+    /// as one atomic, singly-fsynced frame. Pairs with
+    /// [`EnclaveConfig::batch`]. Reopening the same directory recovers
+    /// the committed state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-recovery failures from [`WalStore::open_with`].
+    pub fn new_wal(
+        ca_name: &str,
+        config: EnclaveConfig,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<FsoSetup, SegShareError> {
+        FsoSetup::new_wal_with(ca_name, config, Platform::new(), dir, WalConfig::default())
+    }
+
+    /// [`FsoSetup::new_wal`] with a deployment identity derived from
+    /// `seed`: the CA key pair and the platform's sealing identity are
+    /// both deterministic, so a *second process* reopening the same
+    /// directory with the same seed can unseal the first process's
+    /// root and server keys. This is the simulated stand-in for "the
+    /// FSO keeps its CA key and the server restarts on the same
+    /// machine" — real deployments load those identities from key
+    /// storage instead of deriving them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-recovery failures from [`WalStore::open_with`].
+    pub fn new_wal_persistent(
+        ca_name: &str,
+        config: EnclaveConfig,
+        dir: impl AsRef<std::path::Path>,
+        seed: u64,
+    ) -> Result<FsoSetup, SegShareError> {
+        let mut setup = FsoSetup::new_wal_with(
+            ca_name,
+            config,
+            Platform::new_with_seed(seed),
+            dir,
+            WalConfig::default(),
+        )?;
+        setup.ca = CertificateAuthority::new(ca_name, &mut DeterministicRng::seeded(seed));
+        Ok(setup)
+    }
+
+    /// [`FsoSetup::new_wal`] with a caller-provided platform and WAL
+    /// tuning — crash tests reuse one platform (its monotonic counters
+    /// survive the "crash") and script failpoints via
+    /// [`WalConfig::fault`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-recovery failures from [`WalStore::open_with`].
+    pub fn new_wal_with(
+        ca_name: &str,
+        config: EnclaveConfig,
+        platform: Platform,
+        dir: impl AsRef<std::path::Path>,
+        wal: WalConfig,
+    ) -> Result<FsoSetup, SegShareError> {
+        let wal = Arc::new(WalStore::open_with(dir, wal)?);
+        let (content, group, dedup) = wal_views(&wal);
+        Ok(FsoSetup::with_stores(
+            ca_name, config, platform, content, group, dedup,
+        ))
+    }
+
     /// A setup over caller-provided stores and platform (on-disk
     /// deployments, adversarial wrappers, instrumentation).
     #[must_use]
@@ -106,6 +175,22 @@ impl FsoSetup {
     #[must_use]
     pub fn ca(&self) -> &CertificateAuthority {
         &self.ca
+    }
+
+    /// Rebinds this setup to new stores while keeping its CA and
+    /// platform. Crash tests use this to model a reboot: re-open the
+    /// WAL directory after a simulated crash and relaunch the enclave
+    /// with the same identity (sealed keys bind to the CA-dependent
+    /// measurement, so a fresh setup could not unseal them).
+    pub fn set_stores(
+        &mut self,
+        content: Arc<dyn ObjectStore>,
+        group: Arc<dyn ObjectStore>,
+        dedup: Arc<dyn ObjectStore>,
+    ) {
+        self.content = content;
+        self.group = group;
+        self.dedup = dedup;
     }
 
     /// The simulated SGX platform the server runs on.
@@ -465,6 +550,17 @@ impl SegShareServer {
         self.enclave.audit_export()
     }
 
+    /// Runs one dedup-blob garbage-collection pass (see
+    /// [`SegShareEnclave::blob_gc`]): reclaims blobs whose reference
+    /// count dropped to zero, returning how many were deleted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and integrity failures.
+    pub fn blob_gc(&self) -> Result<u64, SegShareError> {
+        self.enclave.blob_gc()
+    }
+
     /// Serves one connection to completion (run this per accepted
     /// transport, typically on its own thread).
     ///
@@ -518,6 +614,24 @@ impl Drop for SegShareServer {
     fn drop(&mut self) {
         self.stop_health();
     }
+}
+
+/// The three logical store views (content, group, dedup) over one
+/// shared WAL backend. Sharing one log is what makes a request's
+/// cross-store writes a single atomic commit frame.
+#[must_use]
+pub fn wal_views(
+    wal: &Arc<WalStore>,
+) -> (
+    Arc<dyn ObjectStore>,
+    Arc<dyn ObjectStore>,
+    Arc<dyn ObjectStore>,
+) {
+    (
+        Arc::new(PrefixStore::new(Arc::clone(wal), "c/")),
+        Arc::new(PrefixStore::new(Arc::clone(wal), "g/")),
+        Arc::new(PrefixStore::new(Arc::clone(wal), "d/")),
+    )
 }
 
 /// The health runner's thread body: tick, scrub, probe, sleep.

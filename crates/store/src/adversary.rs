@@ -181,6 +181,20 @@ impl<S: ObjectStore> ObjectStore for AdversaryStore<S> {
         self.check_injection()?;
         self.inner.list()
     }
+
+    fn apply_batch(&self, batch: &crate::WriteBatch) -> Result<(), StoreError> {
+        self.check_injection()?;
+        self.inner.apply_batch(batch)
+    }
+
+    fn submit_batch(&self, batch: crate::WriteBatch) -> Result<crate::CommitTicket, StoreError> {
+        self.check_injection()?;
+        self.inner.submit_batch(batch)
+    }
+
+    fn io_stats(&self) -> crate::IoStats {
+        self.inner.io_stats()
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
 //! Instrumentation wrapper counting operations and bytes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use crate::{ObjectStore, StoreError};
+use crate::{CommitTicket, IoStats, ObjectStore, StoreError, WriteBatch};
 
 /// Counters exported by [`CountingStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -23,6 +23,10 @@ pub struct StoreStats {
     pub bytes_read: u64,
     /// Total bytes passed to `put`.
     pub bytes_written: u64,
+    /// Number of write batches submitted or applied.
+    pub batches: u64,
+    /// Total operations carried inside those batches.
+    pub batch_ops: u64,
 }
 
 impl StoreStats {
@@ -50,6 +54,14 @@ pub struct CountingStore<S> {
     lists: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    batches: AtomicU64,
+    batch_ops: AtomicU64,
+    // Transaction-window bookkeeping: `tx_begin`..`tx_seal` windows are
+    // serialized by the caller (the enclave's commit mutex), so a flag
+    // plus a pending-op counter is enough to attribute writes to the
+    // current batch.
+    tx_open: AtomicBool,
+    tx_pending: AtomicU64,
 }
 
 impl<S: ObjectStore> CountingStore<S> {
@@ -66,6 +78,10 @@ impl<S: ObjectStore> CountingStore<S> {
             lists: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_ops: AtomicU64::new(0),
+            tx_open: AtomicBool::new(false),
+            tx_pending: AtomicU64::new(0),
         }
     }
 
@@ -81,6 +97,8 @@ impl<S: ObjectStore> CountingStore<S> {
             lists: self.lists.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_ops: self.batch_ops.load(Ordering::Relaxed),
         }
     }
 
@@ -94,6 +112,26 @@ impl<S: ObjectStore> CountingStore<S> {
         self.lists.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.batch_ops.store(0, Ordering::Relaxed);
+    }
+
+    fn count_batch(&self, batch: &WriteBatch) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_ops
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        for op in &batch.ops {
+            match op {
+                crate::BatchOp::Put { value, .. } => {
+                    self.puts.fetch_add(1, Ordering::Relaxed);
+                    self.bytes_written
+                        .fetch_add(value.len() as u64, Ordering::Relaxed);
+                }
+                crate::BatchOp::Delete { .. } => {
+                    self.deletes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
 
     /// A reference to the wrapped store.
@@ -129,12 +167,18 @@ impl<S: ObjectStore> ObjectStore for CountingStore<S> {
         self.puts.fetch_add(1, Ordering::Relaxed);
         self.bytes_written
             .fetch_add(value.len() as u64, Ordering::Relaxed);
+        if self.tx_open.load(Ordering::Relaxed) {
+            self.tx_pending.fetch_add(1, Ordering::Relaxed);
+        }
         self.inner.put(key, value)
     }
 
     fn delete(&self, key: &str) -> Result<bool, StoreError> {
         let _prof = seg_obs::prof::phase("store_io");
         self.deletes.fetch_add(1, Ordering::Relaxed);
+        if self.tx_open.load(Ordering::Relaxed) {
+            self.tx_pending.fetch_add(1, Ordering::Relaxed);
+        }
         self.inner.delete(key)
     }
 
@@ -162,6 +206,39 @@ impl<S: ObjectStore> ObjectStore for CountingStore<S> {
 
     fn total_bytes(&self) -> Result<u64, StoreError> {
         self.inner.total_bytes()
+    }
+
+    fn apply_batch(&self, batch: &WriteBatch) -> Result<(), StoreError> {
+        let _prof = seg_obs::prof::phase("store_io");
+        self.count_batch(batch);
+        self.inner.apply_batch(batch)
+    }
+
+    fn submit_batch(&self, batch: WriteBatch) -> Result<CommitTicket, StoreError> {
+        let _prof = seg_obs::prof::phase("store_io");
+        self.count_batch(&batch);
+        self.inner.submit_batch(batch)
+    }
+
+    fn tx_begin(&self) {
+        self.tx_open.store(true, Ordering::Relaxed);
+        self.tx_pending.store(0, Ordering::Relaxed);
+        self.inner.tx_begin();
+    }
+
+    fn tx_seal(&self) -> Result<Option<CommitTicket>, StoreError> {
+        self.tx_open.store(false, Ordering::Relaxed);
+        let pending = self.tx_pending.swap(0, Ordering::Relaxed);
+        let sealed = self.inner.tx_seal()?;
+        if sealed.is_some() {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.batch_ops.fetch_add(pending, Ordering::Relaxed);
+        Ok(sealed)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.inner.io_stats()
     }
 }
 

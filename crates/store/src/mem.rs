@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::{ObjectStore, StoreError};
+use crate::{BatchOp, ObjectStore, StoreError, WriteBatch};
 
 /// A thread-safe in-memory object store, the default substrate for tests
 /// and benchmarks.
@@ -83,6 +83,23 @@ impl ObjectStore for MemStore {
 
     fn total_bytes(&self) -> Result<u64, StoreError> {
         Ok(self.objects.read().values().map(|v| v.len() as u64).sum())
+    }
+
+    fn apply_batch(&self, batch: &WriteBatch) -> Result<(), StoreError> {
+        // One write-lock hold makes the whole batch atomic with respect
+        // to concurrent readers, matching WalStore's frame semantics.
+        let mut map = self.objects.write();
+        for op in &batch.ops {
+            match op {
+                BatchOp::Put { key, value } => {
+                    map.insert(key.clone(), Arc::from(value.as_slice()));
+                }
+                BatchOp::Delete { key } => {
+                    map.remove(key);
+                }
+            }
+        }
+        Ok(())
     }
 }
 

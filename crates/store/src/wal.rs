@@ -1,0 +1,1135 @@
+//! Write-ahead-logged durable object store with group commit.
+//!
+//! Layout: an append-only sequence of segment files (`wal-<seq>.log`)
+//! holding checksummed frames, plus periodic full-index checkpoints
+//! (`ckpt-<seq>.ck`) committed by atomic rename. The live state is an
+//! in-memory index; reads never touch disk.
+//!
+//! One frame = one atomic commit unit. A [`WriteBatch`] — for SeGShare,
+//! everything one request writes: content blob, §V-D hash records,
+//! metadata, audit append — becomes one frame, so after a crash the
+//! request's writes are all-present or all-absent. Frames are made
+//! durable either by a dedicated group-commit thread that coalesces
+//! concurrently submitted frames into one fsync, or (with
+//! [`WalConfig::group_commit`] off) by an inline fsync per frame — the
+//! "naive" mode the durability benchmark compares against.
+//!
+//! Recovery loads the newest valid checkpoint and replays later
+//! segments in order, stopping at the first frame whose checksum or
+//! length fails — a torn tail from a mid-write crash is thereby
+//! discarded wholesale, never partially applied.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::ThreadId;
+
+use parking_lot::RwLock;
+
+use crate::fault::FaultPlan;
+use crate::{BatchOp, CommitTicket, IoStats, ObjectStore, StoreError, TicketState, WriteBatch};
+
+/// Frame magic: "SGWL".
+const FRAME_MAGIC: u32 = 0x5347_574c;
+/// Checkpoint magic: "SGCK".
+const CKPT_MAGIC: u32 = 0x5347_434b;
+/// Fixed frame header: magic + seq + payload len + crc.
+const FRAME_HEADER: usize = 4 + 8 + 4 + 4;
+
+/// Tuning and fault-injection knobs for [`WalStore`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// `true`: a dedicated committer thread coalesces concurrently
+    /// submitted frames into one fsync (group commit). `false`: every
+    /// frame fsyncs inline on the submitting thread — the naive
+    /// per-write durability the benchmark baseline measures.
+    pub group_commit: bool,
+    /// Checkpoint and rotate the log once this many bytes have been
+    /// appended since the last checkpoint.
+    pub checkpoint_bytes: u64,
+    /// Simulated per-fsync latency in microseconds. Container and CI
+    /// filesystems often make fsync nearly free, which would hide the
+    /// cost group commit exists to amortize; benchmarks set this to a
+    /// realistic disk latency so measured ratios are machine-independent.
+    pub sim_fsync_us: u64,
+    /// Scripted crash points over durability events (crash-matrix tests).
+    pub fault: Option<Arc<FaultPlan>>,
+}
+
+impl Default for WalConfig {
+    fn default() -> WalConfig {
+        WalConfig {
+            group_commit: true,
+            checkpoint_bytes: 8 * 1024 * 1024,
+            sim_fsync_us: 0,
+            fault: None,
+        }
+    }
+}
+
+/// The current segment file and append cursor.
+#[derive(Debug)]
+struct LogState {
+    file: fs::File,
+    /// First frame seq in this segment (encoded in its name).
+    first_seq: u64,
+    /// Next frame sequence number.
+    next_seq: u64,
+    /// Bytes appended (not yet necessarily synced) to this segment.
+    bytes: u64,
+    /// Bytes appended since the segment's last fsync.
+    unsynced: u64,
+    /// Bytes appended since the last checkpoint (across rotations).
+    since_ckpt: u64,
+}
+
+/// Group-commit queue: tickets whose frames are appended but not synced.
+#[derive(Debug, Default)]
+struct QueueState {
+    pending: Vec<Arc<TicketState>>,
+    stop: bool,
+}
+
+/// Open-transaction gate: checkpoints wait until no thread transaction
+/// is open, so a checkpoint never snapshots half a batch.
+#[derive(Debug, Default)]
+struct GateState {
+    open_txs: usize,
+    checkpointing: bool,
+}
+
+#[derive(Debug)]
+struct WalInner {
+    dir: PathBuf,
+    cfg: WalConfig,
+    index: RwLock<HashMap<String, Arc<[u8]>>>,
+    log: Mutex<LogState>,
+    queue: Mutex<QueueState>,
+    queue_cond: Condvar,
+    gate: Mutex<GateState>,
+    gate_cond: Condvar,
+    txs: Mutex<HashMap<ThreadId, WriteBatch>>,
+    poisoned: AtomicBool,
+    batches: AtomicU64,
+    batch_ops: AtomicU64,
+    fsyncs: AtomicU64,
+    fsync_bytes: AtomicU64,
+}
+
+/// A write-ahead-logged, group-commit durable [`ObjectStore`]. See the
+/// module docs for the on-disk format and commit protocol.
+#[derive(Debug)]
+pub struct WalStore {
+    inner: Arc<WalInner>,
+    committer: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl WalStore {
+    /// Opens (creating if needed) a store rooted at `dir`, recovering
+    /// the index from the newest checkpoint plus the surviving log
+    /// tail. Torn trailing frames are discarded by checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the directory or a segment cannot
+    /// be read or created.
+    pub fn open(dir: impl AsRef<Path>) -> Result<WalStore, StoreError> {
+        WalStore::open_with(dir, WalConfig::default())
+    }
+
+    /// [`WalStore::open`] with explicit [`WalConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the directory or a segment cannot
+    /// be read or created.
+    pub fn open_with(dir: impl AsRef<Path>, cfg: WalConfig) -> Result<WalStore, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let (index, next_seq) = recover(&dir)?;
+        // A fresh segment per open: recovery never appends to a segment
+        // that may end in a discarded torn frame.
+        let first_seq = next_seq;
+        let path = segment_path(&dir, first_seq);
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        sync_dir(&dir)?;
+        let inner = Arc::new(WalInner {
+            dir,
+            cfg,
+            index: RwLock::new(index),
+            log: Mutex::new(LogState {
+                file,
+                first_seq,
+                next_seq,
+                bytes: 0,
+                unsynced: 0,
+                since_ckpt: 0,
+            }),
+            queue: Mutex::new(QueueState::default()),
+            queue_cond: Condvar::new(),
+            gate: Mutex::new(GateState::default()),
+            gate_cond: Condvar::new(),
+            txs: Mutex::new(HashMap::new()),
+            poisoned: AtomicBool::new(false),
+            batches: AtomicU64::new(0),
+            batch_ops: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            fsync_bytes: AtomicU64::new(0),
+        });
+        let committer = if inner.cfg.group_commit {
+            let thread_inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("wal-commit".to_string())
+                    .spawn(move || committer_loop(&thread_inner))
+                    .map_err(|e| StoreError::Io(e.to_string()))?,
+            )
+        } else {
+            None
+        };
+        Ok(WalStore {
+            inner,
+            committer: Mutex::new(committer),
+        })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Whether a simulated crash (scripted fault or real I/O failure)
+    /// has poisoned the store. A poisoned store fails every operation;
+    /// recovery is reopening the directory.
+    #[must_use]
+    pub fn poisoned(&self) -> bool {
+        self.inner.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Forces a checkpoint + segment rotation now (tests; normal
+    /// operation checkpoints on [`WalConfig::checkpoint_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on backend failure.
+    pub fn checkpoint_now(&self) -> Result<(), StoreError> {
+        self.inner.check_alive()?;
+        checkpoint(&self.inner)
+    }
+}
+
+impl Drop for WalStore {
+    fn drop(&mut self) {
+        {
+            let mut q = lock(&self.inner.queue);
+            q.stop = true;
+            self.inner.queue_cond.notify_all();
+        }
+        if let Some(handle) = lock(&self.committer).take() {
+            let _ = handle.join();
+        }
+        // Leave nothing claimed-durable unsynced on a clean shutdown.
+        if !self.poisoned() {
+            let mut log = lock(&self.inner.log);
+            let _ = self.inner.fsync_locked(&mut log);
+        }
+    }
+}
+
+impl WalInner {
+    fn crashed() -> StoreError {
+        StoreError::Io("simulated crash: wal store is poisoned".to_string())
+    }
+
+    fn check_alive(&self) -> Result<(), StoreError> {
+        if self.poisoned.load(Ordering::SeqCst) {
+            return Err(Self::crashed());
+        }
+        Ok(())
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        // Fail every waiter so no session blocks on a dead committer.
+        let mut q = lock(&self.queue);
+        for t in q.pending.drain(..) {
+            t.complete(Err(Self::crashed()));
+        }
+        self.queue_cond.notify_all();
+    }
+
+    /// One scripted durability event; errors when the crash fires.
+    fn fault_event(&self) -> Result<(), StoreError> {
+        if let Some(plan) = &self.cfg.fault {
+            if plan.event() {
+                self.poison();
+                return Err(Self::crashed());
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends one encoded frame to the current segment (no fsync).
+    /// A scripted crash here tears the frame: half its bytes land.
+    fn append_locked(&self, log: &mut LogState, frame: &[u8]) -> Result<(), StoreError> {
+        if let Some(plan) = &self.cfg.fault {
+            if plan.event() {
+                let torn = &frame[..frame.len() / 2];
+                let _ = log.file.write_all(torn);
+                let _ = log.file.sync_data();
+                self.poison();
+                return Err(Self::crashed());
+            }
+        }
+        log.file.write_all(frame).map_err(|e| {
+            self.poison();
+            StoreError::Io(e.to_string())
+        })?;
+        log.bytes += frame.len() as u64;
+        log.unsynced += frame.len() as u64;
+        log.since_ckpt += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Fsyncs the current segment, counting the covered bytes.
+    fn fsync_locked(&self, log: &mut LogState) -> Result<(), StoreError> {
+        if log.unsynced == 0 {
+            return Ok(());
+        }
+        self.fault_event()?;
+        if self.cfg.sim_fsync_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(self.cfg.sim_fsync_us));
+        }
+        log.file.sync_data().map_err(|e| {
+            self.poison();
+            StoreError::Io(e.to_string())
+        })?;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.fsync_bytes.fetch_add(log.unsynced, Ordering::Relaxed);
+        log.unsynced = 0;
+        Ok(())
+    }
+
+    /// Applies a batch to the in-memory index (visibility; durability
+    /// is the frame's).
+    fn apply_to_index(&self, batch: &WriteBatch) {
+        let mut index = self.index.write();
+        for op in &batch.ops {
+            match op {
+                BatchOp::Put { key, value } => {
+                    index.insert(key.clone(), Arc::from(value.as_slice()));
+                }
+                BatchOp::Delete { key } => {
+                    index.remove(key);
+                }
+            }
+        }
+    }
+
+    /// Encodes, appends, and schedules durability for one batch whose
+    /// index application already happened. Core commit path.
+    fn commit_frame(&self, batch: &WriteBatch) -> Result<CommitTicket, StoreError> {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_ops
+            .fetch_add(batch.ops.len() as u64, Ordering::Relaxed);
+        let mut log = lock(&self.log);
+        let frame = encode_frame(log.next_seq, batch);
+        self.append_locked(&mut log, &frame)?;
+        log.next_seq += 1;
+        if self.cfg.group_commit {
+            drop(log);
+            let state = TicketState::new();
+            let mut q = lock(&self.queue);
+            if self.poisoned.load(Ordering::SeqCst) {
+                return Err(Self::crashed());
+            }
+            q.pending.push(Arc::clone(&state));
+            self.queue_cond.notify_all();
+            Ok(CommitTicket::pending(state))
+        } else {
+            // Naive mode: this thread pays a full fsync for its own
+            // frame, serialized under the log lock — no coalescing.
+            self.fsync_locked(&mut log)?;
+            let due = log.since_ckpt >= self.cfg.checkpoint_bytes;
+            drop(log);
+            if due {
+                checkpoint(self)?;
+            }
+            Ok(CommitTicket::ready())
+        }
+    }
+
+    /// Commits a batch outside any thread transaction and waits for
+    /// durability: the plain `put`/`delete`/`rename` path.
+    fn commit_and_wait(&self, batch: WriteBatch) -> Result<(), StoreError> {
+        self.apply_to_index(&batch);
+        self.commit_frame(&batch)?.wait()
+    }
+}
+
+/// Locks a std mutex, ignoring poisoning (a panicked holder's state is
+/// still consistent enough to fail shut via `poisoned`).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl ObjectStore for WalStore {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        self.inner.check_alive()?;
+        Ok(self.inner.index.read().get(key).map(|v| v.to_vec()))
+    }
+
+    fn get_arc(&self, key: &str) -> Result<Option<Arc<[u8]>>, StoreError> {
+        self.inner.check_alive()?;
+        Ok(self.inner.index.read().get(key).map(Arc::clone))
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        self.inner.check_alive()?;
+        let mut txs = lock(&self.inner.txs);
+        if let Some(batch) = txs.get_mut(&std::thread::current().id()) {
+            batch.put(key, value);
+            drop(txs);
+            self.inner
+                .index
+                .write()
+                .insert(key.to_string(), Arc::from(value));
+            return Ok(());
+        }
+        drop(txs);
+        let mut batch = WriteBatch::new();
+        batch.put(key, value);
+        self.inner.commit_and_wait(batch)
+    }
+
+    fn delete(&self, key: &str) -> Result<bool, StoreError> {
+        self.inner.check_alive()?;
+        let mut txs = lock(&self.inner.txs);
+        if let Some(batch) = txs.get_mut(&std::thread::current().id()) {
+            batch.delete(key);
+            drop(txs);
+            return Ok(self.inner.index.write().remove(key).is_some());
+        }
+        drop(txs);
+        let existed = self.inner.index.read().contains_key(key);
+        let mut batch = WriteBatch::new();
+        batch.delete(key);
+        self.inner.commit_and_wait(batch)?;
+        Ok(existed)
+    }
+
+    fn exists(&self, key: &str) -> Result<bool, StoreError> {
+        self.inner.check_alive()?;
+        Ok(self.inner.index.read().contains_key(key))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), StoreError> {
+        self.inner.check_alive()?;
+        let value = self
+            .inner
+            .index
+            .read()
+            .get(from)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound(from.to_string()))?;
+        let mut batch = WriteBatch::new();
+        batch.delete(from);
+        batch.put(to, value.to_vec());
+        let mut txs = lock(&self.inner.txs);
+        if let Some(tx) = txs.get_mut(&std::thread::current().id()) {
+            tx.ops.extend(batch.ops.iter().cloned());
+            drop(txs);
+            self.inner.apply_to_index(&batch);
+            return Ok(());
+        }
+        drop(txs);
+        self.inner.commit_and_wait(batch)
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        self.inner.check_alive()?;
+        Ok(self.inner.index.read().keys().cloned().collect())
+    }
+
+    fn len(&self) -> Result<usize, StoreError> {
+        self.inner.check_alive()?;
+        Ok(self.inner.index.read().len())
+    }
+
+    fn total_bytes(&self) -> Result<u64, StoreError> {
+        self.inner.check_alive()?;
+        Ok(self
+            .inner
+            .index
+            .read()
+            .values()
+            .map(|v| v.len() as u64)
+            .sum())
+    }
+
+    fn apply_batch(&self, batch: &WriteBatch) -> Result<(), StoreError> {
+        self.submit_batch(batch.clone())?.wait()
+    }
+
+    fn submit_batch(&self, batch: WriteBatch) -> Result<CommitTicket, StoreError> {
+        self.inner.check_alive()?;
+        self.inner.apply_to_index(&batch);
+        self.inner.commit_frame(&batch)
+    }
+
+    fn tx_begin(&self) {
+        if self.inner.poisoned.load(Ordering::SeqCst) {
+            return;
+        }
+        let id = std::thread::current().id();
+        {
+            let txs = lock(&self.inner.txs);
+            if txs.contains_key(&id) {
+                return; // idempotent per thread
+            }
+        }
+        // Enter the gate: checkpoints wait for open transactions so a
+        // snapshot never captures half a batch.
+        let mut gate = lock(&self.inner.gate);
+        while gate.checkpointing {
+            gate = self
+                .inner
+                .gate_cond
+                .wait(gate)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        gate.open_txs += 1;
+        drop(gate);
+        lock(&self.inner.txs).insert(id, WriteBatch::new());
+    }
+
+    fn tx_seal(&self) -> Result<Option<CommitTicket>, StoreError> {
+        let id = std::thread::current().id();
+        let Some(batch) = lock(&self.inner.txs).remove(&id) else {
+            return Ok(None);
+        };
+        {
+            let mut gate = lock(&self.inner.gate);
+            gate.open_txs -= 1;
+            self.inner.gate_cond.notify_all();
+        }
+        self.inner.check_alive()?;
+        if batch.is_empty() {
+            return Ok(Some(CommitTicket::ready()));
+        }
+        // Index state is already applied op-by-op; only the frame
+        // remains.
+        Ok(Some(self.inner.commit_frame(&batch)?))
+    }
+
+    fn io_stats(&self) -> IoStats {
+        IoStats {
+            batches: self.inner.batches.load(Ordering::Relaxed),
+            batch_ops: self.inner.batch_ops.load(Ordering::Relaxed),
+            fsyncs: self.inner.fsyncs.load(Ordering::Relaxed),
+            fsync_bytes: self.inner.fsync_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The group-commit thread: drain every pending ticket, one fsync for
+/// the lot, complete them, checkpoint when due.
+fn committer_loop(inner: &Arc<WalInner>) {
+    loop {
+        let tickets = {
+            let mut q = lock(&inner.queue);
+            while q.pending.is_empty() && !q.stop {
+                q = inner.queue_cond.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+            if q.pending.is_empty() && q.stop {
+                return;
+            }
+            std::mem::take(&mut q.pending)
+        };
+        let (result, ckpt_due) = {
+            let mut log = lock(&inner.log);
+            let r = inner.fsync_locked(&mut log);
+            let due = r.is_ok() && log.since_ckpt >= inner.cfg.checkpoint_bytes;
+            (r, due)
+        };
+        for t in &tickets {
+            t.complete(result.clone());
+        }
+        if result.is_err() {
+            // Poisoned: fail everything still arriving, then exit.
+            inner.poison();
+            return;
+        }
+        if ckpt_due && checkpoint(inner).is_err() {
+            inner.poison();
+            return;
+        }
+    }
+}
+
+/// Writes a full-index checkpoint and rotates to a fresh segment,
+/// deleting segments and checkpoints the new one supersedes.
+fn checkpoint(inner: &WalInner) -> Result<(), StoreError> {
+    // Wait out open transactions so the snapshot can't contain half a
+    // batch (ops apply to the index as they are made).
+    let mut gate = lock(&inner.gate);
+    while gate.checkpointing {
+        gate = inner
+            .gate_cond
+            .wait(gate)
+            .unwrap_or_else(|e| e.into_inner());
+    }
+    gate.checkpointing = true;
+    while gate.open_txs > 0 {
+        gate = inner
+            .gate_cond
+            .wait(gate)
+            .unwrap_or_else(|e| e.into_inner());
+    }
+    drop(gate);
+    let result = checkpoint_inner(inner);
+    let mut gate = lock(&inner.gate);
+    gate.checkpointing = false;
+    inner.gate_cond.notify_all();
+    drop(gate);
+    if result.is_err() {
+        inner.poison();
+    }
+    result
+}
+
+fn checkpoint_inner(inner: &WalInner) -> Result<(), StoreError> {
+    let mut log = lock(&inner.log);
+    // Everything up to the checkpoint must be durable before the
+    // checkpoint can claim to cover it.
+    inner.fsync_locked(&mut log)?;
+    let upto = log.next_seq;
+    let snapshot: Vec<(String, Arc<[u8]>)> = inner
+        .index
+        .read()
+        .iter()
+        .map(|(k, v)| (k.clone(), Arc::clone(v)))
+        .collect();
+    let body = encode_checkpoint(upto, &snapshot);
+    let tmp = inner.dir.join(format!("ckpt-{upto:016x}.tmp"));
+    let final_path = inner.dir.join(format!("ckpt-{upto:016x}.ck"));
+    {
+        let mut f = fs::File::create(&tmp).map_err(StoreError::from)?;
+        f.write_all(&body).map_err(StoreError::from)?;
+        inner.fault_event()?;
+        f.sync_data().map_err(StoreError::from)?;
+    }
+    inner.fault_event()?;
+    fs::rename(&tmp, &final_path).map_err(StoreError::from)?;
+    sync_dir(&inner.dir)?;
+    // Rotate: all later frames land in a fresh segment.
+    let new_path = segment_path(&inner.dir, upto);
+    let file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&new_path)
+        .map_err(StoreError::from)?;
+    log.file = file;
+    log.first_seq = upto;
+    log.bytes = 0;
+    log.unsynced = 0;
+    log.since_ckpt = 0;
+    sync_dir(&inner.dir)?;
+    drop(log);
+    // Superseded files: every segment whose first seq precedes the
+    // checkpoint, and every older checkpoint.
+    for entry in fs::read_dir(&inner.dir).map_err(StoreError::from)? {
+        let entry = entry.map_err(StoreError::from)?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let stale = match parse_name(&name) {
+            // The rotated-away segment (`old_path`) has first_seq < upto.
+            Some(WalFile::Segment(seq)) => seq < upto,
+            Some(WalFile::Checkpoint(seq)) => seq < upto,
+            Some(WalFile::Temp) => true,
+            None => false,
+        };
+        if stale {
+            inner.fault_event()?;
+            fs::remove_file(entry.path()).map_err(StoreError::from)?;
+        }
+    }
+    sync_dir(&inner.dir)?;
+    Ok(())
+}
+
+/// A directory entry the WAL owns.
+enum WalFile {
+    Segment(u64),
+    Checkpoint(u64),
+    Temp,
+}
+
+fn parse_name(name: &str) -> Option<WalFile> {
+    if let Some(hex) = name
+        .strip_prefix("wal-")
+        .and_then(|s| s.strip_suffix(".log"))
+    {
+        return u64::from_str_radix(hex, 16).ok().map(WalFile::Segment);
+    }
+    if let Some(hex) = name
+        .strip_prefix("ckpt-")
+        .and_then(|s| s.strip_suffix(".ck"))
+    {
+        return u64::from_str_radix(hex, 16).ok().map(WalFile::Checkpoint);
+    }
+    if name.starts_with("ckpt-") && name.ends_with(".tmp") {
+        return Some(WalFile::Temp);
+    }
+    None
+}
+
+fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
+    dir.join(format!("wal-{first_seq:016x}.log"))
+}
+
+fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    // Directory fsync makes creations/renames/unlinks durable. Some
+    // filesystems refuse fsync on directories; degrade silently there.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------ encoding
+
+/// CRC-32 (IEEE), bytewise table-free variant — plenty for frame
+/// integrity checking without a dependency.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn encode_ops(ops: &[BatchOp]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        match op {
+            BatchOp::Put { key, value } => {
+                out.push(0);
+                out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                out.extend_from_slice(key.as_bytes());
+                out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                out.extend_from_slice(value);
+            }
+            BatchOp::Delete { key } => {
+                out.push(1);
+                out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                out.extend_from_slice(key.as_bytes());
+            }
+        }
+    }
+    out
+}
+
+fn decode_ops(payload: &[u8]) -> Option<Vec<BatchOp>> {
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = payload.get(*at..*at + n)?;
+        *at += n;
+        Some(s)
+    };
+    let count = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+    let mut ops = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let tag = take(&mut at, 1)?[0];
+        let key_len = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+        let key = String::from_utf8(take(&mut at, key_len)?.to_vec()).ok()?;
+        match tag {
+            0 => {
+                let val_len = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+                let value = take(&mut at, val_len)?.to_vec();
+                ops.push(BatchOp::Put { key, value });
+            }
+            1 => ops.push(BatchOp::Delete { key }),
+            _ => return None,
+        }
+    }
+    if at != payload.len() {
+        return None;
+    }
+    Some(ops)
+}
+
+fn encode_frame(seq: u64, batch: &WriteBatch) -> Vec<u8> {
+    let payload = encode_ops(&batch.ops);
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let mut crc_input = Vec::with_capacity(12 + payload.len());
+    crc_input.extend_from_slice(&seq.to_le_bytes());
+    crc_input.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    crc_input.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// One recovered frame: `(seq, ops, bytes consumed)`.
+fn decode_frame(data: &[u8]) -> Option<(u64, Vec<BatchOp>, usize)> {
+    if data.len() < FRAME_HEADER {
+        return None;
+    }
+    if u32::from_le_bytes(data[..4].try_into().ok()?) != FRAME_MAGIC {
+        return None;
+    }
+    let seq = u64::from_le_bytes(data[4..12].try_into().ok()?);
+    let len = u32::from_le_bytes(data[12..16].try_into().ok()?) as usize;
+    let crc = u32::from_le_bytes(data[16..20].try_into().ok()?);
+    let payload = data.get(FRAME_HEADER..FRAME_HEADER + len)?;
+    let mut crc_input = Vec::with_capacity(12 + len);
+    crc_input.extend_from_slice(&data[4..16]);
+    crc_input.extend_from_slice(payload);
+    if crc32(&crc_input) != crc {
+        return None;
+    }
+    let ops = decode_ops(payload)?;
+    Some((seq, ops, FRAME_HEADER + len))
+}
+
+fn encode_checkpoint(upto: u64, entries: &[(String, Arc<[u8]>)]) -> Vec<u8> {
+    let ops: Vec<BatchOp> = entries
+        .iter()
+        .map(|(k, v)| BatchOp::Put {
+            key: k.clone(),
+            value: v.to_vec(),
+        })
+        .collect();
+    let payload = encode_ops(&ops);
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+    out.extend_from_slice(&upto.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let mut crc_input = Vec::with_capacity(12 + payload.len());
+    crc_input.extend_from_slice(&upto.to_le_bytes());
+    crc_input.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    crc_input.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decode_checkpoint(data: &[u8]) -> Option<(u64, Vec<BatchOp>)> {
+    if data.len() < FRAME_HEADER {
+        return None;
+    }
+    if u32::from_le_bytes(data[..4].try_into().ok()?) != CKPT_MAGIC {
+        return None;
+    }
+    let upto = u64::from_le_bytes(data[4..12].try_into().ok()?);
+    let len = u32::from_le_bytes(data[12..16].try_into().ok()?) as usize;
+    let crc = u32::from_le_bytes(data[16..20].try_into().ok()?);
+    if data.len() != FRAME_HEADER + len {
+        return None;
+    }
+    let payload = &data[FRAME_HEADER..];
+    let mut crc_input = Vec::with_capacity(12 + len);
+    crc_input.extend_from_slice(&data[4..16]);
+    crc_input.extend_from_slice(payload);
+    if crc32(&crc_input) != crc {
+        return None;
+    }
+    Some((upto, decode_ops(payload)?))
+}
+
+// ------------------------------------------------------------ recovery
+
+/// The recovered in-memory index plus the next segment sequence number.
+type Recovered = (HashMap<String, Arc<[u8]>>, u64);
+
+/// Rebuilds the index: newest valid checkpoint, then surviving log
+/// frames in sequence order. Returns `(index, next_seq)`.
+fn recover(dir: &Path) -> Result<Recovered, StoreError> {
+    let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+    let mut checkpoints: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        match parse_name(&name) {
+            Some(WalFile::Segment(seq)) => segments.push((seq, entry.path())),
+            Some(WalFile::Checkpoint(seq)) => checkpoints.push((seq, entry.path())),
+            // A .tmp checkpoint is an uncommitted crash leftover.
+            Some(WalFile::Temp) => {
+                let _ = fs::remove_file(entry.path());
+            }
+            None => {}
+        }
+    }
+    checkpoints.sort_by_key(|(seq, _)| *seq);
+    segments.sort_by_key(|(seq, _)| *seq);
+
+    let mut index: HashMap<String, Arc<[u8]>> = HashMap::new();
+    let mut next_seq = 0u64;
+    // Newest checkpoint that actually decodes (a crash can leave a
+    // renamed-but-garbage file only if rename itself tore, which POSIX
+    // excludes — but verify anyway and fall back).
+    for (seq, path) in checkpoints.iter().rev() {
+        let Ok(data) = fs::read(path) else { continue };
+        if let Some((upto, ops)) = decode_checkpoint(&data) {
+            for op in ops {
+                if let BatchOp::Put { key, value } = op {
+                    index.insert(key, Arc::from(value.as_slice()));
+                }
+            }
+            next_seq = upto.max(*seq);
+            break;
+        }
+    }
+
+    // Replay later frames in segment order; inside a segment, frames
+    // are sequential. A tear stops only its own segment: a higher
+    // segment's frames were written after an earlier recovery already
+    // discarded that tear, so they are valid continuations.
+    for (_first_seq, path) in &segments {
+        let data = fs::read(path)?;
+        let mut at = 0usize;
+        while at < data.len() {
+            let Some((seq, ops, consumed)) = decode_frame(&data[at..]) else {
+                break; // torn or corrupt tail: discard the rest
+            };
+            at += consumed;
+            if seq < next_seq {
+                continue; // already covered by the checkpoint
+            }
+            for op in ops {
+                match op {
+                    BatchOp::Put { key, value } => {
+                        index.insert(key, Arc::from(value.as_slice()));
+                    }
+                    BatchOp::Delete { key } => {
+                        index.remove(&key);
+                    }
+                }
+            }
+            next_seq = seq + 1;
+        }
+    }
+    Ok((index, next_seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("seg-wal-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_and_reopen() {
+        let dir = tempdir("roundtrip");
+        {
+            let s = WalStore::open(&dir).unwrap();
+            s.put("a", b"1").unwrap();
+            s.put("b/c", b"22").unwrap();
+            s.delete("a").unwrap();
+            s.rename("b/c", "d").unwrap();
+            assert_eq!(s.get("d").unwrap(), Some(b"22".to_vec()));
+            assert_eq!(s.len().unwrap(), 1);
+        }
+        let s = WalStore::open(&dir).unwrap();
+        assert_eq!(s.get("a").unwrap(), None);
+        assert_eq!(s.get("d").unwrap(), Some(b"22".to_vec()));
+        assert_eq!(s.total_bytes().unwrap(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_is_atomic_across_reopen() {
+        let dir = tempdir("batch");
+        {
+            let s = WalStore::open(&dir).unwrap();
+            let mut b = WriteBatch::new();
+            b.put("x", b"1".to_vec());
+            b.put("y", b"2".to_vec());
+            b.delete("x");
+            s.submit_batch(b).unwrap().wait().unwrap();
+        }
+        let s = WalStore::open(&dir).unwrap();
+        assert_eq!(s.get("x").unwrap(), None);
+        assert_eq!(s.get("y").unwrap(), Some(b"2".to_vec()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn thread_tx_reads_own_writes_and_seals_once() {
+        let dir = tempdir("tx");
+        let s = WalStore::open(&dir).unwrap();
+        s.tx_begin();
+        s.tx_begin(); // idempotent
+        s.put("k", b"v").unwrap();
+        assert_eq!(s.get("k").unwrap(), Some(b"v".to_vec()));
+        let ticket = s.tx_seal().unwrap().expect("open tx seals");
+        ticket.wait().unwrap();
+        assert!(s.tx_seal().unwrap().is_none(), "second seal is a no-op");
+        drop(s);
+        let s = WalStore::open(&dir).unwrap();
+        assert_eq!(s.get("k").unwrap(), Some(b"v".to_vec()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_wholesale() {
+        let dir = tempdir("torn");
+        {
+            let s = WalStore::open(&dir).unwrap();
+            s.put("keep", b"durable").unwrap();
+            let mut b = WriteBatch::new();
+            b.put("lost1", vec![7u8; 64]);
+            b.put("lost2", vec![8u8; 64]);
+            s.submit_batch(b).unwrap().wait().unwrap();
+        }
+        // Truncate the newest segment mid-frame: the whole last batch
+        // must vanish, never half of it.
+        let mut segs: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.to_string_lossy().contains("wal-"))
+            .collect();
+        segs.sort();
+        let tail = segs.last().unwrap();
+        let data = fs::read(tail).unwrap();
+        fs::write(tail, &data[..data.len() - 40]).unwrap();
+        let s = WalStore::open(&dir).unwrap();
+        assert_eq!(s.get("keep").unwrap(), Some(b"durable".to_vec()));
+        assert_eq!(s.get("lost1").unwrap(), None);
+        assert_eq!(s.get("lost2").unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_survives() {
+        let dir = tempdir("ckpt");
+        {
+            let s = WalStore::open_with(
+                &dir,
+                WalConfig {
+                    checkpoint_bytes: 256,
+                    ..WalConfig::default()
+                },
+            )
+            .unwrap();
+            for i in 0..50 {
+                s.put(&format!("k{i}"), &[i as u8; 32]).unwrap();
+            }
+            s.delete("k0").unwrap();
+            s.checkpoint_now().unwrap();
+        }
+        let s = WalStore::open(&dir).unwrap();
+        assert_eq!(s.len().unwrap(), 49);
+        assert_eq!(s.get("k7").unwrap(), Some(vec![7u8; 32]));
+        assert_eq!(s.get("k0").unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn naive_mode_fsyncs_per_frame() {
+        let dir = tempdir("naive");
+        let s = WalStore::open_with(
+            &dir,
+            WalConfig {
+                group_commit: false,
+                ..WalConfig::default()
+            },
+        )
+        .unwrap();
+        for i in 0..10 {
+            s.put(&format!("k{i}"), b"v").unwrap();
+        }
+        let stats = s.io_stats();
+        assert_eq!(stats.batches, 10);
+        assert_eq!(stats.fsyncs, 10, "naive mode: one fsync per frame");
+        drop(s);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_coalesces_fsyncs() {
+        let dir = tempdir("group");
+        let s = Arc::new(
+            WalStore::open_with(
+                &dir,
+                WalConfig {
+                    sim_fsync_us: 2000,
+                    ..WalConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5 {
+                    s.put(&format!("t{t}/k{i}"), &[t as u8; 16]).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = s.io_stats();
+        assert_eq!(stats.batches, 40);
+        assert!(
+            stats.fsyncs < stats.batches,
+            "forty 2ms-fsync frames from 8 threads must coalesce: {} fsyncs",
+            stats.fsyncs
+        );
+        drop(s);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scripted_crash_poisons_then_recovery_is_consistent() {
+        let dir = tempdir("crash");
+        let plan = Arc::new(FaultPlan::crash_at(2));
+        {
+            let s = WalStore::open_with(
+                &dir,
+                WalConfig {
+                    group_commit: false,
+                    fault: Some(Arc::clone(&plan)),
+                    ..WalConfig::default()
+                },
+            )
+            .unwrap();
+            // append is event 1, its fsync is event 2 — the crash point.
+            assert!(s.put("first", b"1").is_err());
+            assert!(plan.tripped());
+            assert!(s.poisoned());
+            assert!(s.get("first").is_err(), "everything fails after a crash");
+        }
+        let s = WalStore::open(&dir).unwrap();
+        // The first frame was appended but the crash killed its fsync;
+        // both all-present and all-absent are legal for it, and the
+        // store must be fully operational either way.
+        for key in ["first", "second"] {
+            let _ = s.get(key).unwrap();
+        }
+        s.put("after", b"recovered").unwrap();
+        assert_eq!(s.get("after").unwrap(), Some(b"recovered".to_vec()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -17,7 +17,10 @@
 //! `--health` to run the background health plane (SLO sampler,
 //! integrity scrubber, loopback canary) and print its report, and
 //! `--meter` to print the seg-meter plane's per-principal/group/prefix
-//! cost attribution report (top-K talkers + fairness summary).
+//! cost attribution report (top-K talkers + fairness summary), and
+//! `--store wal:<dir>` to back the server with the crash-consistent
+//! write-ahead-logged store (group commit on) instead of in-memory
+//! stores — data in `<dir>` survives server restarts.
 
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -32,6 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let watch = std::env::args().any(|a| a == "--watch");
     let health = std::env::args().any(|a| a == "--health");
     let meter = std::env::args().any(|a| a == "--meter");
+    let store = std::env::args()
+        .skip_while(|a| a != "--store")
+        .nth(1)
+        .unwrap_or_else(|| "mem".to_string());
     // Cache on: the Prometheus exposition below then includes the
     // seg_cache_* counter family alongside the request/store metrics.
     // An aggressive scrub cadence lets `--health` complete full
@@ -39,9 +46,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = EnclaveConfig {
         cache: true,
         scrub_interval_us: if health { 10_000 } else { 1_000_000 },
+        // Durable backend: batch requests so one client request is one
+        // group-committed (singly-fsynced) WAL frame.
+        batch: store.starts_with("wal:"),
         ..EnclaveConfig::default()
     };
-    let setup = FsoSetup::new_in_memory("ca", config);
+    let setup = if let Some(dir) = store.strip_prefix("wal:") {
+        println!("using WAL store in {dir} (group commit on)");
+        // A fixed deployment seed stands in for persistent CA/machine
+        // identity, so a later run over the same directory can unseal
+        // this run's keys and recover its state.
+        FsoSetup::new_wal_persistent("ca", config, dir, 42)?
+    } else {
+        FsoSetup::new_in_memory("ca", config)
+    };
     let server = Arc::new(setup.server()?);
     let alice = setup.enroll_user("alice", "a@x", "Alice")?;
     if health {
@@ -77,7 +95,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A client across the (local) network.
     let transport = TcpTransport::connect(&addr.to_string())?;
     let mut c = Client::connect(transport, &alice)?;
-    c.mkdir("/over-tcp")?;
+    if let Err(e) = c.mkdir("/over-tcp") {
+        // A durable backend recovers earlier runs' state, so the
+        // directory may already exist.
+        if !store.starts_with("wal:") {
+            return Err(e.into());
+        }
+        println!("recovered /over-tcp from a previous run");
+    }
     let payload: Vec<u8> = (0..1_000_000u32).map(|i| (i % 256) as u8).collect();
     let start = std::time::Instant::now();
     c.put("/over-tcp/megabyte.bin", &payload)?;

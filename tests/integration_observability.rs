@@ -238,6 +238,13 @@ fn watch_plane_families_always_export_with_clean_labels() {
         "seg_scrub_passes_total",
         "seg_scrub_items_total",
         "seg_scrub_findings_total",
+        // Durability families export on every backend — zero on
+        // in-memory stores, live on a WAL backend — so a dashboard
+        // built against one deployment works against the other.
+        "seg_store_batches_total",
+        "seg_store_batch_ops_total",
+        "seg_store_fsyncs_total",
+        "seg_store_fsync_bytes_total",
         // Meter-plane families export in every configuration so the
         // series set stays stable whether metering is on or off.
         "seg_meter_enabled",

@@ -6,7 +6,8 @@
 //! leaves the data as-is (poison is ignored), matching `parking_lot`
 //! semantics closely enough for this workspace.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock that does not poison.
 #[derive(Debug, Default)]
