@@ -20,11 +20,17 @@ const MAX_NAME: usize = 180;
 
 /// An object store rooted at a directory on the local file system.
 ///
-/// Every mutation is crash-safe: `put` writes a temp file, fsyncs it,
-/// atomically renames it over the target, and fsyncs the parent
-/// directory; `delete` and `rename` get the same directory-durability
+/// Every single-object mutation is crash-safe: `put` writes a temp
+/// file, fsyncs it, atomically renames it over the target, and fsyncs
+/// the parent directory; `delete` gets the same directory-durability
 /// treatment. After a crash, each object is either its old or its new
 /// value — never a torn mix — and acknowledged mutations survive.
+///
+/// `rename` is NOT atomic as a whole: it is a durable `put` of the
+/// target followed by an unlink of the source, so a crash between the
+/// two can leave BOTH keys present (never neither, never a torn
+/// object). Callers that rename during recovery must tolerate such a
+/// duplicate pair. Multi-object atomicity is [`crate::WalStore`]'s job.
 #[derive(Debug)]
 pub struct DirStore {
     root: PathBuf,
@@ -177,7 +183,8 @@ impl ObjectStore for DirStore {
         // The stored record embeds its key, so a pure file rename would
         // leave a stale key inside; rewrite under the new key (durable
         // put), then unlink the source, then one directory fsync for
-        // both entry changes.
+        // both entry changes. Not atomic as a whole: a crash between
+        // the put and the unlink leaves both keys (see the struct doc).
         let value = self
             .get(from)?
             .ok_or_else(|| StoreError::NotFound(from.to_string()))?;

@@ -38,6 +38,12 @@ const FRAME_MAGIC: u32 = 0x5347_574c;
 const CKPT_MAGIC: u32 = 0x5347_434b;
 /// Fixed frame header: magic + seq + payload len + crc.
 const FRAME_HEADER: usize = 4 + 8 + 4 + 4;
+/// Largest key, value, or whole-frame payload the encoding's u32 length
+/// fields can represent. Anything bigger must be rejected up front:
+/// encoding it would wrap the length field while still appending all
+/// the bytes, producing a frame whose checksum covers the wrong span —
+/// it fails to decode at recovery and acked data becomes unrecoverable.
+const MAX_ENCODED: usize = u32::MAX as usize;
 
 /// Tuning and fault-injection knobs for [`WalStore`].
 #[derive(Debug, Clone)]
@@ -55,6 +61,16 @@ pub struct WalConfig {
     /// cost group commit exists to amortize; benchmarks set this to a
     /// realistic disk latency so measured ratios are machine-independent.
     pub sim_fsync_us: u64,
+    /// How long a checkpoint waits for open transactions to seal before
+    /// declaring the store wedged. A thread that panics or is abandoned
+    /// between `tx_begin` and `tx_seal` leaks its open-transaction count
+    /// forever; without a bound that would hang every future checkpoint
+    /// — and, with the committer stuck inside `checkpoint`, all group
+    /// commits too. Timing out poisons the store (fail shut, recover by
+    /// reopening) instead of hanging it. Transactions span one request's
+    /// writes, so the default is orders of magnitude above a healthy
+    /// seal.
+    pub gate_timeout: std::time::Duration,
     /// Scripted crash points over durability events (crash-matrix tests).
     pub fault: Option<Arc<FaultPlan>>,
 }
@@ -65,6 +81,7 @@ impl Default for WalConfig {
             group_commit: true,
             checkpoint_bytes: 8 * 1024 * 1024,
             sim_fsync_us: 0,
+            gate_timeout: std::time::Duration::from_secs(10),
             fault: None,
         }
     }
@@ -150,8 +167,10 @@ impl WalStore {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         let (index, next_seq) = recover(&dir)?;
-        // A fresh segment per open: recovery never appends to a segment
-        // that may end in a discarded torn frame.
+        // Append at `next_seq`. Usually a fresh file; when a segment's
+        // very first frame was torn, recovery truncated that segment to
+        // empty and this reopens it — safe either way, because recovery
+        // guarantees no segment ends in garbage.
         let first_seq = next_seq;
         let path = segment_path(&dir, first_seq);
         let file = fs::OpenOptions::new()
@@ -369,6 +388,7 @@ impl WalInner {
     /// Commits a batch outside any thread transaction and waits for
     /// durability: the plain `put`/`delete`/`rename` path.
     fn commit_and_wait(&self, batch: WriteBatch) -> Result<(), StoreError> {
+        validate_batch(&batch)?;
         self.apply_to_index(&batch);
         self.commit_frame(&batch)?.wait()
     }
@@ -378,6 +398,38 @@ impl WalInner {
 /// still consistent enough to fail shut via `poisoned`).
 fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Rejects a key/value/payload length the frame encoding's u32 length
+/// fields cannot represent (see [`MAX_ENCODED`]).
+fn check_len(what: &str, len: usize) -> Result<(), StoreError> {
+    if len > MAX_ENCODED {
+        return Err(StoreError::Io(format!(
+            "{what} of {len} bytes exceeds the {MAX_ENCODED}-byte frame encoding limit"
+        )));
+    }
+    Ok(())
+}
+
+/// Validates every op and the total encoded payload of a batch. Runs
+/// before any index mutation or log append, so an over-long op is
+/// rejected cleanly instead of producing an undecodable frame.
+fn validate_batch(batch: &WriteBatch) -> Result<(), StoreError> {
+    let mut total = 4usize; // op-count prefix
+    for op in &batch.ops {
+        total = total.saturating_add(match op {
+            BatchOp::Put { key, value } => {
+                check_len("key", key.len())?;
+                check_len("value", value.len())?;
+                1 + 4 + key.len() + 4 + value.len()
+            }
+            BatchOp::Delete { key } => {
+                check_len("key", key.len())?;
+                1 + 4 + key.len()
+            }
+        });
+    }
+    check_len("batch payload", total)
 }
 
 impl ObjectStore for WalStore {
@@ -393,6 +445,8 @@ impl ObjectStore for WalStore {
 
     fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
         self.inner.check_alive()?;
+        check_len("key", key.len())?;
+        check_len("value", value.len())?;
         let mut txs = lock(&self.inner.txs);
         if let Some(batch) = txs.get_mut(&std::thread::current().id()) {
             batch.put(key, value);
@@ -411,6 +465,7 @@ impl ObjectStore for WalStore {
 
     fn delete(&self, key: &str) -> Result<bool, StoreError> {
         self.inner.check_alive()?;
+        check_len("key", key.len())?;
         let mut txs = lock(&self.inner.txs);
         if let Some(batch) = txs.get_mut(&std::thread::current().id()) {
             batch.delete(key);
@@ -432,6 +487,7 @@ impl ObjectStore for WalStore {
 
     fn rename(&self, from: &str, to: &str) -> Result<(), StoreError> {
         self.inner.check_alive()?;
+        check_len("key", to.len())?;
         let value = self
             .inner
             .index
@@ -480,6 +536,7 @@ impl ObjectStore for WalStore {
 
     fn submit_batch(&self, batch: WriteBatch) -> Result<CommitTicket, StoreError> {
         self.inner.check_alive()?;
+        validate_batch(&batch)?;
         self.inner.apply_to_index(&batch);
         self.inner.commit_frame(&batch)
     }
@@ -524,6 +581,9 @@ impl ObjectStore for WalStore {
         if batch.is_empty() {
             return Ok(Some(CommitTicket::ready()));
         }
+        // Per-op lengths were checked as the tx accumulated; the total
+        // payload across the whole batch still needs one check.
+        validate_batch(&batch)?;
         // Index state is already applied op-by-op; only the frame
         // remains.
         Ok(Some(self.inner.commit_frame(&batch)?))
@@ -587,11 +647,25 @@ fn checkpoint(inner: &WalInner) -> Result<(), StoreError> {
             .unwrap_or_else(|e| e.into_inner());
     }
     gate.checkpointing = true;
+    let deadline = std::time::Instant::now() + inner.cfg.gate_timeout;
     while gate.open_txs > 0 {
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            gate.checkpointing = false;
+            inner.gate_cond.notify_all();
+            drop(gate);
+            inner.poison();
+            return Err(StoreError::Io(format!(
+                "checkpoint timed out after {:?} waiting for an open \
+                 transaction (tx_begin without tx_seal); store poisoned",
+                inner.cfg.gate_timeout
+            )));
+        }
         gate = inner
             .gate_cond
-            .wait(gate)
-            .unwrap_or_else(|e| e.into_inner());
+            .wait_timeout(gate, deadline - now)
+            .unwrap_or_else(|e| e.into_inner())
+            .0;
     }
     drop(gate);
     let result = checkpoint_inner(inner);
@@ -923,6 +997,17 @@ fn recover(dir: &Path) -> Result<Recovered, StoreError> {
             }
             next_seq = seq + 1;
         }
+        if at < data.len() {
+            // Physically discard the torn tail, not just skip it: if the
+            // tear hit a segment's FIRST frame, `next_seq` does not
+            // advance past this segment, so `open` reuses the same file
+            // name — appending valid frames after leftover garbage would
+            // make the NEXT recovery stop at offset 0 and silently drop
+            // every acked write that followed.
+            let file = fs::OpenOptions::new().write(true).open(path)?;
+            file.set_len(at as u64)?;
+            file.sync_data()?;
+        }
     }
     Ok((index, next_seq))
 }
@@ -1099,6 +1184,76 @@ mod tests {
         );
         drop(s);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_first_frame_does_not_eat_later_acked_writes() {
+        let dir = tempdir("torn-first");
+        {
+            // Event 1 is the very first frame's append: it tears, so the
+            // segment holds nothing but garbage.
+            let s = WalStore::open_with(
+                &dir,
+                WalConfig {
+                    group_commit: false,
+                    fault: Some(Arc::new(FaultPlan::crash_at(1))),
+                    ..WalConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(s.put("a", b"torn").is_err());
+        }
+        {
+            // Recovery discards the torn frame (no seq advance) and must
+            // leave a segment that later appends extend validly.
+            let s = WalStore::open(&dir).unwrap();
+            assert_eq!(s.get("a").unwrap(), None);
+            s.put("b", b"acked").unwrap();
+        }
+        let s = WalStore::open(&dir).unwrap();
+        assert_eq!(
+            s.get("b").unwrap(),
+            Some(b"acked".to_vec()),
+            "acked post-recovery write must survive the next recovery"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leaked_transaction_times_out_checkpoint_instead_of_wedging() {
+        let dir = tempdir("gate");
+        let s = WalStore::open_with(
+            &dir,
+            WalConfig {
+                gate_timeout: std::time::Duration::from_millis(50),
+                ..WalConfig::default()
+            },
+        )
+        .unwrap();
+        s.put("k", b"v").unwrap();
+        // A thread that opens a transaction and dies without sealing it:
+        // the open-transaction count is leaked for good.
+        std::thread::scope(|scope| {
+            scope.spawn(|| s.tx_begin()).join().unwrap();
+        });
+        let err = s.checkpoint_now().unwrap_err();
+        assert!(err.to_string().contains("timed out"), "got: {err}");
+        assert!(s.poisoned(), "a timed-out gate fails shut");
+        drop(s);
+        // Reopening recovers everything that was durable.
+        let s = WalStore::open(&dir).unwrap();
+        assert_eq!(s.get("k").unwrap(), Some(b"v".to_vec()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_ops_are_rejected_before_encoding() {
+        assert!(check_len("value", MAX_ENCODED).is_ok());
+        let err = check_len("value", MAX_ENCODED + 1).unwrap_err();
+        assert!(
+            err.to_string().contains("frame encoding limit"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

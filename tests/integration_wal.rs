@@ -309,9 +309,11 @@ fn crash_matrix(tag: &str, config: EnclaveConfig, base: &WalConfig, workload: Wo
         }
 
         // Reboot: clean config over the same directory and identity.
-        let wal = WalStore::open_with(&dir, base.clone())
-            .unwrap_or_else(|e| panic!("{what}: recovery open failed: {e}"));
-        let (content, group, dedup) = wal_views(&Arc::new(wal));
+        let wal = Arc::new(
+            WalStore::open_with(&dir, base.clone())
+                .unwrap_or_else(|e| panic!("{what}: recovery open failed: {e}")),
+        );
+        let (content, group, dedup) = wal_views(&wal);
         setup.set_stores(content, group, dedup);
         let server = setup
             .server()
@@ -329,6 +331,50 @@ fn crash_matrix(tag: &str, config: EnclaveConfig, base: &WalConfig, workload: Wo
         // The recovered server keeps working.
         c.put("/post-recovery", b"alive")
             .unwrap_or_else(|e| panic!("{what}: post-recovery write failed: {e}"));
+        // Second reboot: the post-recovery write must itself be durable.
+        // (Recovery that leaves the log in a state where NEW acked
+        // writes get dropped on the NEXT recovery — e.g. appending
+        // after a torn first frame — only shows up here.)
+        drop(c);
+        drop(server);
+        // Fully release the first recovered store before rescanning the
+        // directory: a checkpoint still finishing on its committer
+        // thread deletes stale segments, which would race the second
+        // recovery's scan. Session/health threads release their store
+        // references asynchronously after the server drops, so wait for
+        // ours to become the last one; dropping it then joins the
+        // committer.
+        setup.set_stores(
+            Arc::new(MemStore::new()),
+            Arc::new(MemStore::new()),
+            Arc::new(MemStore::new()),
+        );
+        let quiesce_deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while Arc::strong_count(&wal) > 1 {
+            assert!(
+                std::time::Instant::now() < quiesce_deadline,
+                "{what}: first recovered store never quiesced"
+            );
+            std::thread::yield_now();
+        }
+        drop(wal);
+        let wal = WalStore::open_with(&dir, base.clone())
+            .unwrap_or_else(|e| panic!("{what}: second recovery open failed: {e}"));
+        let (content, group, dedup) = wal_views(&Arc::new(wal));
+        setup.set_stores(content, group, dedup);
+        let server = setup
+            .server()
+            .unwrap_or_else(|e| panic!("{what}: second relaunch failed: {e}"));
+        server
+            .audit_verify()
+            .unwrap_or_else(|e| panic!("{what}: audit chain broken after second reboot: {e}"));
+        let mut c = connect(&setup, &server, "alice");
+        assert_state(
+            &mut c,
+            "/post-recovery",
+            &[Some(b"alive".to_vec())],
+            &format!("{what} (after second reboot)"),
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
