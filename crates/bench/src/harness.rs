@@ -149,6 +149,21 @@ impl ObjectStore for LatencyStore {
     }
 }
 
+/// Reactor sizing for latency-bound rigs: the [`LatencyStore`] /
+/// simulated-fsync workloads spend their time waiting on the store,
+/// not on enclave CPU, so the worker pool must cover the benchmark's
+/// session fan-out (up to 8 concurrent sessions) or the pool itself
+/// becomes the bottleneck under measurement. The threaded front end
+/// gets this for free (one thread per session); this keeps the two
+/// front ends comparable. Operational deployments with slow backends
+/// should size `workers` the same way (see OPERATIONS.md).
+fn latency_bound_reactor() -> seg_net::reactor::ReactorConfig {
+    seg_net::reactor::ReactorConfig {
+        workers: 16,
+        ..seg_net::reactor::ReactorConfig::default()
+    }
+}
+
 /// A ready-to-use deployment: server plus an enrolled user.
 pub struct Rig {
     /// The setup context (CA, stores, platform).
@@ -187,6 +202,7 @@ impl Rig {
         let setup = FsoSetup::new_wal_with("bench-ca", config, seg_sgx::Platform::new(), dir, wal)
             .expect("wal store opens");
         let server = setup.server().expect("setup succeeds");
+        server.set_reactor_config(latency_bound_reactor());
         let alice = setup
             .enroll_user("alice", "alice@bench", "Alice")
             .expect("enroll succeeds");
@@ -211,6 +227,7 @@ impl Rig {
             Arc::new(LatencyStore::new(delay)),
         );
         let server = setup.server().expect("setup succeeds");
+        server.set_reactor_config(latency_bound_reactor());
         let alice = setup
             .enroll_user("alice", "alice@bench", "Alice")
             .expect("enroll succeeds");

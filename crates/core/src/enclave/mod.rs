@@ -990,6 +990,44 @@ impl SegShareEnclave {
             .set(net.queued_bytes());
         sync("seg_net_send_stalls_total", vec![], net.send_stalls());
         sync("seg_net_send_stall_ns_total", vec![], net.send_stall_ns());
+        sync("seg_net_sheds_total", vec![], self.watch.sheds());
+        // Reactor front end: per-state connection gauges plus lifecycle
+        // counters. Exported whenever a reactor has ever started (the
+        // stable-family rule: 0 beats a disappearing series) — under
+        // the threaded front end the family is absent entirely, which
+        // is itself the "which front end?" signal.
+        if let Some(reactor) = self.watch.reactor_stats() {
+            for state in seg_net::reactor::ConnState::ALL {
+                if state == seg_net::reactor::ConnState::Closed {
+                    continue; // terminal: the gauge is definitionally 0
+                }
+                self.obs
+                    .gauge_with("seg_net_conns", vec![("state", state.label())])
+                    .set(reactor.conns_in(state));
+            }
+            self.obs
+                .gauge("seg_net_dispatch_depth")
+                .set(reactor.dispatch_depth());
+            self.obs
+                .gauge("seg_net_outq_bytes")
+                .set(reactor.outq_bytes());
+            sync(
+                "seg_net_conns_accepted_total",
+                vec![],
+                reactor.accepted_total(),
+            );
+            sync(
+                "seg_net_conns_reaped_idle_total",
+                vec![],
+                reactor.reaped_idle_total(),
+            );
+            sync("seg_net_conns_closed_total", vec![], reactor.closed_total());
+            sync(
+                "seg_net_protocol_errors_total",
+                vec![],
+                reactor.protocol_errors_total(),
+            );
+        }
         sync(
             "seg_watch_stalls_total",
             vec![("kind", "request")],

@@ -33,12 +33,16 @@ pub struct WatchStats {
     live_sessions: AtomicU64,
     in_flight: AtomicU64,
     accept_backlog: AtomicU64,
+    sheds: AtomicU64,
     stalls_request: AtomicU64,
     stalls_global: AtomicU64,
     dumps: AtomicU64,
     last_dump_at_us: AtomicU64,
     last_dump: Mutex<Option<String>>,
     net: Arc<NetMeter>,
+    /// The reactor front end's per-state gauges, once one is running
+    /// (the metrics exporter reads them alongside the watch gauges).
+    reactor: Mutex<Option<Arc<seg_net::reactor::ReactorStats>>>,
     epoch: Instant,
 }
 
@@ -59,12 +63,14 @@ impl WatchStats {
             live_sessions: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             accept_backlog: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
             stalls_request: AtomicU64::new(0),
             stalls_global: AtomicU64::new(0),
             dumps: AtomicU64::new(0),
             last_dump_at_us: AtomicU64::new(0),
             last_dump: Mutex::new(None),
             net: Arc::new(NetMeter::new()),
+            reactor: Mutex::new(None),
             epoch: Instant::now(),
         }
     }
@@ -138,6 +144,30 @@ impl WatchStats {
     #[must_use]
     pub fn accept_backlog(&self) -> u64 {
         self.accept_backlog.load(Ordering::Relaxed)
+    }
+
+    /// A connection was refused at the front end's connection cap
+    /// (reactor accept shedding).
+    pub fn connection_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed at the front end's cap since start.
+    #[must_use]
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the running reactor's statistics so the metrics
+    /// exporter can fold them into the `seg_net_*` families.
+    pub fn set_reactor_stats(&self, stats: Arc<seg_net::reactor::ReactorStats>) {
+        *self.reactor.lock().unwrap() = Some(stats);
+    }
+
+    /// The reactor's statistics, when a reactor front end is running.
+    #[must_use]
+    pub fn reactor_stats(&self) -> Option<Arc<seg_net::reactor::ReactorStats>> {
+        self.reactor.lock().unwrap().clone()
     }
 
     /// Records a watchdog stall of the given kind and reports whether

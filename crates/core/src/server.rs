@@ -10,6 +10,7 @@ use seg_crypto::ed25519::{PublicKey, SecretKey, Signature};
 use seg_crypto::rng::{DeterministicRng, SystemRng};
 use seg_crypto::sha256::Sha256;
 use seg_fs::UserId;
+use seg_net::reactor::{ReactorConfig, ReactorHandle};
 use seg_net::{duplex, ChannelTransport, FrameTransport};
 use seg_pki::{Certificate, CertificateAuthority, Identity};
 use seg_sgx::Platform;
@@ -19,6 +20,7 @@ use crate::client::Client;
 use crate::config::EnclaveConfig;
 use crate::enclave::SegShareEnclave;
 use crate::error::SegShareError;
+use crate::untrusted::reactor::ReactorDispatcher;
 use crate::untrusted::serve_connection;
 
 /// Certificate validity horizon used by [`FsoSetup`] (logical seconds).
@@ -360,10 +362,29 @@ struct HealthRunner {
     handle: std::thread::JoinHandle<()>,
 }
 
+/// Which connection front end serves local (and TCP) clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontEnd {
+    /// The event-driven reactor: one epoll loop plus a bounded enclave
+    /// worker pool (the default; connection count is O(fds)).
+    Reactor,
+    /// The seed-era thread-per-connection loop (kept for comparison
+    /// benchmarks and as the CI equivalence baseline).
+    Threaded,
+}
+
+/// Lazily started reactor front end plus its mode/config overrides.
+struct FrontEndState {
+    mode: Option<FrontEnd>,
+    cfg: Option<ReactorConfig>,
+    reactor: Option<Arc<ReactorHandle>>,
+}
+
 /// A running SeGShare server: the enclave plus its untrusted host.
 pub struct SegShareServer {
     enclave: Arc<SegShareEnclave>,
     health_runner: Mutex<Option<HealthRunner>>,
+    front_end: Mutex<FrontEndState>,
 }
 
 impl std::fmt::Debug for SegShareServer {
@@ -379,6 +400,11 @@ impl SegShareServer {
         SegShareServer {
             enclave,
             health_runner: Mutex::new(None),
+            front_end: Mutex::new(FrontEndState {
+                mode: None,
+                cfg: None,
+                reactor: None,
+            }),
         }
     }
 
@@ -571,23 +597,98 @@ impl SegShareServer {
         serve_connection(&self.enclave, transport)
     }
 
-    /// Connects an in-process client: creates a duplex pair, serves the
-    /// server end on a background thread, and completes the handshake.
+    /// The front end [`SegShareServer::connect_local`] and
+    /// [`SegShareServer::serve_listener`] use: an explicit
+    /// [`SegShareServer::set_front_end`] override wins, then the
+    /// `SEGSHARE_FRONTEND` environment variable (`reactor` or
+    /// `threaded` — how CI runs the same suites against both), then
+    /// the default, [`FrontEnd::Reactor`].
+    #[must_use]
+    pub fn front_end(&self) -> FrontEnd {
+        if let Some(mode) = self.front_end.lock().mode {
+            return mode;
+        }
+        match std::env::var("SEGSHARE_FRONTEND").as_deref() {
+            Ok("threaded") => FrontEnd::Threaded,
+            _ => FrontEnd::Reactor,
+        }
+    }
+
+    /// Overrides the front end used by subsequent connections
+    /// (benchmarks compare modes; tests pin one).
+    pub fn set_front_end(&self, mode: FrontEnd) {
+        self.front_end.lock().mode = Some(mode);
+    }
+
+    /// Overrides the reactor's tuning. Takes effect when the reactor
+    /// starts, i.e. before the first reactor-served connection.
+    pub fn set_reactor_config(&self, cfg: ReactorConfig) {
+        self.front_end.lock().cfg = Some(cfg);
+    }
+
+    /// The running reactor front end, started on first use: the
+    /// dispatcher is wired to this enclave, the net meter is shared
+    /// with the watch plane, and the reactor's gauges are published to
+    /// the metrics exporter.
+    pub fn reactor(&self) -> Arc<ReactorHandle> {
+        let mut fe = self.front_end.lock();
+        if let Some(handle) = &fe.reactor {
+            return Arc::clone(handle);
+        }
+        let mut cfg = fe.cfg.clone().unwrap_or_default();
+        cfg.net_meter = Some(Arc::clone(self.enclave.watch().net_meter()));
+        let dispatcher = Arc::new(ReactorDispatcher::new(Arc::clone(&self.enclave)));
+        let handle = Arc::new(ReactorHandle::start(cfg, dispatcher));
+        self.enclave
+            .watch()
+            .set_reactor_stats(Arc::clone(handle.stats()));
+        fe.reactor = Some(Arc::clone(&handle));
+        handle
+    }
+
+    /// Serves a TCP listener through the reactor front end: accepts,
+    /// backpressure, idle reaping, and shedding all happen on the
+    /// event loop; enclave work runs on the reactor's worker pool.
     ///
     /// # Errors
     ///
-    /// Returns TLS/PKI errors if authentication fails.
+    /// Fails on platforms without the epoll driver (TCP then requires
+    /// the threaded front end via [`SegShareServer::handle_connection`]).
+    pub fn serve_listener(&self, listener: std::net::TcpListener) -> Result<(), SegShareError> {
+        self.reactor()
+            .serve_listener(listener)
+            .map_err(SegShareError::from)
+    }
+
+    /// Connects an in-process client and completes the handshake. With
+    /// the reactor front end (default) the server side is a virtual
+    /// reactor connection; with [`FrontEnd::Threaded`] it is the
+    /// seed-era duplex pair served by a dedicated thread. Either way
+    /// the client sees the same blocking [`ChannelTransport`].
+    ///
+    /// # Errors
+    ///
+    /// Returns TLS/PKI errors if authentication fails, and transport
+    /// errors if the reactor sheds the connection at its cap.
     pub fn connect_local(
         &self,
         user: &EnrolledUser,
     ) -> Result<Client<ChannelTransport>, SegShareError> {
-        let (client_t, server_t) = duplex();
-        let enclave = Arc::clone(&self.enclave);
-        std::thread::spawn(move || {
-            // Session errors surface to the client as closed transports.
-            let _ = serve_connection(&enclave, server_t);
-        });
-        Client::connect(client_t, user)
+        match self.front_end() {
+            FrontEnd::Reactor => {
+                let transport = self.reactor().connect_virtual()?;
+                Client::connect(transport, user)
+            }
+            FrontEnd::Threaded => {
+                let (client_t, server_t) = duplex();
+                let enclave = Arc::clone(&self.enclave);
+                std::thread::spawn(move || {
+                    // Session errors surface as closed transports.
+                    let _ = serve_connection(&enclave, server_t);
+                });
+                Client::connect(client_t, user)
+            }
+        }
     }
 
     /// Verifies a CA-signed reset message and rebuilds integrity state

@@ -5,6 +5,8 @@
 //! enclave (as ecalls, so the boundary cost model sees them), and owns
 //! the object stores that hold only ciphertext.
 
+pub mod reactor;
+
 use seg_net::{FrameTransport, MeteredTransport, NetError};
 
 use crate::enclave::watch::WatchStats;

@@ -51,6 +51,8 @@
 //! the paper's threat model, which explicitly declares side channels out of
 //! scope (§III-B).
 
+#![warn(missing_docs)]
+
 pub mod aes;
 pub mod ct;
 pub mod curve25519;

@@ -12,9 +12,15 @@
 //!   network (RTT, bandwidth, per-request overhead) that the bench
 //!   harness composes with *measured* processing time to reproduce the
 //!   paper's end-to-end latency shape.
+//! * [`reactor`] — the event-driven C10K front end: an epoll event loop
+//!   plus a bounded worker pool replacing thread-per-connection serving.
 
+#![warn(missing_docs)]
+
+pub mod reactor;
 pub mod simwan;
 mod tcp;
+mod virtq;
 
 pub use tcp::TcpTransport;
 
@@ -24,7 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use virtq::VirtQueue;
 
 /// Errors from transports.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,10 +89,16 @@ pub trait FrameTransport: Send {
 }
 
 /// One end of an in-memory duplex connection.
+///
+/// Backed by a pair of bounded in-memory frame queues, so the same
+/// type serves
+/// both the classic [`duplex`] pair (two blocking ends) and the
+/// reactor's virtual connections (blocking client end, event-driven
+/// server end). Dropping either end closes the connection.
 #[derive(Debug)]
 pub struct ChannelTransport {
-    tx: Sender<Vec<u8>>,
-    rx: Receiver<Vec<u8>>,
+    tx: Arc<VirtQueue>,
+    rx: Arc<VirtQueue>,
 }
 
 /// Frames buffered per direction before `send_frame` blocks —
@@ -97,21 +109,39 @@ const DUPLEX_DEPTH: usize = 64;
 /// Creates a connected in-memory transport pair.
 #[must_use]
 pub fn duplex() -> (ChannelTransport, ChannelTransport) {
-    let (tx_a, rx_a) = bounded(DUPLEX_DEPTH);
-    let (tx_b, rx_b) = bounded(DUPLEX_DEPTH);
+    let ab = Arc::new(VirtQueue::new(DUPLEX_DEPTH, None, None));
+    let ba = Arc::new(VirtQueue::new(DUPLEX_DEPTH, None, None));
     (
-        ChannelTransport { tx: tx_a, rx: rx_b },
-        ChannelTransport { tx: tx_b, rx: rx_a },
+        ChannelTransport {
+            tx: Arc::clone(&ab),
+            rx: Arc::clone(&ba),
+        },
+        ChannelTransport { tx: ba, rx: ab },
     )
+}
+
+impl ChannelTransport {
+    /// Builds a transport whose sends land in `tx` and whose receives
+    /// drain `rx` (how the reactor hands out virtual peer ends).
+    pub(crate) fn from_queues(tx: Arc<VirtQueue>, rx: Arc<VirtQueue>) -> ChannelTransport {
+        ChannelTransport { tx, rx }
+    }
 }
 
 impl FrameTransport for ChannelTransport {
     fn send_frame(&mut self, frame: &[u8]) -> Result<(), NetError> {
-        self.tx.send(frame.to_vec()).map_err(|_| NetError::Closed)
+        self.tx.push(frame.to_vec())
     }
 
     fn recv_frame(&mut self) -> Result<Vec<u8>, NetError> {
-        self.rx.recv().map_err(|_| NetError::Closed)
+        self.rx.pop()
+    }
+}
+
+impl Drop for ChannelTransport {
+    fn drop(&mut self) {
+        self.tx.close();
+        self.rx.close();
     }
 }
 
@@ -189,6 +219,33 @@ impl NetMeter {
             0 => 0,
             last => wall_us().saturating_sub(last),
         }
+    }
+
+    /// Bytes entered an outbound queue (reactor write path; the
+    /// threaded path charges via [`MeteredTransport`] instead).
+    pub(crate) fn charge_queued(&self, len: u64) {
+        self.queued_bytes.fetch_add(len, Ordering::Relaxed);
+    }
+
+    /// Bytes finished their journey to a peer.
+    pub(crate) fn charge_sent(&self, len: u64) {
+        self.queued_bytes.fetch_sub(len, Ordering::Relaxed);
+        self.sent_bytes.fetch_add(len, Ordering::Relaxed);
+        self.last_send_us.store(wall_us(), Ordering::Relaxed);
+    }
+
+    /// Queued bytes were dropped unsent (connection closed).
+    pub(crate) fn charge_queued_gone(&self, len: u64) {
+        self.queued_bytes.fetch_sub(len, Ordering::Relaxed);
+    }
+
+    /// A write sat blocked on peer backpressure for `blocked`.
+    pub(crate) fn charge_stall(&self, blocked: Duration) {
+        self.send_stalls.fetch_add(1, Ordering::Relaxed);
+        self.send_stall_ns.fetch_add(
+            blocked.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
     }
 }
 

@@ -225,6 +225,29 @@ fn print_window(server: &segshare::SegShareServer, win: &Snapshot, tick: Duratio
         server.enclave().locks().global_held_us(),
     );
 
+    // Front end: the reactor's per-state connection gauges (the
+    // seg_net_conns{state=...} family), dispatch queue depth, and the
+    // lifecycle counters operators alert on (sheds, idle reaps).
+    if let Some(r) = stats.reactor_stats() {
+        use seg_net::reactor::ConnState;
+        println!(
+            "  front end: {} conns (hs {}  streaming {}  draining {})  dispatch q {}",
+            r.live_conns(),
+            r.conns_in(ConnState::Handshaking),
+            r.conns_in(ConnState::Streaming),
+            r.conns_in(ConnState::Draining),
+            r.dispatch_depth(),
+        );
+        println!(
+            "  front end: accepted {}  closed {}  shed {}  idle-reaped {}  outq {} B",
+            r.accepted_total(),
+            r.closed_total(),
+            stats.sheds(),
+            r.reaped_idle_total(),
+            r.outq_bytes(),
+        );
+    }
+
     // Health plane: state machine verdict, scrub progress, canary
     // round-trips, and any firing SLO burn-rate alerts.
     let health = server.enclave().health();

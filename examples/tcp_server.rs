@@ -20,7 +20,11 @@
 //! cost attribution report (top-K talkers + fairness summary), and
 //! `--store wal:<dir>` to back the server with the crash-consistent
 //! write-ahead-logged store (group commit on) instead of in-memory
-//! stores — data in `<dir>` survives server restarts.
+//! stores — data in `<dir>` survives server restarts, and
+//! `--threaded` to serve connections on the legacy thread-per-connection
+//! front end instead of the event-driven reactor (`--reactor`, the
+//! default: one epoll loop plus a bounded enclave worker pool; see
+//! OPERATIONS.md for tuning and the `seg_net_conns` state gauges).
 
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -35,6 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let watch = std::env::args().any(|a| a == "--watch");
     let health = std::env::args().any(|a| a == "--health");
     let meter = std::env::args().any(|a| a == "--meter");
+    // Front end: the reactor is the default; `--threaded` (or
+    // SEGSHARE_FRONTEND=threaded, which CI's matrix uses) selects the
+    // seed-era thread-per-connection loop. `--reactor` forces the
+    // default explicitly.
+    let threaded = !std::env::args().any(|a| a == "--reactor")
+        && (std::env::args().any(|a| a == "--threaded")
+            || std::env::var("SEGSHARE_FRONTEND").as_deref() == Ok("threaded"));
     let store = std::env::args()
         .skip_while(|a| a != "--store")
         .nth(1)
@@ -71,12 +82,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
     }
 
-    // The untrusted host terminates TCP; each accepted connection gets
-    // a session thread pumping opaque TLS frames into the enclave.
+    // The untrusted host terminates TCP. Default: the reactor front
+    // end — one epoll event loop owns every socket and a bounded
+    // worker pool pumps opaque TLS frames into the enclave. Legacy:
+    // one session thread per accepted connection.
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
-    println!("segshare server listening on {addr}");
-    {
+    println!(
+        "segshare server listening on {addr} ({} front end)",
+        if threaded { "threaded" } else { "reactor" }
+    );
+    if threaded {
+        server.set_front_end(segshare::FrontEnd::Threaded);
         let server = Arc::clone(&server);
         std::thread::spawn(move || {
             for stream in listener.incoming() {
@@ -90,6 +107,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 });
             }
         });
+    } else {
+        server.set_front_end(segshare::FrontEnd::Reactor);
+        server.serve_listener(listener)?;
     }
 
     // A client across the (local) network.
@@ -206,6 +226,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             net.send_stalls(),
             net.send_stall_ns() as f64 / 1e6
         );
+        if let Some(r) = stats.reactor_stats() {
+            println!(
+                "  reactor: {} live conns ({} accepted, {} closed, {} shed, {} idle-reaped)",
+                r.live_conns(),
+                r.accepted_total(),
+                r.closed_total(),
+                stats.sheds(),
+                r.reaped_idle_total()
+            );
+        }
         let report = server.watch_report();
         println!("--- watch report (correlated bundle) ---");
         println!("{report}");
