@@ -1,0 +1,59 @@
+use seg_net::reactor::*;
+use seg_net::FrameTransport;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::time::Duration;
+
+struct Echo {
+    lazy_left: Mutex<HashMap<ConnId, u32>>,
+    drains: AtomicU64,
+}
+
+impl FrameHandler for Echo {
+    fn on_frame(&self, conn: ConnId, frame: Vec<u8>) -> FrameOutcome {
+        if frame == b"close!" {
+            return FrameOutcome { frames: vec![b"bye".to_vec()], close: true, ..Default::default() };
+        }
+        if let Some(n) = frame.strip_prefix(b"more!")
+            .and_then(|d| std::str::from_utf8(d).ok())
+            .and_then(|s| s.parse::<u32>().ok()) {
+            self.lazy_left.lock().unwrap().insert(conn, n);
+            return FrameOutcome { more: true, established: true, ..Default::default() };
+        }
+        FrameOutcome { frames: vec![frame], established: true, ..Default::default() }
+    }
+    fn on_drain(&self, conn: ConnId) -> FrameOutcome {
+        self.drains.fetch_add(1, Ordering::Relaxed);
+        let mut lazy = self.lazy_left.lock().unwrap();
+        match lazy.get_mut(&conn) {
+            Some(0) | None => FrameOutcome::default(),
+            Some(n) => { *n -= 1; FrameOutcome { frames: vec![format!("chunk{n}").into_bytes()], more: true, ..Default::default() } }
+        }
+    }
+}
+
+fn cpu_ticks() -> u64 {
+    let s = std::fs::read_to_string("/proc/self/stat").unwrap();
+    let f: Vec<&str> = s.split_whitespace().collect();
+    f[13].parse::<u64>().unwrap() + f[14].parse::<u64>().unwrap()
+}
+
+#[test]
+fn drain_close_spin_probe() {
+    let handler = Arc::new(Echo { lazy_left: Mutex::new(HashMap::new()), drains: AtomicU64::new(0) });
+    let cfg = ReactorConfig { workers: 2, idle_timeout: Duration::ZERO, ..Default::default() };
+    let reactor = ReactorHandle::start(cfg, handler);
+    let mut t = reactor.connect_virtual().unwrap();
+    t.send_frame(b"more!500").unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    t.send_frame(b"close!").unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let c0 = cpu_ticks();
+    std::thread::sleep(Duration::from_millis(500));
+    let c1 = cpu_ticks();
+    // 500ms wall; each tick is 10ms. If idle, expect ~0-2 ticks. A spin
+    // across 2 workers would burn ~50-100 ticks.
+    eprintln!("cpu ticks burned during 500ms idle-wait with blocked drain-close: {}", c1 - c0);
+    assert!(c1 - c0 < 10, "busy spin detected: {} ticks", c1 - c0);
+}
